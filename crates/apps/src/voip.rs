@@ -1,0 +1,394 @@
+//! The conferencing (VoIP) application model of §8.2.
+//!
+//! The paper's experiment encodes a WAV file with SPEEX in ultra-wideband
+//! mode (32 kHz, ≈256 kbps) and sends one voice frame every 20 ms, then
+//! measures per-frame end-to-end latency, codec-perceived loss bursts under a
+//! playout (jitter) buffer, and PESQ audio quality while competing TCP flows
+//! congest a 3 Mbps / 60 ms-RTT path.
+//!
+//! Substitutions (documented in DESIGN.md): the codec is modelled as a
+//! constant-bit-rate frame source; perceptual quality is estimated with an
+//! E-model-style MOS that degrades with frame loss and loss bursts, rather
+//! than PESQ waveform comparison. The quantities the figures plot — frame
+//! latency CDFs, burst-length CDFs, and a quality score over time — are
+//! computed the same way.
+
+use minion_simnet::{Distribution, SimDuration, SimTime, TimeSeries};
+
+/// Parameters of the voice source.
+#[derive(Clone, Debug)]
+pub struct VoipSourceConfig {
+    /// Interval between frames (20 ms in the paper).
+    pub frame_interval: SimDuration,
+    /// Bytes per frame (256 kbps at 20 ms frames = 640 bytes).
+    pub frame_size: usize,
+    /// Total call duration.
+    pub duration: SimDuration,
+}
+
+impl Default for VoipSourceConfig {
+    fn default() -> Self {
+        VoipSourceConfig {
+            frame_interval: SimDuration::from_millis(20),
+            frame_size: 640,
+            duration: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl VoipSourceConfig {
+    /// The paper's 4-minute call.
+    pub fn four_minute_call() -> Self {
+        VoipSourceConfig {
+            duration: SimDuration::from_secs(240),
+            ..Default::default()
+        }
+    }
+
+    /// Number of frames the source will emit.
+    pub fn total_frames(&self) -> u64 {
+        self.duration.as_micros() / self.frame_interval.as_micros()
+    }
+
+    /// Average bit-rate of the source in bits per second.
+    pub fn bitrate_bps(&self) -> u64 {
+        (self.frame_size as u64 * 8 * 1_000_000) / self.frame_interval.as_micros()
+    }
+}
+
+/// The voice frame source: produces numbered frames on a fixed schedule.
+#[derive(Clone, Debug)]
+pub struct VoipSource {
+    config: VoipSourceConfig,
+    start: SimTime,
+    next_frame: u64,
+}
+
+impl VoipSource {
+    /// Create a source that starts emitting at `start`.
+    pub fn new(config: VoipSourceConfig, start: SimTime) -> Self {
+        VoipSource {
+            config,
+            start,
+            next_frame: 0,
+        }
+    }
+
+    /// The time the next frame should be sent, or `None` when the call ends.
+    pub fn next_send_time(&self) -> Option<SimTime> {
+        if self.next_frame >= self.config.total_frames() {
+            return None;
+        }
+        Some(self.start + self.config.frame_interval.saturating_mul(self.next_frame))
+    }
+
+    /// Emit the next frame if it is due at `now`. The payload begins with the
+    /// frame number so the receiver can identify frames without any framing
+    /// help from the transport.
+    pub fn poll(&mut self, now: SimTime) -> Option<(u64, Vec<u8>)> {
+        let due = self.next_send_time()?;
+        if now < due {
+            return None;
+        }
+        let number = self.next_frame;
+        self.next_frame += 1;
+        let mut payload = vec![0u8; self.config.frame_size];
+        payload[..8].copy_from_slice(&number.to_be_bytes());
+        // Fill the rest deterministically (stand-in for codec bits).
+        for (i, b) in payload[8..].iter_mut().enumerate() {
+            *b = ((number as usize + i) % 251) as u8;
+        }
+        Some((number, payload))
+    }
+
+    /// Frame number scheduled for transmission at `time`.
+    pub fn frame_send_time(&self, frame: u64) -> SimTime {
+        self.start + self.config.frame_interval.saturating_mul(frame)
+    }
+
+    /// Source configuration.
+    pub fn config(&self) -> &VoipSourceConfig {
+        &self.config
+    }
+}
+
+/// Decode the frame number out of a received frame payload.
+pub fn frame_number(payload: &[u8]) -> Option<u64> {
+    if payload.len() < 8 {
+        return None;
+    }
+    Some(u64::from_be_bytes(payload[..8].try_into().expect("8 bytes")))
+}
+
+/// The receiver: a playout (jitter) buffer plus the metrics the paper plots.
+#[derive(Clone, Debug)]
+pub struct VoipReceiver {
+    config: VoipSourceConfig,
+    /// Playout delay (jitter buffer depth): a frame sent at `t` must arrive
+    /// by `t + jitter_buffer` to make its playout deadline.
+    jitter_buffer: SimDuration,
+    /// One-way frame latencies (for Figure 7).
+    latencies: Distribution,
+    /// Arrival time per frame (None = never arrived).
+    arrivals: Vec<Option<SimTime>>,
+    /// Source start time used to compute deadlines.
+    source_start: SimTime,
+}
+
+/// Aggregate quality metrics for one call.
+#[derive(Clone, Debug)]
+pub struct VoipReport {
+    /// One-way latency distribution of frames that arrived.
+    pub latencies_ms: Distribution,
+    /// Fraction of frames that missed their playout deadline (lost or late).
+    pub miss_fraction: f64,
+    /// Burst lengths (consecutive frames missing playout), one entry per burst.
+    pub burst_lengths: Vec<usize>,
+    /// MOS estimate over time (window mean), for Figure 9.
+    pub mos_timeline: TimeSeries,
+    /// Overall MOS estimate for the whole call.
+    pub overall_mos: f64,
+}
+
+impl VoipReceiver {
+    /// Create a receiver with the given playout buffer depth.
+    pub fn new(config: VoipSourceConfig, jitter_buffer: SimDuration, source_start: SimTime) -> Self {
+        let frames = config.total_frames() as usize;
+        VoipReceiver {
+            config,
+            jitter_buffer,
+            latencies: Distribution::new(),
+            arrivals: vec![None; frames],
+            source_start,
+        }
+    }
+
+    /// Record the arrival of a frame payload at `now`.
+    pub fn on_frame(&mut self, payload: &[u8], now: SimTime) {
+        let Some(number) = frame_number(payload) else { return };
+        let idx = number as usize;
+        if idx >= self.arrivals.len() || self.arrivals[idx].is_some() {
+            return; // out of range or duplicate
+        }
+        self.arrivals[idx] = Some(now);
+        let sent = self.source_start + self.config.frame_interval.saturating_mul(number);
+        self.latencies.add(now.saturating_since(sent).as_millis_f64());
+    }
+
+    /// Number of frames received so far.
+    pub fn frames_received(&self) -> usize {
+        self.arrivals.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Whether a frame made its playout deadline.
+    fn made_deadline(&self, frame: usize) -> bool {
+        let sent = self.source_start + self.config.frame_interval.saturating_mul(frame as u64);
+        match self.arrivals[frame] {
+            Some(arrival) => arrival <= sent + self.jitter_buffer,
+            None => false,
+        }
+    }
+
+    /// Produce the call report (Figures 7, 8, 9).
+    pub fn report(&self, mos_window: SimDuration) -> VoipReport {
+        let total = self.arrivals.len();
+        let mut missed = 0usize;
+        let mut burst_lengths = Vec::new();
+        let mut run = 0usize;
+        let mut per_frame_ok: Vec<bool> = Vec::with_capacity(total);
+        for i in 0..total {
+            let ok = self.made_deadline(i);
+            per_frame_ok.push(ok);
+            if ok {
+                if run > 0 {
+                    burst_lengths.push(run);
+                    run = 0;
+                }
+            } else {
+                missed += 1;
+                run += 1;
+            }
+        }
+        if run > 0 {
+            burst_lengths.push(run);
+        }
+
+        // MOS timeline: an E-model-style score computed over sliding windows.
+        let mut mos_timeline = TimeSeries::new();
+        let window_frames =
+            (mos_window.as_micros() / self.config.frame_interval.as_micros()).max(1) as usize;
+        let mut i = 0usize;
+        while i < total {
+            let end = (i + window_frames).min(total);
+            let window = &per_frame_ok[i..end];
+            let mos = estimate_mos(window);
+            let t = self.source_start
+                + self.config.frame_interval.saturating_mul(i as u64);
+            mos_timeline.push(t, mos);
+            i = end;
+        }
+
+        VoipReport {
+            latencies_ms: self.latencies.clone(),
+            miss_fraction: if total == 0 { 0.0 } else { missed as f64 / total as f64 },
+            burst_lengths,
+            mos_timeline,
+            overall_mos: estimate_mos(&per_frame_ok),
+        }
+    }
+}
+
+/// An E-model-inspired MOS estimate from per-frame playout success.
+///
+/// Following the ITU-T G.107 E-model structure, the R factor starts from a
+/// base value and is reduced by an impairment that grows with the effective
+/// loss rate; bursty loss is penalised more than scattered loss (codecs can
+/// interpolate over isolated losses but not blackouts). R is then mapped to
+/// the 1–4.5 MOS scale.
+pub fn estimate_mos(frame_ok: &[bool]) -> f64 {
+    if frame_ok.is_empty() {
+        return 4.4;
+    }
+    let total = frame_ok.len() as f64;
+    let lost = frame_ok.iter().filter(|&&ok| !ok).count() as f64;
+    let loss = lost / total;
+
+    // Mean burst length among losses (1 = perfectly scattered).
+    let mut bursts = Vec::new();
+    let mut run = 0usize;
+    for &ok in frame_ok {
+        if !ok {
+            run += 1;
+        } else if run > 0 {
+            bursts.push(run);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        bursts.push(run);
+    }
+    let mean_burst = if bursts.is_empty() {
+        1.0
+    } else {
+        bursts.iter().sum::<usize>() as f64 / bursts.len() as f64
+    };
+    // Burstiness factor >= 1 amplifies the effective loss impairment.
+    let burstiness = mean_burst.sqrt().clamp(1.0, 4.0);
+
+    // E-model-style impairment: Ie-eff = Ie + (95 - Ie) * P / (P + Bpl/burstiness)
+    let ie = 5.0; // codec's intrinsic impairment (wideband codec)
+    let bpl = 25.0; // packet-loss robustness factor
+    let ie_eff = ie + (95.0 - ie) * loss / (loss + bpl / (100.0 * burstiness));
+    let r: f64 = 93.2 - ie_eff;
+
+    // R -> MOS mapping (ITU-T G.107 Annex B).
+    let r = r.clamp(0.0, 100.0);
+    if r <= 0.0 {
+        1.0
+    } else if r >= 100.0 {
+        4.5
+    } else {
+        1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7.0e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_emits_frames_on_schedule() {
+        let cfg = VoipSourceConfig {
+            duration: SimDuration::from_secs(1),
+            ..Default::default()
+        };
+        assert_eq!(cfg.total_frames(), 50);
+        assert_eq!(cfg.bitrate_bps(), 256_000);
+        let mut src = VoipSource::new(cfg, SimTime::ZERO);
+        assert!(src.poll(SimTime::ZERO).is_some());
+        // The next frame is not due yet.
+        assert!(src.poll(SimTime::from_millis(10)).is_none());
+        assert!(src.poll(SimTime::from_millis(20)).is_some());
+        let mut count = 2;
+        let mut t = SimTime::from_millis(40);
+        while let Some((n, payload)) = src.poll(t) {
+            assert_eq!(frame_number(&payload), Some(n));
+            count += 1;
+            t = t + SimDuration::from_millis(20);
+        }
+        assert_eq!(count, 50);
+        assert!(src.next_send_time().is_none());
+    }
+
+    #[test]
+    fn receiver_latency_and_miss_accounting() {
+        let cfg = VoipSourceConfig {
+            duration: SimDuration::from_secs(1),
+            ..Default::default()
+        };
+        let src = VoipSource::new(cfg.clone(), SimTime::ZERO);
+        let mut rx = VoipReceiver::new(cfg.clone(), SimDuration::from_millis(200), SimTime::ZERO);
+        // Frames 0..40 arrive 50 ms after sending; frames 40..45 arrive 500 ms
+        // late (missing the 200 ms playout deadline); 45..50 never arrive.
+        for n in 0..40u64 {
+            let sent = src.frame_send_time(n);
+            let mut payload = vec![0u8; 640];
+            payload[..8].copy_from_slice(&n.to_be_bytes());
+            rx.on_frame(&payload, sent + SimDuration::from_millis(50));
+        }
+        for n in 40..45u64 {
+            let sent = src.frame_send_time(n);
+            let mut payload = vec![0u8; 640];
+            payload[..8].copy_from_slice(&n.to_be_bytes());
+            rx.on_frame(&payload, sent + SimDuration::from_millis(500));
+        }
+        assert_eq!(rx.frames_received(), 45);
+        let report = rx.report(SimDuration::from_secs(2));
+        assert_eq!(report.miss_fraction, 10.0 / 50.0);
+        // The ten misses are consecutive: one burst of length 10.
+        assert_eq!(report.burst_lengths, vec![10]);
+        assert!((report.latencies_ms.mean() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn duplicate_and_garbage_frames_are_ignored() {
+        let cfg = VoipSourceConfig {
+            duration: SimDuration::from_secs(1),
+            ..Default::default()
+        };
+        let mut rx = VoipReceiver::new(cfg, SimDuration::from_millis(200), SimTime::ZERO);
+        let mut payload = vec![0u8; 640];
+        payload[..8].copy_from_slice(&3u64.to_be_bytes());
+        rx.on_frame(&payload, SimTime::from_millis(70));
+        rx.on_frame(&payload, SimTime::from_millis(90));
+        rx.on_frame(&[1, 2, 3], SimTime::from_millis(95));
+        assert_eq!(rx.frames_received(), 1);
+    }
+
+    #[test]
+    fn mos_degrades_with_loss_and_burstiness() {
+        let clean = vec![true; 1000];
+        let mos_clean = estimate_mos(&clean);
+        assert!(mos_clean > 4.2, "clean call scores near the top: {mos_clean}");
+
+        // 5% scattered loss.
+        let scattered: Vec<bool> = (0..1000).map(|i| i % 20 != 0).collect();
+        let mos_scattered = estimate_mos(&scattered);
+
+        // 5% loss concentrated in bursts of 10.
+        let bursty: Vec<bool> = (0..1000).map(|i| !(i % 200 < 10)).collect();
+        let mos_bursty = estimate_mos(&bursty);
+
+        assert!(mos_scattered < mos_clean);
+        assert!(
+            mos_bursty < mos_scattered,
+            "bursty loss hurts more: {mos_bursty} vs {mos_scattered}"
+        );
+        assert!(mos_bursty >= 1.0);
+    }
+
+    #[test]
+    fn empty_window_scores_well() {
+        assert!(estimate_mos(&[]) > 4.0);
+    }
+}

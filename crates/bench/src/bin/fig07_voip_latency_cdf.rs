@@ -1,0 +1,9 @@
+//! Regenerates Figure 7: CDF of one-way VoIP frame latency under contention.
+use minion_bench::{voip_experiments, Scale, DEFAULT_SEED};
+
+fn main() {
+    let scale = Scale::from_env();
+    let table = voip_experiments::run_fig7(scale.voip_duration(), DEFAULT_SEED);
+    print!("{}", table.to_text());
+    print!("{}", table.to_csv());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 8: CDF of codec-perceived loss-burst lengths.
+use minion_bench::{voip_experiments, Scale, DEFAULT_SEED};
+
+fn main() {
+    let scale = Scale::from_env();
+    let table = voip_experiments::run_fig8(scale.voip_duration(), DEFAULT_SEED);
+    print!("{}", table.to_text());
+    print!("{}", table.to_csv());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 9: moving quality score under increasing contention.
+use minion_bench::{voip_experiments, Scale, DEFAULT_SEED};
+
+fn main() {
+    let scale = Scale::from_env();
+    let table = voip_experiments::run_fig9(scale.voip_minutes(), DEFAULT_SEED);
+    print!("{}", table.to_text());
+    print!("{}", table.to_csv());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 10: message delay by priority class, TCP vs uTCP.
+use minion_bench::{fig10, Scale, DEFAULT_SEED};
+
+fn main() {
+    let scale = Scale::from_env();
+    let table = fig10::run(scale.priority_messages(), DEFAULT_SEED);
+    print!("{}", table.to_text());
+    print!("{}", table.to_csv());
+}

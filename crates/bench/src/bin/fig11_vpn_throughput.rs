@@ -1,0 +1,9 @@
+//! Regenerates Figure 11: tunneled download throughput vs competing uploads.
+use minion_bench::{vpn_experiments, Scale, DEFAULT_SEED};
+
+fn main() {
+    let scale = Scale::from_env();
+    let table = vpn_experiments::run_fig11(&[0, 1, 2, 3, 4, 5], scale.vpn_duration(), DEFAULT_SEED);
+    print!("{}", table.to_text());
+    print!("{}", table.to_csv());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 12: contribution of unordered delivery and ACK
+//! prioritization to tunnel utilisation.
+use minion_bench::{vpn_experiments, Scale, DEFAULT_SEED};
+
+fn main() {
+    let scale = Scale::from_env();
+    let table = vpn_experiments::run_fig12(scale.vpn_duration(), DEFAULT_SEED);
+    print!("{}", table.to_text());
+    print!("{}", table.to_csv());
+}

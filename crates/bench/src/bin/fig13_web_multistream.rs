@@ -1,0 +1,10 @@
+//! Regenerates Figure 13: web page loads over pipelined HTTP/1.1 vs msTCP.
+use minion_bench::{fig13, Scale, DEFAULT_SEED};
+
+fn main() {
+    let scale = Scale::from_env();
+    let results = fig13::run_trace(scale.web_pages(), DEFAULT_SEED);
+    let table = fig13::to_table(&results);
+    print!("{}", table.to_text());
+    print!("{}", table.to_csv());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 1: implementation size of each component.
+use minion_bench::table1;
+
+fn main() {
+    let table = table1::run();
+    print!("{}", table.to_text());
+    print!("{}", table.to_csv());
+}

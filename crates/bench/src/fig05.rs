@@ -1,0 +1,147 @@
+//! Figure 5: throughput as a function of application message size, TCP vs
+//! uTCP (§8.1).
+//!
+//! The paper sends a bulk transfer over a 60 ms-RTT path while varying the
+//! size of each application `write()`. With uTCP's unordered send enabled,
+//! Linux's skbuff-granularity congestion accounting means writes that do not
+//! pack MSS-sized buffers waste window, so throughput dips between the
+//! "nice" sizes (divisors and multiples of the 1448-byte MSS) and matches
+//! TCP at them.
+
+use minion_apps::{BulkSender, BulkSink};
+use minion_simnet::{LinkConfig, SimDuration, Table};
+use minion_stack::{Sim, SocketAddr};
+use minion_tcp::{SocketOptions, TcpConfig};
+
+/// Result of one bulk-transfer run.
+#[derive(Clone, Debug)]
+pub struct ThroughputSample {
+    /// Application write size in bytes.
+    pub message_size: usize,
+    /// Goodput achieved with standard TCP, in Mbps.
+    pub tcp_mbps: f64,
+    /// Goodput achieved with uTCP (unordered send, skbuff accounting), Mbps.
+    pub utcp_mbps: f64,
+}
+
+/// Run one transfer and return goodput in Mbps.
+pub fn run_bulk_transfer(
+    message_size: usize,
+    total_bytes: u64,
+    options: SocketOptions,
+    seed: u64,
+) -> f64 {
+    let mut sim = Sim::new(seed);
+    let sender_node = sim.add_host("sender");
+    let receiver_node = sim.add_host("receiver");
+    // A 2 Mbps bottleneck with 60 ms RTT, as in the paper's figure (which
+    // plots throughputs up to ~2 Mbps).
+    sim.link(
+        sender_node,
+        receiver_node,
+        LinkConfig::new(2_000_000, SimDuration::from_millis(30)).with_queue_bytes(64 * 1024),
+    );
+    sim.host_mut(receiver_node)
+        .tcp_listen(5001, TcpConfig::default(), SocketOptions::standard())
+        .expect("listen");
+    let now = sim.now();
+    let mut sender = BulkSender::connect(
+        sim.host_mut(sender_node),
+        SocketAddr::new(receiver_node, 5001),
+        TcpConfig::default(),
+        options,
+        message_size,
+        total_bytes,
+        now,
+    );
+    sim.run_for(SimDuration::from_millis(200));
+    let handle = sim
+        .host_mut(receiver_node)
+        .accept(5001)
+        .expect("accepted");
+    let mut sink = BulkSink::new(handle);
+
+    let deadline = SimDuration::from_secs(600);
+    let start = sim.now();
+    while sink.received() < total_bytes && sim.now() - start < deadline {
+        sender.pump(sim.host_mut(sender_node));
+        sim.run_for(SimDuration::from_millis(20));
+        let now = sim.now();
+        sink.pump(sim.host_mut(receiver_node), now);
+    }
+    sink.goodput_bps() / 1_000_000.0
+}
+
+/// Run the Figure 5 sweep.
+pub fn run(message_sizes: &[usize], total_bytes: u64, seed: u64) -> Vec<ThroughputSample> {
+    message_sizes
+        .iter()
+        .map(|&size| ThroughputSample {
+            message_size: size,
+            tcp_mbps: run_bulk_transfer(size, total_bytes, SocketOptions::standard(), seed),
+            utcp_mbps: run_bulk_transfer(size, total_bytes, SocketOptions::utcp(), seed),
+        })
+        .collect()
+}
+
+/// The message sizes highlighted by the paper's figure: fractions and
+/// multiples of the 1448-byte MSS plus awkward in-between sizes.
+pub fn paper_message_sizes() -> Vec<usize> {
+    vec![200, 362, 500, 724, 1000, 1448, 2000, 2896]
+}
+
+/// Render the sweep as the figure's data table.
+pub fn to_table(samples: &[ThroughputSample]) -> Table {
+    let mut table = Table::new(
+        "Figure 5: throughput vs application message size (Mbps)",
+        &["message_size_bytes", "tcp_mbps", "utcp_mbps"],
+    );
+    for s in samples {
+        table.add_row(vec![
+            s.message_size.to_string(),
+            format!("{:.3}", s.tcp_mbps),
+            format!("{:.3}", s.utcp_mbps),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utcp_matches_tcp_at_mss_and_dips_at_awkward_sizes() {
+        let total = 400_000u64;
+        let at_mss = run(&[1448], total, 1)[0].clone();
+        let awkward = run(&[1000], total, 1)[0].clone();
+        // At exactly one MSS per write, uTCP keeps pace with TCP.
+        assert!(
+            (at_mss.utcp_mbps - at_mss.tcp_mbps).abs() / at_mss.tcp_mbps < 0.15,
+            "at MSS: tcp={} utcp={}",
+            at_mss.tcp_mbps,
+            at_mss.utcp_mbps
+        );
+        // At 1000 bytes (not a divisor of the MSS), uTCP's skbuff-granularity
+        // accounting costs it throughput relative to TCP.
+        assert!(
+            awkward.utcp_mbps < awkward.tcp_mbps * 0.9,
+            "awkward size: tcp={} utcp={}",
+            awkward.tcp_mbps,
+            awkward.utcp_mbps
+        );
+        // TCP itself should not care about the write size.
+        assert!((at_mss.tcp_mbps - awkward.tcp_mbps).abs() / at_mss.tcp_mbps < 0.15);
+    }
+
+    #[test]
+    fn table_has_one_row_per_size() {
+        let samples = vec![
+            ThroughputSample { message_size: 100, tcp_mbps: 1.0, utcp_mbps: 0.5 },
+            ThroughputSample { message_size: 1448, tcp_mbps: 1.9, utcp_mbps: 1.9 },
+        ];
+        let t = to_table(&samples);
+        assert_eq!(t.row_count(), 2);
+        assert!(t.to_csv().contains("1448"));
+    }
+}

@@ -1,0 +1,320 @@
+//! Figure 6: relative CPU cost of the application-level encoding layers
+//! (§8.1).
+//!
+//! Figure 6(a) compares the processing cost of COBS framing over standard
+//! TCP and uCOBS over uTCP against a raw TCP transfer, at several loss
+//! rates; Figure 6(b) compares uTLS against stream TLS. The paper measures
+//! user/kernel CPU time on its testbed; here we measure the wall-clock time
+//! this process spends inside the endpoint code (send-side encoding and
+//! receive-side decoding/scanning) and inside the transport simulation, and
+//! report the same normalised ratios. Absolute numbers depend on the
+//! machine, but the *relative* costs — what the paper reports — carry over.
+
+use minion_core::{MinionConfig, Protocol, TcpTlvSocket, UcobsSocket, UtlsSocket};
+use minion_simnet::{LinkConfig, LossConfig, SimDuration, Table};
+use minion_stack::{Sim, SocketAddr};
+use std::time::Instant;
+
+/// Measured cost of one transfer run.
+#[derive(Clone, Debug)]
+pub struct CpuSample {
+    /// Which protocol was measured.
+    pub protocol: Protocol,
+    /// Loss rate applied to the path.
+    pub loss_rate: f64,
+    /// Seconds of host CPU spent in the sender's application-level code.
+    pub sender_app_seconds: f64,
+    /// Seconds of host CPU spent in the receiver's application-level code.
+    pub receiver_app_seconds: f64,
+    /// Seconds spent driving the transport/stack simulation (the "kernel"
+    /// share of the cost).
+    pub stack_seconds: f64,
+    /// Bytes of application payload delivered.
+    pub bytes_delivered: u64,
+}
+
+impl CpuSample {
+    /// Total cost attributed to one endpoint pair.
+    pub fn total_seconds(&self) -> f64 {
+        self.sender_app_seconds + self.receiver_app_seconds + self.stack_seconds
+    }
+}
+
+/// Transfer `total_bytes` of `datagram_size`-byte datagrams over the given
+/// protocol at the given loss rate, measuring where the time goes.
+pub fn run_transfer(
+    protocol: Protocol,
+    loss_rate: f64,
+    total_bytes: u64,
+    datagram_size: usize,
+    seed: u64,
+) -> CpuSample {
+    let mut sim = Sim::new(seed);
+    let a = sim.add_host("sender");
+    let b = sim.add_host("receiver");
+    sim.link(
+        a,
+        b,
+        LinkConfig::new(20_000_000, SimDuration::from_millis(30))
+            .with_queue_bytes(256 * 1024)
+            .with_loss(LossConfig::from_rate(loss_rate)),
+    );
+    let config = MinionConfig::default();
+    let baseline_config = MinionConfig::without_utcp();
+
+    let mut sender_app = 0.0f64;
+    let mut receiver_app = 0.0f64;
+    let mut stack = 0.0f64;
+    let mut delivered = 0u64;
+    let datagram = vec![0xA5u8; datagram_size];
+    let total_datagrams = total_bytes / datagram_size as u64;
+
+    macro_rules! run_datagram_protocol {
+        ($tx:ident, $rx:ident, $sender_host:ident, $receiver_host:ident) => {{
+            let mut sent = 0u64;
+            let mut guard = 0u32;
+            while delivered < total_datagrams * datagram.len() as u64 {
+                guard += 1;
+                assert!(guard < 2_000_000, "transfer did not complete");
+                // Sender: keep the pipe reasonably full.
+                let t = Instant::now();
+                while sent < total_datagrams
+                    && $tx.send_buffer_free(sim.host($sender_host)) > 4 * datagram.len()
+                {
+                    if $tx.send_datagram(sim.host_mut($sender_host), &datagram).is_err() {
+                        break;
+                    }
+                    sent += 1;
+                }
+                sender_app += t.elapsed().as_secs_f64();
+
+                let t = Instant::now();
+                sim.run_for(SimDuration::from_millis(20));
+                stack += t.elapsed().as_secs_f64();
+
+                let t = Instant::now();
+                for d in $rx.recv(sim.host_mut($receiver_host)) {
+                    delivered += d.payload.len() as u64;
+                }
+                receiver_app += t.elapsed().as_secs_f64();
+            }
+        }};
+    }
+
+    match protocol {
+        Protocol::Ucobs => {
+            UcobsSocket::listen(sim.host_mut(b), 7000, &config).unwrap();
+            let now = sim.now();
+            let mut tx = UcobsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7000), &config, now);
+            sim.run_for(SimDuration::from_millis(200));
+            let mut rx = UcobsSocket::accept(sim.host_mut(b), 7000).expect("accepted");
+            run_datagram_protocol!(tx, rx, a, b);
+        }
+        Protocol::TcpTlv => {
+            TcpTlvSocket::listen(sim.host_mut(b), 7000, &baseline_config).unwrap();
+            let now = sim.now();
+            let mut tx =
+                TcpTlvSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7000), &baseline_config, now);
+            sim.run_for(SimDuration::from_millis(200));
+            let mut rx = TcpTlvSocket::accept(sim.host_mut(b), 7000).expect("accepted");
+            run_datagram_protocol!(tx, rx, a, b);
+        }
+        Protocol::Utls => {
+            UtlsSocket::listen(sim.host_mut(b), 7443, &config).unwrap();
+            let now = sim.now();
+            let mut tx = UtlsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7443), &config, now);
+            sim.run_for(SimDuration::from_millis(200));
+            let mut rx = UtlsSocket::accept(sim.host_mut(b), 7443, &config).expect("accepted");
+            // Drive the TLS handshake.
+            for _ in 0..6 {
+                let _ = rx.recv(sim.host_mut(b));
+                let _ = tx.recv(sim.host_mut(a));
+                sim.run_for(SimDuration::from_millis(80));
+            }
+            assert!(tx.is_established() && rx.is_established(), "uTLS handshake");
+            run_datagram_protocol!(tx, rx, a, b);
+        }
+        Protocol::Udp => panic!("figure 6 does not measure UDP"),
+    }
+
+    CpuSample {
+        protocol,
+        loss_rate,
+        sender_app_seconds: sender_app,
+        receiver_app_seconds: receiver_app,
+        stack_seconds: stack,
+        bytes_delivered: delivered,
+    }
+}
+
+/// A variant of [`run_transfer`] with the unordered options disabled, used as
+/// the "COBS over standard TCP" and "stream TLS" bars.
+pub fn run_transfer_without_utcp(
+    protocol: Protocol,
+    loss_rate: f64,
+    total_bytes: u64,
+    datagram_size: usize,
+    seed: u64,
+) -> CpuSample {
+    // Same machinery; the in-order variants are obtained by disabling the
+    // socket options in the Minion config.
+    let mut sim = Sim::new(seed);
+    let a = sim.add_host("sender");
+    let b = sim.add_host("receiver");
+    sim.link(
+        a,
+        b,
+        LinkConfig::new(20_000_000, SimDuration::from_millis(30))
+            .with_queue_bytes(256 * 1024)
+            .with_loss(LossConfig::from_rate(loss_rate)),
+    );
+    let config = MinionConfig::without_utcp();
+    let datagram = vec![0xA5u8; datagram_size];
+    let total_datagrams = total_bytes / datagram_size as u64;
+    let mut sender_app = 0.0f64;
+    let mut receiver_app = 0.0f64;
+    let mut stack = 0.0f64;
+    let mut delivered = 0u64;
+
+    macro_rules! pump {
+        ($tx:ident, $rx:ident) => {{
+            let mut sent = 0u64;
+            let mut guard = 0u32;
+            while delivered < total_datagrams * datagram.len() as u64 {
+                guard += 1;
+                assert!(guard < 2_000_000, "transfer did not complete");
+                let t = Instant::now();
+                while sent < total_datagrams
+                    && $tx.send_buffer_free(sim.host(a)) > 4 * datagram.len()
+                {
+                    if $tx.send_datagram(sim.host_mut(a), &datagram).is_err() {
+                        break;
+                    }
+                    sent += 1;
+                }
+                sender_app += t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                sim.run_for(SimDuration::from_millis(20));
+                stack += t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                for d in $rx.recv(sim.host_mut(b)) {
+                    delivered += d.payload.len() as u64;
+                }
+                receiver_app += t.elapsed().as_secs_f64();
+            }
+        }};
+    }
+
+    match protocol {
+        Protocol::Ucobs => {
+            UcobsSocket::listen(sim.host_mut(b), 7000, &config).unwrap();
+            let now = sim.now();
+            let mut tx = UcobsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7000), &config, now);
+            sim.run_for(SimDuration::from_millis(200));
+            let mut rx = UcobsSocket::accept(sim.host_mut(b), 7000).expect("accepted");
+            pump!(tx, rx);
+        }
+        Protocol::Utls => {
+            UtlsSocket::listen(sim.host_mut(b), 7443, &config).unwrap();
+            let now = sim.now();
+            let mut tx = UtlsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7443), &config, now);
+            sim.run_for(SimDuration::from_millis(200));
+            let mut rx = UtlsSocket::accept(sim.host_mut(b), 7443, &config).expect("accepted");
+            for _ in 0..6 {
+                let _ = rx.recv(sim.host_mut(b));
+                let _ = tx.recv(sim.host_mut(a));
+                sim.run_for(SimDuration::from_millis(80));
+            }
+            pump!(tx, rx);
+        }
+        _ => panic!("only the COBS and TLS baselines use this variant"),
+    }
+
+    CpuSample {
+        protocol,
+        loss_rate,
+        sender_app_seconds: sender_app,
+        receiver_app_seconds: receiver_app,
+        stack_seconds: stack,
+        bytes_delivered: delivered,
+    }
+}
+
+/// Figure 6(a): COBS / uCOBS processing cost normalised to raw TCP.
+pub fn run_fig6a(loss_rates: &[f64], total_bytes: u64, seed: u64) -> Table {
+    let mut table = Table::new(
+        "Figure 6(a): processing cost normalised to raw TCP",
+        &[
+            "loss_rate",
+            "tcp_send",
+            "cobs_send",
+            "ucobs_send",
+            "tcp_recv",
+            "cobs_recv",
+            "ucobs_recv",
+        ],
+    );
+    for &loss in loss_rates {
+        let tcp = run_transfer(Protocol::TcpTlv, loss, total_bytes, 1200, seed);
+        let cobs = run_transfer_without_utcp(Protocol::Ucobs, loss, total_bytes, 1200, seed);
+        let ucobs = run_transfer(Protocol::Ucobs, loss, total_bytes, 1200, seed);
+        // Normalise each side's application cost (plus its share of stack
+        // cost) to the raw-TCP sender/receiver cost.
+        let tcp_send = tcp.sender_app_seconds + tcp.stack_seconds / 2.0;
+        let tcp_recv = tcp.receiver_app_seconds + tcp.stack_seconds / 2.0;
+        let row = [
+            loss,
+            1.0,
+            (cobs.sender_app_seconds + cobs.stack_seconds / 2.0) / tcp_send,
+            (ucobs.sender_app_seconds + ucobs.stack_seconds / 2.0) / tcp_send,
+            1.0,
+            (cobs.receiver_app_seconds + cobs.stack_seconds / 2.0) / tcp_recv,
+            (ucobs.receiver_app_seconds + ucobs.stack_seconds / 2.0) / tcp_recv,
+        ];
+        table.add_row_f64(&row);
+    }
+    table
+}
+
+/// Figure 6(b): uTLS processing cost normalised to stream TLS.
+pub fn run_fig6b(loss_rates: &[f64], total_bytes: u64, seed: u64) -> Table {
+    let mut table = Table::new(
+        "Figure 6(b): processing cost normalised to TLS",
+        &["loss_rate", "tls_send", "utls_send", "tls_recv", "utls_recv"],
+    );
+    for &loss in loss_rates {
+        let tls = run_transfer_without_utcp(Protocol::Utls, loss, total_bytes, 1200, seed);
+        let utls = run_transfer(Protocol::Utls, loss, total_bytes, 1200, seed);
+        let row = [
+            loss,
+            1.0,
+            utls.sender_app_seconds / tls.sender_app_seconds.max(1e-9),
+            1.0,
+            utls.receiver_app_seconds / tls.receiver_app_seconds.max(1e-9),
+        ];
+        table.add_row_f64(&row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_complete_and_account_time() {
+        let s = run_transfer(Protocol::Ucobs, 0.0, 120_000, 1200, 3);
+        assert_eq!(s.bytes_delivered, 120_000);
+        assert!(s.total_seconds() > 0.0);
+        let t = run_transfer(Protocol::TcpTlv, 0.01, 120_000, 1200, 3);
+        assert_eq!(t.bytes_delivered, 120_000);
+    }
+
+    #[test]
+    fn fig6a_table_shape() {
+        let table = run_fig6a(&[0.01], 120_000, 4);
+        assert_eq!(table.row_count(), 1);
+        let csv = table.to_csv();
+        assert!(csv.starts_with("loss_rate,"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Table 1: implementation complexity (§8.6).
+//!
+//! The paper reports the size of the uTCP kernel delta, the uCOBS library,
+//! and the uTLS delta to OpenSSL, alongside native out-of-order transports
+//! for comparison. This reproduction reports the analogous quantities for
+//! its own crates: the lines implementing the uTCP extensions within the TCP
+//! crate, the COBS/uCOBS code, and the uTLS receiver within the TLS crate,
+//! plus the full size of each substrate.
+
+use minion_simnet::Table;
+use std::path::{Path, PathBuf};
+
+/// Count non-blank, non-comment lines of Rust in a file.
+pub fn count_loc(path: &Path) -> u64 {
+    let Ok(content) = std::fs::read_to_string(path) else { return 0 };
+    content
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!"))
+        .count() as u64
+}
+
+/// Count lines of Rust across a crate's `src` directory.
+pub fn count_crate_loc(src_dir: &Path) -> u64 {
+    let mut total = 0;
+    let mut stack = vec![src_dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+                total += count_loc(&path);
+            }
+        }
+    }
+    total
+}
+
+/// Locate the workspace root (the directory containing `crates/`).
+pub fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    // crates/bench -> crates -> workspace root
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+/// Build the Table 1 analogue for this repository.
+pub fn run() -> Table {
+    let root = workspace_root();
+    let crate_loc = |name: &str| count_crate_loc(&root.join("crates").join(name).join("src"));
+    let file_loc = |rel: &str| count_loc(&root.join(rel));
+
+    let tcp_total = crate_loc("tcp");
+    // The uTCP-specific pieces: send-buffer priority machinery and the
+    // unordered receive path live in these files.
+    let utcp_delta = file_loc("crates/tcp/src/sendbuf.rs")
+        + file_loc("crates/tcp/src/recvbuf.rs")
+        + file_loc("crates/tcp/src/delivered.rs");
+    let tls_total = crate_loc("tls");
+    let utls_delta = file_loc("crates/tls/src/utls.rs");
+
+    let mut table = Table::new(
+        "Table 1: implementation size of this reproduction (non-blank, non-comment LoC)",
+        &["component", "lines"],
+    );
+    let rows: Vec<(&str, u64)> = vec![
+        ("tcp substrate (minion-tcp, total)", tcp_total),
+        ("  of which uTCP buffer/delivery extensions", utcp_delta),
+        ("uCOBS framing (minion-cobs)", crate_loc("cobs")),
+        ("crypto substrate (minion-crypto)", crate_loc("crypto")),
+        ("TLS record layer + uTLS (minion-tls, total)", tls_total),
+        ("  of which the uTLS out-of-order receiver", utls_delta),
+        ("Minion endpoints (minion-core)", crate_loc("core")),
+        ("msTCP (minion-mstcp)", crate_loc("mstcp")),
+        ("network simulator (minion-simnet)", crate_loc("simnet")),
+        ("host stack (minion-stack)", crate_loc("stack")),
+        ("evaluation apps (minion-apps)", crate_loc("apps")),
+        ("benchmark harness (minion-bench)", crate_loc("bench")),
+    ];
+    for (name, loc) in rows {
+        table.add_row(vec![name.to_string(), loc.to_string()]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_counts_are_positive_and_consistent() {
+        let root = workspace_root();
+        assert!(root.join("crates").join("tcp").exists(), "root={root:?}");
+        let tcp = count_crate_loc(&root.join("crates/tcp/src"));
+        assert!(tcp > 1000, "tcp crate should be substantial: {tcp}");
+        let utls = count_loc(&root.join("crates/tls/src/utls.rs"));
+        assert!(utls > 100);
+        assert!(utls < count_crate_loc(&root.join("crates/tls/src")));
+        let table = run();
+        assert!(table.row_count() >= 10);
+    }
+
+    #[test]
+    fn count_loc_ignores_comments_and_blanks() {
+        let dir = std::env::temp_dir().join("minion-table1-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("sample.rs");
+        std::fs::write(&file, "// comment\n\nfn main() {\n    let x = 1;\n}\n//! doc\n").unwrap();
+        assert_eq!(count_loc(&file), 3);
+        std::fs::remove_file(&file).ok();
+    }
+}

@@ -1,0 +1,177 @@
+//! Consistent Overhead Byte Stuffing (COBS), Cheshire & Baker 1997.
+//!
+//! COBS re-encodes an arbitrary byte string so that it contains no zero
+//! bytes, at a worst-case expansion of one byte per 254 (≈0.4%). uCOBS uses
+//! the freed-up zero byte value as a record delimiter that can be recognised
+//! anywhere in a TCP stream, which is what makes records self-delimiting and
+//! recoverable from out-of-order stream fragments (paper §5).
+
+/// The byte value COBS removes from the encoded output and uCOBS uses as the
+/// record delimiter.
+pub const MARKER: u8 = 0x00;
+
+/// Maximum number of non-zero bytes covered by one COBS code byte.
+const MAX_RUN: usize = 254;
+
+/// Errors produced when decoding malformed COBS data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CobsError {
+    /// The encoded data contained a zero byte, which is reserved for
+    /// delimiters and never appears in well-formed COBS output.
+    UnexpectedMarker,
+    /// A code byte pointed past the end of the input.
+    Truncated,
+}
+
+impl std::fmt::Display for CobsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CobsError::UnexpectedMarker => write!(f, "unexpected zero byte inside COBS data"),
+            CobsError::Truncated => write!(f, "COBS data truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CobsError {}
+
+/// Worst-case encoded size for a payload of `len` bytes.
+pub fn max_encoded_len(len: usize) -> usize {
+    len + len / MAX_RUN + 1
+}
+
+/// COBS-encode `input`. The output contains no zero bytes.
+pub fn encode(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(max_encoded_len(input.len()));
+    let mut code_idx = out.len();
+    out.push(0); // placeholder for the first code byte
+    let mut code: u8 = 1;
+
+    for &b in input {
+        if b == MARKER {
+            out[code_idx] = code;
+            code_idx = out.len();
+            out.push(0);
+            code = 1;
+        } else {
+            out.push(b);
+            code += 1;
+            if code == 0xFF {
+                out[code_idx] = code;
+                code_idx = out.len();
+                out.push(0);
+                code = 1;
+            }
+        }
+    }
+    out[code_idx] = code;
+    out
+}
+
+/// Decode COBS-encoded data produced by [`encode`].
+pub fn decode(input: &[u8]) -> Result<Vec<u8>, CobsError> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut i = 0;
+    while i < input.len() {
+        let code = input[i];
+        if code == MARKER {
+            return Err(CobsError::UnexpectedMarker);
+        }
+        let run = code as usize - 1;
+        if i + 1 + run > input.len() {
+            return Err(CobsError::Truncated);
+        }
+        for &b in &input[i + 1..i + 1 + run] {
+            if b == MARKER {
+                return Err(CobsError::UnexpectedMarker);
+            }
+            out.push(b);
+        }
+        i += 1 + run;
+        // A maximal code byte (0xFF) does not imply a following zero.
+        if code != 0xFF && i < input.len() {
+            out.push(MARKER);
+        }
+    }
+    Ok(out)
+}
+
+/// The bandwidth-overhead ratio of encoding `payload_len` bytes: encoded
+/// length divided by original length.
+pub fn overhead_ratio(payload: &[u8]) -> f64 {
+    if payload.is_empty() {
+        return 1.0;
+    }
+    encode(payload).len() as f64 / payload.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference examples from the COBS paper / Wikipedia.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(&[]), vec![0x01]);
+        assert_eq!(encode(&[0x00]), vec![0x01, 0x01]);
+        assert_eq!(encode(&[0x00, 0x00]), vec![0x01, 0x01, 0x01]);
+        assert_eq!(encode(&[0x11, 0x22, 0x00, 0x33]), vec![0x03, 0x11, 0x22, 0x02, 0x33]);
+        assert_eq!(encode(&[0x11, 0x22, 0x33, 0x44]), vec![0x05, 0x11, 0x22, 0x33, 0x44]);
+        assert_eq!(encode(&[0x11, 0x00, 0x00, 0x00]), vec![0x02, 0x11, 0x01, 0x01, 0x01]);
+    }
+
+    #[test]
+    fn encoded_output_never_contains_zero() {
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.push((i % 7) as u8); // plenty of zeros
+        }
+        let enc = encode(&data);
+        assert!(enc.iter().all(|&b| b != MARKER));
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for len in [0usize, 1, 2, 253, 254, 255, 256, 508, 509, 1000, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
+            let enc = encode(&data);
+            let dec = decode(&enc).expect("valid encoding");
+            assert_eq!(dec, data, "roundtrip failed for len={len}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_zeros_and_no_zeros() {
+        let zeros = vec![0u8; 1000];
+        assert_eq!(decode(&encode(&zeros)).unwrap(), zeros);
+        let nonzeros = vec![7u8; 1000];
+        assert_eq!(decode(&encode(&nonzeros)).unwrap(), nonzeros);
+    }
+
+    #[test]
+    fn worst_case_overhead_is_under_half_percent() {
+        // Long zero-free payloads hit the 1-in-254 worst case.
+        let data = vec![0xABu8; 100_000];
+        let ratio = overhead_ratio(&data);
+        assert!(ratio <= 1.004 + 1e-4, "ratio={ratio}");
+        assert!(encode(&data).len() <= max_encoded_len(data.len()));
+    }
+
+    #[test]
+    fn decode_rejects_embedded_zero() {
+        assert_eq!(decode(&[0x02, 0x00]), Err(CobsError::UnexpectedMarker));
+        assert_eq!(decode(&[0x00, 0x01]), Err(CobsError::UnexpectedMarker));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        assert_eq!(decode(&[0x05, 0x11, 0x22]), Err(CobsError::Truncated));
+        let full = encode(&[0x11u8; 300]);
+        assert_eq!(decode(&full[..full.len() - 1]), Err(CobsError::Truncated));
+    }
+
+    #[test]
+    fn empty_input_decodes_to_empty() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<u8>::new());
+        assert_eq!(decode(&[]).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,254 @@
+//! Record framing on top of COBS encoding.
+//!
+//! uCOBS frames each datagram as `0x00 <COBS(data)> 0x00`: a marker byte on
+//! *both* ends (paper §5.3). The double marker is what lets a receiver that
+//! holds only a fragment of the stream decide that a record is complete: a
+//! record is any maximal run of non-marker bytes bracketed by two markers
+//! with no holes in between.
+//!
+//! This module provides the sender-side framer and a scanner that extracts
+//! complete records from a contiguous stream fragment, reporting each
+//! record's position so the caller (the uCOBS endpoint) can avoid delivering
+//! the same record twice. A conventional length-prefixed (TLV) framer is also
+//! provided as the in-order baseline used by the paper's comparison
+//! experiments.
+
+use crate::encode::{decode, encode, CobsError, MARKER};
+
+/// Frame one datagram for transmission: `marker || COBS(data) || marker`.
+pub fn frame_datagram(data: &[u8]) -> Vec<u8> {
+    let encoded = encode(data);
+    let mut out = Vec::with_capacity(encoded.len() + 2);
+    out.push(MARKER);
+    out.extend_from_slice(&encoded);
+    out.push(MARKER);
+    out
+}
+
+/// The framing overhead in bytes for a datagram of the given content.
+pub fn framing_overhead(data: &[u8]) -> usize {
+    frame_datagram(data).len() - data.len()
+}
+
+/// A record recovered from a stream fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScannedRecord {
+    /// Offset within the *fragment* of the record's leading marker byte.
+    pub start: usize,
+    /// Offset within the fragment one past the record's trailing marker byte.
+    pub end: usize,
+    /// The decoded datagram.
+    pub payload: Vec<u8>,
+}
+
+/// Scan a contiguous stream fragment for complete, properly delimited
+/// records.
+///
+/// `is_stream_start` indicates that the fragment begins at stream offset 0
+/// (or, more generally, at a point known to be a record boundary), in which
+/// case a record needs no leading marker inside the fragment. Records whose
+/// COBS content fails to decode are skipped (this can only happen if the
+/// sender is not a uCOBS sender).
+pub fn scan_records(fragment: &[u8], is_stream_start: bool) -> Vec<ScannedRecord> {
+    let mut records = Vec::new();
+    let mut i = 0;
+
+    // Position of the marker (or known boundary) that could open a record.
+    let mut open: Option<usize> = if is_stream_start { Some(0) } else { None };
+    // Skip a leading marker if the fragment starts with one.
+    while i < fragment.len() {
+        if fragment[i] == MARKER {
+            // This marker closes any open record and opens a new one.
+            if let Some(start) = open {
+                let content_start = if fragment.get(start) == Some(&MARKER) {
+                    start + 1
+                } else {
+                    start
+                };
+                if content_start < i {
+                    if let Ok(payload) = decode(&fragment[content_start..i]) {
+                        records.push(ScannedRecord { start, end: i + 1, payload });
+                    }
+                }
+            }
+            open = Some(i);
+        }
+        i += 1;
+    }
+    records
+}
+
+/// Decode the content between two markers directly (helper for callers that
+/// have already located the delimiters).
+pub fn decode_record(content: &[u8]) -> Result<Vec<u8>, CobsError> {
+    decode(content)
+}
+
+/// A simple length-prefixed (type-length-value style) framer: the baseline
+/// framing the paper contrasts with (§5.1, §9). It supports only in-order
+/// parsing because a length prefix cannot be located inside an arbitrary
+/// stream fragment.
+#[derive(Clone, Debug, Default)]
+pub struct TlvFramer {
+    buffer: Vec<u8>,
+}
+
+impl TlvFramer {
+    /// New, empty framer.
+    pub fn new() -> Self {
+        TlvFramer::default()
+    }
+
+    /// Frame a datagram: 4-byte big-endian length followed by the payload.
+    pub fn frame(data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + data.len());
+        out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        out.extend_from_slice(data);
+        out
+    }
+
+    /// Feed received in-order bytes to the deframer.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buffer.extend_from_slice(data);
+    }
+
+    /// Pop the next complete datagram, if one has fully arrived.
+    pub fn pop(&mut self) -> Option<Vec<u8>> {
+        if self.buffer.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes([self.buffer[0], self.buffer[1], self.buffer[2], self.buffer[3]])
+            as usize;
+        if self.buffer.len() < 4 + len {
+            return None;
+        }
+        let payload = self.buffer[4..4 + len].to_vec();
+        self.buffer.drain(..4 + len);
+        Some(payload)
+    }
+
+    /// Bytes buffered awaiting a complete record.
+    pub fn pending_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_has_markers_on_both_ends() {
+        let f = frame_datagram(b"hello");
+        assert_eq!(*f.first().unwrap(), MARKER);
+        assert_eq!(*f.last().unwrap(), MARKER);
+        assert!(f[1..f.len() - 1].iter().all(|&b| b != MARKER));
+    }
+
+    #[test]
+    fn scan_recovers_back_to_back_records() {
+        let mut stream = Vec::new();
+        let records: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8 + 1; 10 * (i + 1)]).collect();
+        for r in &records {
+            stream.extend_from_slice(&frame_datagram(r));
+        }
+        let scanned = scan_records(&stream, true);
+        let payloads: Vec<Vec<u8>> = scanned.iter().map(|r| r.payload.clone()).collect();
+        assert_eq!(payloads, records);
+    }
+
+    #[test]
+    fn scan_mid_stream_fragment_skips_partial_head_and_tail() {
+        let a = frame_datagram(b"record-a");
+        let b = frame_datagram(b"record-b");
+        let c = frame_datagram(b"record-c");
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        stream.extend_from_slice(&c);
+        // Take a fragment that cuts into the middle of records a and c.
+        let fragment = &stream[3..stream.len() - 3];
+        let scanned = scan_records(fragment, false);
+        // Only record b is recoverable: a's head and c's tail are missing.
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].payload, b"record-b");
+    }
+
+    #[test]
+    fn scan_positions_are_fragment_relative() {
+        let a = frame_datagram(b"xyz");
+        let b = frame_datagram(b"pqr");
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let scanned = scan_records(&stream, true);
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(scanned[0].start, 0);
+        assert_eq!(&stream[scanned[0].start..scanned[0].end], &a[..]);
+        // The second record's leading marker is shared with the first
+        // record's trailing marker region; its end must cover b entirely.
+        assert_eq!(scanned[1].end, stream.len());
+    }
+
+    #[test]
+    fn scan_handles_datagrams_containing_zero_bytes() {
+        let payload = vec![0u8, 1, 0, 2, 0, 0, 3];
+        let framed = frame_datagram(&payload);
+        let scanned = scan_records(&framed, true);
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].payload, payload);
+    }
+
+    #[test]
+    fn scan_without_stream_start_needs_leading_marker() {
+        let framed = frame_datagram(b"only");
+        // Drop the leading marker and claim we are mid-stream: the record
+        // cannot be recovered because its start cannot be trusted.
+        let scanned = scan_records(&framed[1..], false);
+        assert!(scanned.is_empty());
+        // With the stream-start hint it can.
+        let scanned = scan_records(&framed[1..], true);
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].payload, b"only");
+    }
+
+    #[test]
+    fn empty_fragment_scans_to_nothing() {
+        assert!(scan_records(&[], true).is_empty());
+        assert!(scan_records(&[], false).is_empty());
+    }
+
+    #[test]
+    fn framing_overhead_is_small() {
+        // 3 bytes of overhead for a short record: two markers + one code byte.
+        assert_eq!(framing_overhead(b"hello"), 3);
+        // Under 0.5% + 2 markers for large records.
+        let big = vec![0xAAu8; 10_000];
+        assert!(framing_overhead(&big) <= 2 + 10_000 / 254 + 1);
+    }
+
+    #[test]
+    fn tlv_framer_roundtrip_and_partial_delivery() {
+        let mut deframer = TlvFramer::new();
+        let a = TlvFramer::frame(b"alpha");
+        let b = TlvFramer::frame(b"beta");
+        // Deliver in awkward split points.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        deframer.push(&all[..3]);
+        assert!(deframer.pop().is_none());
+        deframer.push(&all[3..10]);
+        assert_eq!(deframer.pop().unwrap(), b"alpha");
+        assert!(deframer.pop().is_none());
+        deframer.push(&all[10..]);
+        assert_eq!(deframer.pop().unwrap(), b"beta");
+        assert!(deframer.pop().is_none());
+        assert_eq!(deframer.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn tlv_framer_empty_payload() {
+        let mut d = TlvFramer::new();
+        d.push(&TlvFramer::frame(b""));
+        assert_eq!(d.pop().unwrap(), Vec::<u8>::new());
+    }
+}

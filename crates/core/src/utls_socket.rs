@@ -1,0 +1,414 @@
+//! uTLS endpoint: secure datagrams over a TCP/uTCP connection, with the
+//! unchanged TLS wire format (paper §6).
+//!
+//! The handshake runs in order over the stream head. Once keys are derived,
+//! an out-of-order [`UtlsReceiver`] takes over the receive path (when the
+//! negotiated ciphersuite permits, i.e. explicit-IV block ciphers), while the
+//! send path is plain TLS record sealing — the current uTLS supports only
+//! receiver-side unordered delivery, exactly as in the paper (§6.1).
+
+use crate::config::MinionConfig;
+use crate::fragment::FragmentStore;
+use crate::ucobs::Datagram;
+use minion_simnet::SimTime;
+use minion_stack::{Host, HostError, SocketAddr, SocketHandle};
+use minion_tls::{TlsSession, UtlsReceiver};
+
+/// Counters for a uTLS endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct UtlsSocketStats {
+    /// Application datagrams sent.
+    pub datagrams_sent: u64,
+    /// Application payload bytes sent.
+    pub payload_bytes_sent: u64,
+    /// TLS record bytes written to the stream (including handshake).
+    pub wire_bytes_sent: u64,
+    /// Datagrams delivered to the application.
+    pub datagrams_received: u64,
+    /// Datagrams delivered out of order.
+    pub out_of_order_received: u64,
+}
+
+/// A uTLS secure datagram socket.
+pub struct UtlsSocket {
+    handle: SocketHandle,
+    session: TlsSession,
+    /// Out-of-order receiver, created once the handshake completes (and only
+    /// if unordered delivery is enabled and the suite supports it).
+    receiver: Option<UtlsReceiver>,
+    /// Whether the application asked for out-of-order delivery.
+    unordered: bool,
+    /// How many record-number candidates the receiver tries on each side.
+    prediction_window: u64,
+    /// Raw stream reassembly used for the in-order path (handshake and the
+    /// stream-TLS fallback mode).
+    raw: FragmentStore,
+    /// Stream offset up to which bytes have been fed to the in-order session.
+    fed_offset: u64,
+    /// Offset of the first application-data byte in the incoming stream.
+    app_start: Option<u64>,
+    stats: UtlsSocketStats,
+}
+
+impl UtlsSocket {
+    /// Open a uTLS connection to `remote`. The ClientHello is queued
+    /// immediately.
+    pub fn connect(
+        host: &mut Host,
+        remote: SocketAddr,
+        config: &MinionConfig,
+        now: SimTime,
+    ) -> Self {
+        let handle = host.tcp_connect(remote, config.tcp.clone(), config.socket_options, now);
+        let mut session = TlsSession::client(&config.psk, config.tls.clone(), config.seed);
+        let hello = session.take_outgoing();
+        let _ = host.tcp_write(handle, &hello);
+        let mut s = UtlsSocket::new(handle, session, config);
+        s.stats.wire_bytes_sent += hello.len() as u64;
+        s
+    }
+
+    /// Start listening for uTLS connections on `port`.
+    pub fn listen(host: &mut Host, port: u16, config: &MinionConfig) -> Result<(), HostError> {
+        host.tcp_listen(port, config.tcp.clone(), config.socket_options)
+    }
+
+    /// Accept a pending connection on a listening port.
+    pub fn accept(host: &mut Host, port: u16, config: &MinionConfig) -> Option<Self> {
+        let handle = host.accept(port)?;
+        let session = TlsSession::server(&config.psk, config.tls.clone(), config.seed ^ 0x5eed);
+        Some(UtlsSocket::new(handle, session, config))
+    }
+
+    fn new(handle: SocketHandle, session: TlsSession, config: &MinionConfig) -> Self {
+        UtlsSocket {
+            handle,
+            session,
+            receiver: None,
+            unordered: config.socket_options.unordered_receive
+                && config.tls.suite.supports_out_of_order(),
+            prediction_window: 8,
+            raw: FragmentStore::new(),
+            fed_offset: 0,
+            app_start: None,
+            stats: UtlsSocketStats::default(),
+        }
+    }
+
+    /// The underlying TCP socket handle.
+    pub fn handle(&self) -> SocketHandle {
+        self.handle
+    }
+
+    /// Whether the TLS handshake has completed.
+    pub fn is_established(&self) -> bool {
+        self.session.is_established()
+    }
+
+    /// Whether out-of-order recovery is active.
+    pub fn out_of_order_active(&self) -> bool {
+        self.receiver.is_some()
+    }
+
+    /// Endpoint statistics.
+    pub fn stats(&self) -> &UtlsSocketStats {
+        &self.stats
+    }
+
+    /// Receiver statistics (header scans, MAC attempts, prediction quality).
+    pub fn receiver_stats(&self) -> Option<&minion_tls::UtlsStats> {
+        self.receiver.as_ref().map(|r| r.stats())
+    }
+
+    /// Free space in the underlying send buffer.
+    pub fn send_buffer_free(&self, host: &Host) -> usize {
+        host.tcp_send_buffer_free(self.handle).unwrap_or(0)
+    }
+
+    /// Send one datagram as a single TLS record.
+    pub fn send_datagram(&mut self, host: &mut Host, datagram: &[u8]) -> Result<(), HostError> {
+        let wire = self
+            .session
+            .seal_datagram(datagram)
+            .map_err(|_| HostError::Tcp(minion_tcp::TcpError::NotConnected))?;
+        host.tcp_write(self.handle, &wire)?;
+        self.stats.datagrams_sent += 1;
+        self.stats.payload_bytes_sent += datagram.len() as u64;
+        self.stats.wire_bytes_sent += wire.len() as u64;
+        Ok(())
+    }
+
+    /// Request an orderly close of the underlying connection.
+    pub fn close(&mut self, host: &mut Host) -> Result<(), HostError> {
+        host.tcp_close(self.handle)
+    }
+
+    /// Drain the transport and return every datagram that can be delivered.
+    pub fn recv(&mut self, host: &mut Host) -> Vec<Datagram> {
+        let mut out = Vec::new();
+        // Pull whatever the TCP socket has for us.
+        let mut chunks: Vec<(u64, Vec<u8>, bool)> = Vec::new();
+        while let Ok(Some(chunk)) = host.tcp_read(self.handle) {
+            chunks.push((chunk.offset, chunk.data.to_vec(), chunk.in_order));
+        }
+
+        for (offset, data, _in_order) in chunks {
+            if self.session.is_established() && self.receiver.is_some() {
+                self.feed_receiver(offset, &data, &mut out);
+            } else {
+                // Handshake (or fallback) path: reassemble in order.
+                self.raw.insert(offset, &data);
+                self.drive_in_order(host, &mut out);
+            }
+        }
+        out
+    }
+
+    fn drive_in_order(&mut self, host: &mut Host, out: &mut Vec<Datagram>) {
+        loop {
+            let end = self.raw.contiguous_end_from(self.fed_offset);
+            if end <= self.fed_offset {
+                break;
+            }
+            let fragment = self
+                .raw
+                .fragment_at(self.fed_offset)
+                .expect("contiguous data exists");
+            let skip = (self.fed_offset - fragment.offset) as usize;
+            let bytes = fragment.data[skip..].to_vec();
+            self.fed_offset = end;
+            let was_established = self.session.is_established();
+
+            if self.session.push_incoming(&bytes).is_err() {
+                // A malformed handshake or corrupted in-order record: stop
+                // delivering (the connection is effectively dead, as in TLS).
+                return;
+            }
+            // Send any handshake response the session produced.
+            let response = self.session.take_outgoing();
+            if !response.is_empty() {
+                self.stats.wire_bytes_sent += response.len() as u64;
+                let _ = host.tcp_write(self.handle, &response);
+            }
+
+            if self.session.is_established() {
+                if !was_established {
+                    self.on_established();
+                    if self.receiver.is_some() {
+                        // Out-of-order mode takes over: replay everything
+                        // already buffered beyond the handshake into the
+                        // receiver (it deduplicates), then stop feeding the
+                        // in-order session parser.
+                        let app_start = self.app_start.expect("set on establishment");
+                        let fragments = self.raw.fragments();
+                        for frag in fragments {
+                            if frag.end() <= app_start {
+                                continue;
+                            }
+                            let skip = app_start.saturating_sub(frag.offset) as usize;
+                            let rel = frag.offset.max(app_start) - app_start;
+                            let data = frag.data[skip..].to_vec();
+                            self.feed_receiver_relative(rel, &data, out);
+                        }
+                        return;
+                    }
+                }
+                if self.receiver.is_none() {
+                    // Stream-TLS fallback: in-order record parsing.
+                    if let Ok(records) = self.session.read_datagrams() {
+                        for payload in records {
+                            self.stats.datagrams_received += 1;
+                            out.push(Datagram { payload, out_of_order: false });
+                        }
+                    }
+                }
+            }
+            self.raw.prune_below(self.fed_offset);
+        }
+    }
+
+    fn on_established(&mut self) {
+        let app_start = self.session.rx_app_start_offset();
+        self.app_start = Some(app_start);
+        if self.unordered {
+            let protection = self
+                .session
+                .rx_protection()
+                .expect("established session has keys");
+            self.receiver = Some(UtlsReceiver::new(protection, self.prediction_window));
+        }
+    }
+
+    /// Feed a raw-stream chunk (absolute offset) to the out-of-order receiver.
+    fn feed_receiver(&mut self, offset: u64, data: &[u8], out: &mut Vec<Datagram>) {
+        let app_start = self.app_start.expect("receiver implies establishment");
+        let (rel, data) = if offset < app_start {
+            let end = offset + data.len() as u64;
+            if end <= app_start {
+                return; // entirely handshake bytes, already consumed
+            }
+            (0, &data[(app_start - offset) as usize..])
+        } else {
+            (offset - app_start, data)
+        };
+        self.feed_receiver_relative(rel, data, out);
+    }
+
+    fn feed_receiver_relative(&mut self, rel_offset: u64, data: &[u8], out: &mut Vec<Datagram>) {
+        let Some(receiver) = self.receiver.as_mut() else { return };
+        for rec in receiver.on_fragment(rel_offset, data) {
+            self.stats.datagrams_received += 1;
+            if rec.out_of_order {
+                self.stats.out_of_order_received += 1;
+            }
+            out.push(Datagram {
+                payload: rec.payload,
+                out_of_order: rec.out_of_order,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minion_simnet::{LinkConfig, LossConfig, NodeId, SimDuration};
+    use minion_stack::Sim;
+    use minion_tls::CipherSuite;
+
+    fn sim_pair(loss: LossConfig, seed: u64) -> (Sim, NodeId, NodeId) {
+        let mut sim = Sim::new(seed);
+        let a = sim.add_host("client");
+        let b = sim.add_host("server");
+        sim.link(
+            a,
+            b,
+            LinkConfig::new(10_000_000, SimDuration::from_millis(30)).with_loss(loss),
+        );
+        (sim, a, b)
+    }
+
+    fn establish(
+        sim: &mut Sim,
+        a: NodeId,
+        b: NodeId,
+        config: &MinionConfig,
+    ) -> (UtlsSocket, UtlsSocket) {
+        UtlsSocket::listen(sim.host_mut(b), 443, config).unwrap();
+        let now = sim.now();
+        let mut client = UtlsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 443), config, now);
+        sim.run_for(SimDuration::from_millis(150));
+        let mut server = UtlsSocket::accept(sim.host_mut(b), 443, config).expect("accepted");
+        // Drive the handshake: server consumes the hello and responds, client
+        // consumes the response.
+        for _ in 0..4 {
+            let _ = server.recv(sim.host_mut(b));
+            let _ = client.recv(sim.host_mut(a));
+            sim.run_for(SimDuration::from_millis(100));
+        }
+        assert!(client.is_established(), "client handshake completed");
+        assert!(server.is_established(), "server handshake completed");
+        (client, server)
+    }
+
+    #[test]
+    fn secure_datagrams_roundtrip() {
+        let (mut sim, a, b) = sim_pair(LossConfig::None, 5);
+        let config = MinionConfig::default();
+        let (mut client, mut server) = establish(&mut sim, a, b, &config);
+        assert!(client.out_of_order_active());
+        let sent: Vec<Vec<u8>> = (0..30).map(|i| vec![i as u8; 200 + i * 17]).collect();
+        for d in &sent {
+            client.send_datagram(sim.host_mut(a), d).unwrap();
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        let got = server.recv(sim.host_mut(b));
+        assert_eq!(got.len(), sent.len());
+        for (g, s) in got.iter().zip(&sent) {
+            assert_eq!(&g.payload, s);
+        }
+        // Server→client direction too.
+        server.send_datagram(sim.host_mut(b), b"response").unwrap();
+        sim.run_for(SimDuration::from_millis(500));
+        let got = client.recv(sim.host_mut(a));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, b"response");
+    }
+
+    #[test]
+    fn loss_triggers_out_of_order_recovery() {
+        // Drop one mid-stream data segment: records after it must still be
+        // delivered before the retransmission arrives.
+        let (mut sim, a, b) = sim_pair(LossConfig::Explicit { indices: vec![8] }, 6);
+        let config = MinionConfig::default();
+        let (mut client, mut server) = establish(&mut sim, a, b, &config);
+        for i in 0..12u8 {
+            client
+                .send_datagram(sim.host_mut(a), &vec![i; 1000])
+                .unwrap();
+        }
+        sim.run_for(SimDuration::from_millis(100));
+        let early = server.recv(sim.host_mut(b));
+        assert!(
+            early.iter().any(|d| d.out_of_order),
+            "records past the hole were recovered out of order: {:?}",
+            server.receiver_stats()
+        );
+        sim.run_for(SimDuration::from_secs(5));
+        let late = server.recv(sim.host_mut(b));
+        let mut firsts: Vec<u8> = early.iter().chain(late.iter()).map(|d| d.payload[0]).collect();
+        firsts.sort_unstable();
+        assert_eq!(firsts, (0..12u8).collect::<Vec<u8>>(), "every record exactly once");
+    }
+
+    #[test]
+    fn stream_tls_fallback_stays_in_order() {
+        let (mut sim, a, b) = sim_pair(LossConfig::Explicit { indices: vec![8] }, 7);
+        let config = MinionConfig::without_utcp();
+        let (mut client, mut server) = establish(&mut sim, a, b, &config);
+        assert!(!client.out_of_order_active());
+        for i in 0..12u8 {
+            client
+                .send_datagram(sim.host_mut(a), &vec![i; 1000])
+                .unwrap();
+        }
+        sim.run_for(SimDuration::from_secs(6));
+        let got = server.recv(sim.host_mut(b));
+        let firsts: Vec<u8> = got.iter().map(|d| d.payload[0]).collect();
+        assert_eq!(firsts, (0..12u8).collect::<Vec<u8>>(), "in order, complete");
+        assert!(got.iter().all(|d| !d.out_of_order));
+    }
+
+    #[test]
+    fn chained_iv_suite_disables_out_of_order_but_still_works() {
+        let (mut sim, a, b) = sim_pair(LossConfig::None, 8);
+        let config = MinionConfig::default().with_suite(CipherSuite::Aes128CbcChainedIv);
+        let (mut client, mut server) = establish(&mut sim, a, b, &config);
+        assert!(
+            !client.out_of_order_active(),
+            "TLS 1.0-style chained IVs cannot support out-of-order delivery"
+        );
+        for i in 0..5u8 {
+            client.send_datagram(sim.host_mut(a), &[i; 100]).unwrap();
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(server.recv(sim.host_mut(b)).len(), 5);
+    }
+
+    #[test]
+    fn wire_overhead_matches_tls_not_more() {
+        let (mut sim, a, b) = sim_pair(LossConfig::None, 9);
+        let config = MinionConfig::default();
+        let (mut client, _server) = establish(&mut sim, a, b, &config);
+        for _ in 0..20 {
+            client
+                .send_datagram(sim.host_mut(a), &vec![0u8; 1400])
+                .unwrap();
+        }
+        let s = client.stats();
+        let overhead =
+            (s.wire_bytes_sent as f64 - s.payload_bytes_sent as f64) / s.payload_bytes_sent as f64;
+        // The paper reports TLS overhead of up to 10%; uTLS adds nothing.
+        assert!(overhead < 0.10, "overhead={overhead}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # minion-mstcp
+//!
+//! msTCP: a simple multistreaming message protocol on top of a Minion uCOBS
+//! connection (paper §8.5).
+//!
+//! msTCP provides multiple concurrent, *individually ordered* message streams
+//! over one TCP/uTCP connection. Each application message is split into
+//! chunks; every chunk travels as one uCOBS datagram carrying a small header
+//! (stream id, chunk sequence number, flags). Because uCOBS datagrams are
+//! delivered as soon as their bytes arrive — even out of order — a lost
+//! segment delays only the chunks it carried: other streams' chunks keep
+//! flowing, which is exactly the head-of-line-blocking relief that SPDY-like
+//! multiplexing over stock TCP cannot get.
+//!
+//! The wire format is private to msTCP (it rides inside uCOBS records); the
+//! paper likewise treats msTCP as "standard techniques" and evaluates only
+//! its effect on web transfers (Figure 13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proto;
+pub mod stream;
+
+pub use proto::{Chunk, ChunkFlags, CHUNK_HEADER_LEN};
+pub use stream::{MsTcpConnection, MsTcpStats, StreamEvent, StreamId};

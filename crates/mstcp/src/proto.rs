@@ -1,0 +1,106 @@
+//! The msTCP chunk format: what one uCOBS datagram carries.
+
+/// Length of the chunk header in bytes.
+pub const CHUNK_HEADER_LEN: usize = 12;
+
+/// Per-chunk flags.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChunkFlags {
+    /// This chunk ends the current message.
+    pub end_of_message: bool,
+    /// This chunk ends the stream (no further messages will follow).
+    pub end_of_stream: bool,
+}
+
+impl ChunkFlags {
+    fn to_byte(self) -> u8 {
+        (self.end_of_message as u8) | (self.end_of_stream as u8) << 1
+    }
+
+    fn from_byte(b: u8) -> Self {
+        ChunkFlags {
+            end_of_message: b & 0x01 != 0,
+            end_of_stream: b & 0x02 != 0,
+        }
+    }
+}
+
+/// One msTCP chunk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Stream this chunk belongs to.
+    pub stream_id: u32,
+    /// Position of this chunk within its stream (0-based).
+    pub sequence: u32,
+    /// Flags.
+    pub flags: ChunkFlags,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Chunk {
+    /// Serialize the chunk into a datagram payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CHUNK_HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.stream_id.to_be_bytes());
+        out.extend_from_slice(&self.sequence.to_be_bytes());
+        out.push(self.flags.to_byte());
+        out.extend_from_slice(&[0u8; 3]); // reserved / alignment
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse a chunk from a datagram payload.
+    pub fn decode(buf: &[u8]) -> Option<Chunk> {
+        if buf.len() < CHUNK_HEADER_LEN {
+            return None;
+        }
+        Some(Chunk {
+            stream_id: u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]),
+            sequence: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            flags: ChunkFlags::from_byte(buf[8]),
+            payload: buf[CHUNK_HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let c = Chunk {
+            stream_id: 7,
+            sequence: 42,
+            flags: ChunkFlags { end_of_message: true, end_of_stream: false },
+            payload: b"hello streams".to_vec(),
+        };
+        let decoded = Chunk::decode(&c.encode()).unwrap();
+        assert_eq!(decoded, c);
+    }
+
+    #[test]
+    fn roundtrip_empty_payload_and_all_flags() {
+        let c = Chunk {
+            stream_id: u32::MAX,
+            sequence: 0,
+            flags: ChunkFlags { end_of_message: true, end_of_stream: true },
+            payload: vec![],
+        };
+        assert_eq!(Chunk::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn flags_byte_roundtrip() {
+        for b in 0..4u8 {
+            assert_eq!(ChunkFlags::from_byte(b).to_byte(), b);
+        }
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(Chunk::decode(&[0u8; 5]).is_none());
+        assert!(Chunk::decode(&[]).is_none());
+    }
+}

@@ -1,0 +1,304 @@
+//! The `World`: topology (nodes + links) and the in-flight packet event queue.
+//!
+//! The world is deliberately dumb: it moves packets across single links and
+//! tells the caller when each packet arrives at the link's far end. Hosts,
+//! routing, and transport protocols live in higher-level crates
+//! (`minion-stack`, `minion-tcp`); they drive the world by calling
+//! [`World::send`] and draining [`World::pop_due`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::link::{Link, LinkConfig, LinkStats, TransmitOutcome};
+use crate::packet::{NodeId, Packet};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Outcome of handing a packet to the world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Will be delivered to the destination node at the given time.
+    Scheduled(SimTime),
+    /// Dropped by the link's drop-tail queue.
+    DroppedQueue,
+    /// Dropped by the link's loss model.
+    DroppedLoss,
+    /// There is no link from the packet's `src` to its `dst`.
+    NoRoute,
+}
+
+impl SendOutcome {
+    /// True if the packet will eventually arrive.
+    pub fn is_scheduled(&self) -> bool {
+        matches!(self, SendOutcome::Scheduled(_))
+    }
+}
+
+#[derive(Debug)]
+struct Arrival {
+    at: SimTime,
+    seq: u64,
+    packet: Packet,
+}
+
+impl PartialEq for Arrival {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Arrival {}
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulated network: nodes, links, and packets in flight.
+pub struct World {
+    node_names: Vec<String>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    in_flight: BinaryHeap<Reverse<Arrival>>,
+    rng: SimRng,
+    next_packet_id: u64,
+    next_seq: u64,
+    delivered: u64,
+}
+
+impl World {
+    /// Create an empty world whose loss models derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        World {
+            node_names: Vec::new(),
+            links: HashMap::new(),
+            in_flight: BinaryHeap::new(),
+            rng: SimRng::new(seed),
+            next_packet_id: 1,
+            next_seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Register a node and return its identifier.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(name.into());
+        id
+    }
+
+    /// The number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The human-readable name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.index()]
+    }
+
+    /// Add a unidirectional link from `a` to `b`.
+    pub fn add_simplex_link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        let rng = self
+            .rng
+            .fork(&format!("link-{}-{}-{}", a.0, b.0, self.links.len()));
+        self.links.insert((a, b), Link::new(config, rng));
+    }
+
+    /// Add a bidirectional link with identical characteristics each way.
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        self.add_simplex_link(a, b, config.clone());
+        self.add_simplex_link(b, a, config);
+    }
+
+    /// Add a bidirectional link with asymmetric characteristics (e.g. a
+    /// residential connection with different download and upload rates).
+    pub fn add_asymmetric_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        a_to_b: LinkConfig,
+        b_to_a: LinkConfig,
+    ) {
+        self.add_simplex_link(a, b, a_to_b);
+        self.add_simplex_link(b, a, b_to_a);
+    }
+
+    /// Whether a link from `a` to `b` exists.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.links.contains_key(&(a, b))
+    }
+
+    /// Link statistics for the `a -> b` direction, if that link exists.
+    pub fn link_stats(&self, a: NodeId, b: NodeId) -> Option<&LinkStats> {
+        self.links.get(&(a, b)).map(|l| l.stats())
+    }
+
+    /// Current backlog of the `a -> b` link in bytes.
+    pub fn link_backlog(&self, a: NodeId, b: NodeId, now: SimTime) -> Option<usize> {
+        self.links.get(&(a, b)).map(|l| l.backlog_bytes(now))
+    }
+
+    /// Offer a packet to the link from `packet.src` to `packet.dst` at `now`.
+    pub fn send(&mut self, now: SimTime, mut packet: Packet) -> SendOutcome {
+        let key = (packet.src, packet.dst);
+        let Some(link) = self.links.get_mut(&key) else {
+            return SendOutcome::NoRoute;
+        };
+        if packet.id == 0 {
+            packet.id = self.next_packet_id;
+            self.next_packet_id += 1;
+        }
+        match link.transmit(now, &packet) {
+            TransmitOutcome::Delivered(at) => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.in_flight.push(Reverse(Arrival { at, seq, packet }));
+                SendOutcome::Scheduled(at)
+            }
+            TransmitOutcome::DroppedQueue => SendOutcome::DroppedQueue,
+            TransmitOutcome::DroppedLoss => SendOutcome::DroppedLoss,
+        }
+    }
+
+    /// The arrival time of the next in-flight packet, if any.
+    pub fn next_arrival_time(&self) -> Option<SimTime> {
+        self.in_flight.peek().map(|Reverse(a)| a.at)
+    }
+
+    /// Pop the next packet whose arrival time is `<= now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, Packet)> {
+        if let Some(Reverse(a)) = self.in_flight.peek() {
+            if a.at <= now {
+                let Reverse(a) = self.in_flight.pop().expect("peeked");
+                self.delivered += 1;
+                return Some((a.at, a.packet));
+            }
+        }
+        None
+    }
+
+    /// Pop the globally next packet regardless of time (advancing time to it
+    /// is the caller's responsibility).
+    pub fn pop_next(&mut self) -> Option<(SimTime, Packet)> {
+        self.in_flight.pop().map(|Reverse(a)| {
+            self.delivered += 1;
+            (a.at, a.packet)
+        })
+    }
+
+    /// Number of packets currently in flight.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Total packets delivered to their destination so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossConfig;
+    use crate::time::SimDuration;
+
+    fn two_node_world(cfg: LinkConfig) -> (World, NodeId, NodeId) {
+        let mut w = World::new(7);
+        let a = w.add_node("a");
+        let b = w.add_node("b");
+        w.add_duplex_link(a, b, cfg);
+        (w, a, b)
+    }
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let (mut w, a, b) = two_node_world(LinkConfig::new(
+            8_000_000,
+            SimDuration::from_millis(5),
+        ));
+        for i in 0..3u8 {
+            let out = w.send(SimTime::ZERO, Packet::new(a, b, vec![i; 100]));
+            assert!(out.is_scheduled());
+        }
+        assert_eq!(w.in_flight_count(), 3);
+        let mut got = vec![];
+        let mut t = SimTime::ZERO;
+        while let Some((at, p)) = w.pop_next() {
+            assert!(at >= t, "arrivals must be time-ordered");
+            t = at;
+            got.push(p.payload[0]);
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(w.delivered_count(), 3);
+    }
+
+    #[test]
+    fn no_route_between_unlinked_nodes() {
+        let mut w = World::new(1);
+        let a = w.add_node("a");
+        let b = w.add_node("b");
+        let c = w.add_node("c");
+        w.add_duplex_link(a, b, LinkConfig::ideal());
+        let out = w.send(SimTime::ZERO, Packet::new(a, c, vec![0u8; 10]));
+        assert_eq!(out, SendOutcome::NoRoute);
+        assert!(w.has_link(a, b));
+        assert!(!w.has_link(a, c));
+    }
+
+    #[test]
+    fn pop_due_respects_time() {
+        let (mut w, a, b) = two_node_world(LinkConfig::new(
+            1_000_000,
+            SimDuration::from_millis(50),
+        ));
+        w.send(SimTime::ZERO, Packet::new(a, b, vec![0u8; 100]));
+        assert!(w.pop_due(SimTime::from_millis(10)).is_none());
+        let arrival = w.next_arrival_time().unwrap();
+        assert!(w.pop_due(arrival).is_some());
+    }
+
+    #[test]
+    fn loss_is_reflected_in_outcome_and_stats() {
+        let cfg = LinkConfig::ideal().with_loss(LossConfig::Explicit { indices: vec![1] });
+        let (mut w, a, b) = two_node_world(cfg);
+        let out1 = w.send(SimTime::ZERO, Packet::new(a, b, vec![0u8; 10]));
+        let out2 = w.send(SimTime::ZERO, Packet::new(a, b, vec![0u8; 10]));
+        assert_eq!(out1, SendOutcome::DroppedLoss);
+        assert!(out2.is_scheduled());
+        assert_eq!(w.link_stats(a, b).unwrap().dropped_loss, 1);
+    }
+
+    #[test]
+    fn asymmetric_links_have_independent_rates() {
+        let mut w = World::new(3);
+        let a = w.add_node("client");
+        let b = w.add_node("server");
+        w.add_asymmetric_link(
+            a,
+            b,
+            LinkConfig::new(500_000, SimDuration::ZERO),   // upload
+            LinkConfig::new(3_000_000, SimDuration::ZERO), // download
+        );
+        let up = w.send(SimTime::ZERO, Packet::new(a, b, vec![0u8; 960]));
+        let down = w.send(SimTime::ZERO, Packet::new(b, a, vec![0u8; 960]));
+        let (SendOutcome::Scheduled(t_up), SendOutcome::Scheduled(t_down)) = (up, down) else {
+            panic!("both should be scheduled");
+        };
+        assert!(t_up > t_down, "upload is slower than download");
+    }
+
+    #[test]
+    fn packet_ids_are_assigned_monotonically() {
+        let (mut w, a, b) = two_node_world(LinkConfig::ideal());
+        w.send(SimTime::ZERO, Packet::new(a, b, vec![1]));
+        w.send(SimTime::ZERO, Packet::new(a, b, vec![2]));
+        let (_, p1) = w.pop_next().unwrap();
+        let (_, p2) = w.pop_next().unwrap();
+        assert!(p2.id > p1.id);
+    }
+}

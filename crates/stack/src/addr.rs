@@ -1,0 +1,64 @@
+//! Addressing: a socket address is a simulated node plus a port.
+
+use minion_simnet::NodeId;
+use std::fmt;
+
+/// A (node, port) pair identifying one end of a connection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SocketAddr {
+    /// The simulated host.
+    pub node: NodeId,
+    /// The transport port on that host.
+    pub port: u16,
+}
+
+impl SocketAddr {
+    /// Construct an address.
+    pub fn new(node: NodeId, port: u16) -> Self {
+        SocketAddr { node, port }
+    }
+}
+
+impl fmt::Debug for SocketAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+impl fmt::Display for SocketAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// Handle identifying a socket within one host.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SocketHandle(pub u32);
+
+impl fmt::Debug for SocketHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sock#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let a = SocketAddr::new(NodeId(2), 443);
+        assert_eq!(format!("{a}"), "n2:443");
+        assert_eq!(format!("{:?}", SocketHandle(7)), "sock#7");
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SocketAddr::new(NodeId(1), 80));
+        assert!(set.contains(&SocketAddr::new(NodeId(1), 80)));
+        assert!(!set.contains(&SocketAddr::new(NodeId(1), 81)));
+        assert!(!set.contains(&SocketAddr::new(NodeId(2), 80)));
+    }
+}

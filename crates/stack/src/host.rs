@@ -1,0 +1,542 @@
+//! A simulated end host: sockets, port demultiplexing, and a BSD-sockets-like
+//! API (listen / connect / accept / read / write / setsockopt) over the
+//! userspace TCP and UDP implementations.
+
+use crate::addr::{SocketAddr, SocketHandle};
+use crate::wire::TransportPacket;
+use bytes::Bytes;
+use minion_simnet::{NodeId, Packet, SimTime};
+use minion_tcp::{
+    ConnStats, DeliveredChunk, SocketOptions, TcpConfig, TcpConnection, TcpError, TcpState,
+    WriteMeta,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Errors from the host socket API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostError {
+    /// The handle does not name a socket on this host.
+    BadHandle,
+    /// The operation applies to a different socket type.
+    WrongSocketType,
+    /// The port is already in use.
+    PortInUse,
+    /// The underlying TCP connection rejected the operation.
+    Tcp(TcpError),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::BadHandle => write!(f, "unknown socket handle"),
+            HostError::WrongSocketType => write!(f, "operation not valid for this socket type"),
+            HostError::PortInUse => write!(f, "port already in use"),
+            HostError::Tcp(e) => write!(f, "tcp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl From<TcpError> for HostError {
+    fn from(e: TcpError) -> Self {
+        HostError::Tcp(e)
+    }
+}
+
+struct TcpSocket {
+    conn: TcpConnection,
+    remote: SocketAddr,
+}
+
+struct UdpSocket {
+    local_port: u16,
+    recv_queue: VecDeque<(SocketAddr, Bytes)>,
+}
+
+enum Socket {
+    Tcp(TcpSocket),
+    Udp(UdpSocket),
+}
+
+struct Listener {
+    config: TcpConfig,
+    options: SocketOptions,
+    /// Connections created by incoming SYNs, awaiting `accept()`.
+    pending: VecDeque<SocketHandle>,
+}
+
+/// A simulated host with its own port space and sockets.
+pub struct Host {
+    node: NodeId,
+    name: String,
+    sockets: HashMap<SocketHandle, Socket>,
+    listeners: HashMap<u16, Listener>,
+    /// Demux table for established/opening TCP connections.
+    tcp_tuples: HashMap<(u16, NodeId, u16), SocketHandle>,
+    udp_ports: HashMap<u16, SocketHandle>,
+    next_handle: u32,
+    next_ephemeral_port: u16,
+    /// Packets waiting to be handed to the simulator.
+    outbox: Vec<Packet>,
+}
+
+impl Host {
+    /// Create a host bound to the given simulated node.
+    pub fn new(node: NodeId, name: impl Into<String>) -> Self {
+        Host {
+            node,
+            name: name.into(),
+            sockets: HashMap::new(),
+            listeners: HashMap::new(),
+            tcp_tuples: HashMap::new(),
+            udp_ports: HashMap::new(),
+            next_handle: 1,
+            next_ephemeral_port: 40_000,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// The node this host is attached to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The host's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn alloc_handle(&mut self) -> SocketHandle {
+        let h = SocketHandle(self.next_handle);
+        self.next_handle += 1;
+        h
+    }
+
+    fn alloc_ephemeral_port(&mut self) -> u16 {
+        loop {
+            let p = self.next_ephemeral_port;
+            self.next_ephemeral_port = self.next_ephemeral_port.wrapping_add(1).max(40_000);
+            let used = self.udp_ports.contains_key(&p)
+                || self.listeners.contains_key(&p)
+                || self.tcp_tuples.keys().any(|(lp, _, _)| *lp == p);
+            if !used {
+                return p;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // TCP API
+    // ------------------------------------------------------------------
+
+    /// Start listening for TCP connections on `port`. Incoming connections
+    /// inherit `config` and `options` and are surfaced via [`Host::accept`].
+    pub fn tcp_listen(
+        &mut self,
+        port: u16,
+        config: TcpConfig,
+        options: SocketOptions,
+    ) -> Result<(), HostError> {
+        if self.listeners.contains_key(&port) {
+            return Err(HostError::PortInUse);
+        }
+        self.listeners.insert(
+            port,
+            Listener {
+                config,
+                options,
+                pending: VecDeque::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Open a TCP connection to `remote`, returning the socket handle. The
+    /// SYN is emitted on the next poll.
+    pub fn tcp_connect(
+        &mut self,
+        remote: SocketAddr,
+        config: TcpConfig,
+        options: SocketOptions,
+        now: SimTime,
+    ) -> SocketHandle {
+        let local_port = self.alloc_ephemeral_port();
+        let mut conn = TcpConnection::new(local_port, remote.port, config, options);
+        conn.open(now);
+        let handle = self.alloc_handle();
+        self.tcp_tuples.insert((local_port, remote.node, remote.port), handle);
+        self.sockets.insert(handle, Socket::Tcp(TcpSocket { conn, remote }));
+        handle
+    }
+
+    /// Accept the next pending connection on a listening port, if any.
+    /// The returned connection may still be completing its handshake.
+    pub fn accept(&mut self, port: u16) -> Option<SocketHandle> {
+        self.listeners.get_mut(&port)?.pending.pop_front()
+    }
+
+    fn tcp_socket_mut(&mut self, handle: SocketHandle) -> Result<&mut TcpSocket, HostError> {
+        match self.sockets.get_mut(&handle) {
+            Some(Socket::Tcp(t)) => Ok(t),
+            Some(_) => Err(HostError::WrongSocketType),
+            None => Err(HostError::BadHandle),
+        }
+    }
+
+    fn tcp_socket(&self, handle: SocketHandle) -> Result<&TcpSocket, HostError> {
+        match self.sockets.get(&handle) {
+            Some(Socket::Tcp(t)) => Ok(t),
+            Some(_) => Err(HostError::WrongSocketType),
+            None => Err(HostError::BadHandle),
+        }
+    }
+
+    /// Write data on a TCP socket.
+    pub fn tcp_write(&mut self, handle: SocketHandle, data: &[u8]) -> Result<usize, HostError> {
+        Ok(self.tcp_socket_mut(handle)?.conn.write(data)?)
+    }
+
+    /// Write data with uTCP metadata (priority / squash).
+    pub fn tcp_write_meta(
+        &mut self,
+        handle: SocketHandle,
+        data: &[u8],
+        meta: WriteMeta,
+    ) -> Result<usize, HostError> {
+        Ok(self.tcp_socket_mut(handle)?.conn.write_with_meta(data, meta)?)
+    }
+
+    /// Read the next delivered chunk from a TCP socket.
+    pub fn tcp_read(&mut self, handle: SocketHandle) -> Result<Option<DeliveredChunk>, HostError> {
+        Ok(self.tcp_socket_mut(handle)?.conn.read())
+    }
+
+    /// Whether a TCP socket has data ready.
+    pub fn tcp_readable(&self, handle: SocketHandle) -> Result<bool, HostError> {
+        Ok(self.tcp_socket(handle)?.conn.readable())
+    }
+
+    /// Request an orderly close.
+    pub fn tcp_close(&mut self, handle: SocketHandle) -> Result<(), HostError> {
+        self.tcp_socket_mut(handle)?.conn.close();
+        Ok(())
+    }
+
+    /// Change uTCP socket options (the `setsockopt` calls of §4).
+    pub fn tcp_set_options(
+        &mut self,
+        handle: SocketHandle,
+        options: SocketOptions,
+    ) -> Result<(), HostError> {
+        self.tcp_socket_mut(handle)?.conn.set_options(options);
+        Ok(())
+    }
+
+    /// The connection's state.
+    pub fn tcp_state(&self, handle: SocketHandle) -> Result<TcpState, HostError> {
+        Ok(self.tcp_socket(handle)?.conn.state())
+    }
+
+    /// Whether the connection has completed its handshake.
+    pub fn tcp_established(&self, handle: SocketHandle) -> Result<bool, HostError> {
+        Ok(self.tcp_socket(handle)?.conn.is_established())
+    }
+
+    /// Connection statistics.
+    pub fn tcp_stats(&self, handle: SocketHandle) -> Result<&ConnStats, HostError> {
+        Ok(self.tcp_socket(handle)?.conn.stats())
+    }
+
+    /// Free space in the connection's send buffer.
+    pub fn tcp_send_buffer_free(&self, handle: SocketHandle) -> Result<usize, HostError> {
+        Ok(self.tcp_socket(handle)?.conn.send_buffer_free())
+    }
+
+    /// Bytes queued in the connection's send buffer (sent but unacknowledged
+    /// plus not yet sent).
+    pub fn tcp_send_buffer_len(&self, handle: SocketHandle) -> Result<usize, HostError> {
+        Ok(self.tcp_socket(handle)?.conn.send_buffer_len())
+    }
+
+    /// The remote address of a TCP socket.
+    pub fn tcp_peer(&self, handle: SocketHandle) -> Result<SocketAddr, HostError> {
+        Ok(self.tcp_socket(handle)?.remote)
+    }
+
+    /// Direct access to the underlying connection (used by experiment
+    /// instrumentation; not part of the portable API).
+    pub fn tcp_connection(&self, handle: SocketHandle) -> Result<&TcpConnection, HostError> {
+        Ok(&self.tcp_socket(handle)?.conn)
+    }
+
+    // ------------------------------------------------------------------
+    // UDP API
+    // ------------------------------------------------------------------
+
+    /// Bind a UDP socket to `port` (0 picks an ephemeral port).
+    pub fn udp_bind(&mut self, port: u16) -> Result<SocketHandle, HostError> {
+        let port = if port == 0 { self.alloc_ephemeral_port() } else { port };
+        if self.udp_ports.contains_key(&port) {
+            return Err(HostError::PortInUse);
+        }
+        let handle = self.alloc_handle();
+        self.udp_ports.insert(port, handle);
+        self.sockets.insert(
+            handle,
+            Socket::Udp(UdpSocket {
+                local_port: port,
+                recv_queue: VecDeque::new(),
+            }),
+        );
+        Ok(handle)
+    }
+
+    /// The local port of a UDP socket.
+    pub fn udp_local_port(&self, handle: SocketHandle) -> Result<u16, HostError> {
+        match self.sockets.get(&handle) {
+            Some(Socket::Udp(u)) => Ok(u.local_port),
+            Some(_) => Err(HostError::WrongSocketType),
+            None => Err(HostError::BadHandle),
+        }
+    }
+
+    /// Send a UDP datagram to `remote`.
+    pub fn udp_send_to(
+        &mut self,
+        handle: SocketHandle,
+        remote: SocketAddr,
+        data: &[u8],
+    ) -> Result<(), HostError> {
+        let local_port = self.udp_local_port(handle)?;
+        let tp = TransportPacket::Udp {
+            src_port: local_port,
+            dst_port: remote.port,
+            payload: Bytes::copy_from_slice(data),
+        };
+        let pkt = Packet::routed(self.node, remote.node, self.node, remote.node, tp.encode());
+        self.outbox.push(pkt);
+        Ok(())
+    }
+
+    /// Receive the next queued UDP datagram, if any.
+    pub fn udp_recv(
+        &mut self,
+        handle: SocketHandle,
+    ) -> Result<Option<(SocketAddr, Bytes)>, HostError> {
+        match self.sockets.get_mut(&handle) {
+            Some(Socket::Udp(u)) => Ok(u.recv_queue.pop_front()),
+            Some(_) => Err(HostError::WrongSocketType),
+            None => Err(HostError::BadHandle),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Packet processing and polling
+    // ------------------------------------------------------------------
+
+    /// Process a packet delivered to this host.
+    pub fn on_packet(&mut self, packet: &Packet, now: SimTime) {
+        let Some(tp) = TransportPacket::decode(&packet.payload) else {
+            return;
+        };
+        match tp {
+            TransportPacket::Tcp(seg) => self.on_tcp_segment(seg, packet.origin, now),
+            TransportPacket::Udp { src_port, dst_port, payload } => {
+                if let Some(&handle) = self.udp_ports.get(&dst_port) {
+                    if let Some(Socket::Udp(u)) = self.sockets.get_mut(&handle) {
+                        u.recv_queue
+                            .push_back((SocketAddr::new(packet.origin, src_port), payload));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_tcp_segment(&mut self, seg: minion_tcp::TcpSegment, from: NodeId, now: SimTime) {
+        let key = (seg.dst_port, from, seg.src_port);
+        if let Some(&handle) = self.tcp_tuples.get(&key) {
+            if let Some(Socket::Tcp(t)) = self.sockets.get_mut(&handle) {
+                t.conn.on_segment(&seg, now);
+            }
+            return;
+        }
+        // No existing connection: maybe a SYN for a listening port.
+        if seg.flags.syn && !seg.flags.ack {
+            if let Some(listener) = self.listeners.get(&seg.dst_port) {
+                let config = listener.config.clone();
+                let options = listener.options;
+                let mut conn = TcpConnection::new(seg.dst_port, seg.src_port, config, options);
+                conn.listen();
+                conn.on_segment(&seg, now);
+                let handle = self.alloc_handle();
+                let remote = SocketAddr::new(from, seg.src_port);
+                self.tcp_tuples.insert(key, handle);
+                self.sockets.insert(handle, Socket::Tcp(TcpSocket { conn, remote }));
+                self.listeners
+                    .get_mut(&seg.dst_port)
+                    .expect("listener exists")
+                    .pending
+                    .push_back(handle);
+            }
+        }
+    }
+
+    /// Poll all sockets for outgoing packets and timer work.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut out = std::mem::take(&mut self.outbox);
+        let node = self.node;
+        for socket in self.sockets.values_mut() {
+            if let Socket::Tcp(t) = socket {
+                for seg in t.conn.poll(now) {
+                    let tp = TransportPacket::Tcp(seg);
+                    out.push(Packet::routed(
+                        node,
+                        t.remote.node,
+                        node,
+                        t.remote.node,
+                        tp.encode(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// The earliest timer across all sockets.
+    pub fn next_timer(&self) -> Option<SimTime> {
+        self.sockets
+            .values()
+            .filter_map(|s| match s {
+                Socket::Tcp(t) => t.conn.next_timer(),
+                Socket::Udp(_) => None,
+            })
+            .min()
+    }
+
+    /// Whether any socket has pending outbound packets queued.
+    pub fn has_pending_output(&self) -> bool {
+        !self.outbox.is_empty()
+    }
+
+    /// All TCP socket handles on this host (diagnostics / experiments).
+    pub fn tcp_handles(&self) -> Vec<SocketHandle> {
+        let mut v: Vec<SocketHandle> = self
+            .sockets
+            .iter()
+            .filter(|(_, s)| matches!(s, Socket::Tcp(_)))
+            .map(|(h, _)| *h)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> Host {
+        Host::new(NodeId(0), "h0")
+    }
+
+    #[test]
+    fn udp_bind_and_port_conflicts() {
+        let mut h = host();
+        let a = h.udp_bind(5000).unwrap();
+        assert_eq!(h.udp_local_port(a).unwrap(), 5000);
+        assert_eq!(h.udp_bind(5000), Err(HostError::PortInUse));
+        let b = h.udp_bind(0).unwrap();
+        assert!(h.udp_local_port(b).unwrap() >= 40_000);
+    }
+
+    #[test]
+    fn udp_send_produces_packet_and_recv_round_trips() {
+        let mut sender = Host::new(NodeId(0), "a");
+        let mut receiver = Host::new(NodeId(1), "b");
+        let s = sender.udp_bind(1111).unwrap();
+        let r = receiver.udp_bind(2222).unwrap();
+        sender
+            .udp_send_to(s, SocketAddr::new(NodeId(1), 2222), b"ping")
+            .unwrap();
+        let pkts = sender.poll(SimTime::ZERO);
+        assert_eq!(pkts.len(), 1);
+        receiver.on_packet(&pkts[0], SimTime::ZERO);
+        let (from, data) = receiver.udp_recv(r).unwrap().unwrap();
+        assert_eq!(from, SocketAddr::new(NodeId(0), 1111));
+        assert_eq!(&data[..], b"ping");
+        assert!(receiver.udp_recv(r).unwrap().is_none());
+    }
+
+    #[test]
+    fn tcp_listen_rejects_duplicate_port() {
+        let mut h = host();
+        h.tcp_listen(80, TcpConfig::default(), SocketOptions::standard()).unwrap();
+        assert_eq!(
+            h.tcp_listen(80, TcpConfig::default(), SocketOptions::standard()),
+            Err(HostError::PortInUse)
+        );
+    }
+
+    #[test]
+    fn bad_handles_are_rejected() {
+        let mut h = host();
+        let bogus = SocketHandle(999);
+        assert_eq!(h.tcp_write(bogus, b"x"), Err(HostError::BadHandle));
+        assert_eq!(h.tcp_readable(bogus), Err(HostError::BadHandle));
+        assert_eq!(h.udp_recv(bogus), Err(HostError::BadHandle));
+        let udp = h.udp_bind(0).unwrap();
+        assert_eq!(h.tcp_write(udp, b"x"), Err(HostError::WrongSocketType));
+    }
+
+    #[test]
+    fn tcp_connect_accept_handshake_via_manual_packet_exchange() {
+        let mut client = Host::new(NodeId(0), "client");
+        let mut server = Host::new(NodeId(1), "server");
+        server
+            .tcp_listen(80, TcpConfig::default(), SocketOptions::standard())
+            .unwrap();
+        let ch = client.tcp_connect(
+            SocketAddr::new(NodeId(1), 80),
+            TcpConfig::default(),
+            SocketOptions::standard(),
+            SimTime::ZERO,
+        );
+        // Exchange packets back and forth for a few rounds.
+        let mut t = SimTime::ZERO;
+        for _ in 0..6 {
+            for p in client.poll(t) {
+                server.on_packet(&p, t);
+            }
+            for p in server.poll(t) {
+                client.on_packet(&p, t);
+            }
+            t = t + minion_simnet::SimDuration::from_millis(10);
+        }
+        let sh = server.accept(80).expect("pending connection");
+        assert!(client.tcp_established(ch).unwrap());
+        assert!(server.tcp_established(sh).unwrap());
+        assert!(server.accept(80).is_none(), "only one connection pending");
+
+        // Data flows both ways.
+        client.tcp_write(ch, b"hello server").unwrap();
+        server.tcp_write(sh, b"hello client").unwrap();
+        for _ in 0..6 {
+            for p in client.poll(t) {
+                server.on_packet(&p, t);
+            }
+            for p in server.poll(t) {
+                client.on_packet(&p, t);
+            }
+            t = t + minion_simnet::SimDuration::from_millis(10);
+        }
+        assert_eq!(
+            server.tcp_read(sh).unwrap().unwrap().data.as_ref(),
+            b"hello server"
+        );
+        assert_eq!(
+            client.tcp_read(ch).unwrap().unwrap().data.as_ref(),
+            b"hello client"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # minion-stack
+//!
+//! Simulated end hosts and the simulation driver for the Minion
+//! reproduction: a BSD-sockets-like API (listen / connect / accept / read /
+//! write / setsockopt) over the userspace TCP (`minion-tcp`) and a simple
+//! UDP, port demultiplexing, transparent middleboxes that re-segment or
+//! coalesce TCP streams, and prebuilt topologies matching the paper's
+//! testbed (§7–§8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod host;
+pub mod middlebox;
+pub mod scenario;
+pub mod sim;
+pub mod wire;
+
+pub use addr::{SocketAddr, SocketHandle};
+pub use host::{Host, HostError};
+pub use middlebox::{Middlebox, MiddleboxBehavior, MiddleboxStats};
+pub use scenario::{residential, two_hosts, BottleneckConfig, ResidentialConfig, TwoHostScenario};
+pub use sim::Sim;
+pub use wire::{TransportPacket, PROTO_TCP, PROTO_UDP};

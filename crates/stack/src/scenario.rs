@@ -1,0 +1,184 @@
+//! Prebuilt topologies matching the paper's experimental setups (§8).
+//!
+//! Every evaluation scenario in the paper uses two end hosts with a dummynet
+//! node emulating the bottleneck. These builders create the equivalent
+//! simulated topologies with the exact parameters quoted in the paper.
+
+use crate::sim::Sim;
+use minion_simnet::{LinkConfig, LossConfig, NodeId, SimDuration};
+
+/// A constructed two-host scenario.
+pub struct TwoHostScenario {
+    /// The simulation object.
+    pub sim: Sim,
+    /// The client-side host (typically the receiver of the bulk download).
+    pub client: NodeId,
+    /// The server-side host.
+    pub server: NodeId,
+}
+
+/// Parameters of a symmetric bottleneck path.
+#[derive(Clone, Debug)]
+pub struct BottleneckConfig {
+    /// Bottleneck rate in bits/second (both directions).
+    pub rate_bps: u64,
+    /// One-way propagation delay (RTT is twice this).
+    pub one_way_delay: SimDuration,
+    /// Random loss rate in each direction (e.g. `0.01` for 1%).
+    pub loss_rate: f64,
+    /// Bottleneck queue size in bytes.
+    pub queue_bytes: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for BottleneckConfig {
+    fn default() -> Self {
+        // The paper's most common path: 60 ms RTT.
+        BottleneckConfig {
+            rate_bps: 10_000_000,
+            one_way_delay: SimDuration::from_millis(30),
+            loss_rate: 0.0,
+            queue_bytes: 64 * 1024,
+            seed: 1,
+        }
+    }
+}
+
+impl BottleneckConfig {
+    /// The bulk-transfer path of §8.1: 60 ms RTT with a configurable loss rate.
+    pub fn bulk_transfer(loss_rate: f64, seed: u64) -> Self {
+        BottleneckConfig {
+            rate_bps: 10_000_000,
+            one_way_delay: SimDuration::from_millis(30),
+            loss_rate,
+            queue_bytes: 128 * 1024,
+            seed,
+        }
+    }
+
+    /// The conferencing path of §8.2: 3 Mbps, 60 ms RTT, drop-tail queue; all
+    /// loss comes from contention.
+    pub fn conferencing(seed: u64) -> Self {
+        BottleneckConfig {
+            rate_bps: 3_000_000,
+            one_way_delay: SimDuration::from_millis(30),
+            loss_rate: 0.0,
+            queue_bytes: 32 * 1024,
+            seed,
+        }
+    }
+
+    /// The web path of §8.5: 1.5 Mbps each way, 60 ms RTT.
+    pub fn web(seed: u64) -> Self {
+        BottleneckConfig {
+            rate_bps: 1_500_000,
+            one_way_delay: SimDuration::from_millis(30),
+            loss_rate: 0.0,
+            queue_bytes: 32 * 1024,
+            seed,
+        }
+    }
+}
+
+/// Build a symmetric two-host bottleneck topology.
+pub fn two_hosts(config: &BottleneckConfig) -> TwoHostScenario {
+    let mut sim = Sim::new(config.seed);
+    let client = sim.add_host("client");
+    let server = sim.add_host("server");
+    let link = LinkConfig::new(config.rate_bps, config.one_way_delay)
+        .with_queue_bytes(config.queue_bytes)
+        .with_loss(LossConfig::from_rate(config.loss_rate));
+    sim.link(client, server, link);
+    TwoHostScenario { sim, client, server }
+}
+
+/// Parameters of the residential (asymmetric) path used by the VPN
+/// experiments of §8.4: 3 Mbps down, 0.5 Mbps up, 60 ms RTT.
+#[derive(Clone, Debug)]
+pub struct ResidentialConfig {
+    /// Downstream (server→client) rate in bits/second.
+    pub down_bps: u64,
+    /// Upstream (client→server) rate in bits/second.
+    pub up_bps: u64,
+    /// One-way propagation delay.
+    pub one_way_delay: SimDuration,
+    /// Queue size in bytes for each direction.
+    pub queue_bytes: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for ResidentialConfig {
+    fn default() -> Self {
+        ResidentialConfig {
+            down_bps: 3_000_000,
+            up_bps: 500_000,
+            one_way_delay: SimDuration::from_millis(30),
+            queue_bytes: 32 * 1024,
+            seed: 1,
+        }
+    }
+}
+
+/// Build the asymmetric residential topology: `client` is behind the slow
+/// uplink, `server` is the remote end.
+pub fn residential(config: &ResidentialConfig) -> TwoHostScenario {
+    let mut sim = Sim::new(config.seed);
+    let client = sim.add_host("client");
+    let server = sim.add_host("server");
+    let up = LinkConfig::new(config.up_bps, config.one_way_delay)
+        .with_queue_bytes(config.queue_bytes);
+    let down = LinkConfig::new(config.down_bps, config.one_way_delay)
+        .with_queue_bytes(config.queue_bytes);
+    sim.link_asymmetric(client, server, up, down);
+    TwoHostScenario { sim, client, server }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::SocketAddr;
+    use minion_simnet::SimTime;
+    use minion_tcp::{SocketOptions, TcpConfig};
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let c = BottleneckConfig::conferencing(1);
+        assert_eq!(c.rate_bps, 3_000_000);
+        assert_eq!(c.one_way_delay, SimDuration::from_millis(30));
+        let w = BottleneckConfig::web(1);
+        assert_eq!(w.rate_bps, 1_500_000);
+        let r = ResidentialConfig::default();
+        assert_eq!(r.down_bps, 3_000_000);
+        assert_eq!(r.up_bps, 500_000);
+    }
+
+    #[test]
+    fn two_hosts_scenario_carries_traffic() {
+        let mut s = two_hosts(&BottleneckConfig::default());
+        let server = s.server;
+        let client = s.client;
+        s.sim
+            .host_mut(server)
+            .tcp_listen(80, TcpConfig::default(), SocketOptions::standard())
+            .unwrap();
+        let ch = s.sim.host_mut(client).tcp_connect(
+            SocketAddr::new(server, 80),
+            TcpConfig::default(),
+            SocketOptions::standard(),
+            SimTime::ZERO,
+        );
+        s.sim.run_for(SimDuration::from_millis(500));
+        assert!(s.sim.host(client).tcp_established(ch).unwrap());
+    }
+
+    #[test]
+    fn residential_uplink_is_slower_than_downlink() {
+        let s = residential(&ResidentialConfig::default());
+        // Verified indirectly through the link configuration applied above;
+        // here we simply confirm both directions exist.
+        assert!(s.sim.link_stats(s.client, s.server).is_some());
+        assert!(s.sim.link_stats(s.server, s.client).is_some());
+    }
+}

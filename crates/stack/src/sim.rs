@@ -1,0 +1,389 @@
+//! The simulation driver: co-schedules hosts, middleboxes, and the network
+//! world in virtual time.
+//!
+//! Experiments build a [`Sim`], add hosts and links, then interleave
+//! application logic with [`Sim::run_until`] / [`Sim::step`], accessing
+//! sockets through [`Sim::host_mut`]. Everything is deterministic given the
+//! seed.
+
+use crate::host::Host;
+use crate::middlebox::Middlebox;
+use minion_simnet::{LinkConfig, LinkStats, NodeId, Packet, SimDuration, SimTime, World};
+use std::collections::HashMap;
+
+enum Node {
+    Host(Host),
+    Middlebox(Middlebox),
+}
+
+/// The top-level simulation object.
+pub struct Sim {
+    world: World,
+    nodes: HashMap<NodeId, Node>,
+    /// Static next-hop routing: (at, final destination) → next hop.
+    routes: HashMap<(NodeId, NodeId), NodeId>,
+    now: SimTime,
+    /// Guard against event loops that stop advancing time.
+    stall_iterations: u32,
+}
+
+impl Sim {
+    /// Create an empty simulation with the given randomness seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            world: World::new(seed),
+            nodes: HashMap::new(),
+            routes: HashMap::new(),
+            now: SimTime::ZERO,
+            stall_iterations: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add a host node.
+    pub fn add_host(&mut self, name: &str) -> NodeId {
+        let node = self.world.add_node(name);
+        self.nodes.insert(node, Node::Host(Host::new(node, name)));
+        node
+    }
+
+    /// Add a middlebox node.
+    pub fn add_middlebox(&mut self, name: &str, middlebox_behavior: crate::middlebox::MiddleboxBehavior) -> NodeId {
+        let node = self.world.add_node(name);
+        self.nodes
+            .insert(node, Node::Middlebox(Middlebox::new(node, middlebox_behavior)));
+        node
+    }
+
+    /// Connect two nodes with identical link characteristics in each
+    /// direction, and install direct routes between them.
+    pub fn link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        self.world.add_duplex_link(a, b, config);
+        self.routes.insert((a, b), b);
+        self.routes.insert((b, a), a);
+    }
+
+    /// Connect two nodes with asymmetric characteristics (`a_to_b` and
+    /// `b_to_a`), installing direct routes.
+    pub fn link_asymmetric(&mut self, a: NodeId, b: NodeId, a_to_b: LinkConfig, b_to_a: LinkConfig) {
+        self.world.add_asymmetric_link(a, b, a_to_b, b_to_a);
+        self.routes.insert((a, b), b);
+        self.routes.insert((b, a), a);
+    }
+
+    /// Install a route: packets at `at` destined for `dst` are forwarded to
+    /// `via` (which must be directly linked to `at`).
+    pub fn add_route(&mut self, at: NodeId, dst: NodeId, via: NodeId) {
+        self.routes.insert((at, dst), via);
+    }
+
+    /// Borrow a host immutably.
+    pub fn host(&self, id: NodeId) -> &Host {
+        match self.nodes.get(&id) {
+            Some(Node::Host(h)) => h,
+            _ => panic!("{id} is not a host"),
+        }
+    }
+
+    /// Borrow a host mutably (socket operations go through this).
+    pub fn host_mut(&mut self, id: NodeId) -> &mut Host {
+        match self.nodes.get_mut(&id) {
+            Some(Node::Host(h)) => h,
+            _ => panic!("{id} is not a host"),
+        }
+    }
+
+    /// Borrow a middlebox immutably.
+    pub fn middlebox(&self, id: NodeId) -> &Middlebox {
+        match self.nodes.get(&id) {
+            Some(Node::Middlebox(m)) => m,
+            _ => panic!("{id} is not a middlebox"),
+        }
+    }
+
+    /// Link statistics for the `a -> b` direction.
+    pub fn link_stats(&self, a: NodeId, b: NodeId) -> Option<&LinkStats> {
+        self.world.link_stats(a, b)
+    }
+
+    /// Current backlog in bytes of the `a -> b` link.
+    pub fn link_backlog(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        self.world.link_backlog(a, b, self.now)
+    }
+
+    fn next_hop(&self, at: NodeId, final_dst: NodeId) -> NodeId {
+        *self.routes.get(&(at, final_dst)).unwrap_or(&final_dst)
+    }
+
+    /// Drain outgoing packets from every node into the world.
+    fn flush(&mut self) {
+        // Collect first to avoid borrowing `self.nodes` while routing.
+        let mut outgoing: Vec<Packet> = Vec::new();
+        for node in self.nodes.values_mut() {
+            match node {
+                Node::Host(h) => outgoing.extend(h.poll(self.now)),
+                Node::Middlebox(m) => outgoing.extend(m.poll(self.now)),
+            }
+        }
+        for mut pkt in outgoing {
+            pkt.dst = self.next_hop(pkt.src, pkt.final_dst);
+            let _ = self.world.send(self.now, pkt);
+        }
+    }
+
+    fn deliver_due(&mut self) {
+        while let Some((_, pkt)) = self.world.pop_due(self.now) {
+            if pkt.dst != pkt.final_dst && !self.nodes.contains_key(&pkt.dst) {
+                // Unknown transit node: drop.
+                continue;
+            }
+            match self.nodes.get_mut(&pkt.dst) {
+                Some(Node::Host(h)) => h.on_packet(&pkt, self.now),
+                Some(Node::Middlebox(m)) => m.on_packet(&pkt, self.now),
+                None => {}
+            }
+        }
+    }
+
+    /// The time of the next scheduled event (packet arrival or socket timer).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                next = Some(match next {
+                    Some(n) => n.min(t),
+                    None => t,
+                });
+            }
+        };
+        consider(self.world.next_arrival_time());
+        for node in self.nodes.values() {
+            match node {
+                Node::Host(h) => consider(h.next_timer()),
+                Node::Middlebox(m) => consider(m.next_timer()),
+            }
+        }
+        next
+    }
+
+    /// Process all work at the current time and advance to the next event.
+    /// Returns `false` when no further events are scheduled.
+    pub fn step(&mut self) -> bool {
+        self.flush();
+        let Some(next) = self.next_event_time() else {
+            return false;
+        };
+        if next > self.now {
+            self.now = next;
+            self.stall_iterations = 0;
+        } else {
+            self.stall_iterations += 1;
+            assert!(
+                self.stall_iterations < 100_000,
+                "simulation stopped advancing at {} (stuck timer or routing loop)",
+                self.now
+            );
+        }
+        self.deliver_due();
+        self.flush();
+        true
+    }
+
+    /// Run until virtual time reaches `deadline` (or no events remain).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            self.flush();
+            match self.next_event_time() {
+                None => {
+                    self.now = self.now.max(deadline);
+                    return;
+                }
+                Some(t) if t > deadline => {
+                    self.now = deadline;
+                    return;
+                }
+                Some(_) => {
+                    if !self.step() {
+                        self.now = self.now.max(deadline);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run for a span of virtual time from now.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::SocketAddr;
+    use crate::middlebox::MiddleboxBehavior;
+    use minion_simnet::LossConfig;
+    use minion_tcp::{SocketOptions, TcpConfig};
+
+    /// Two hosts, 60 ms RTT, plenty of bandwidth.
+    fn basic_sim() -> (Sim, NodeId, NodeId) {
+        let mut sim = Sim::new(42);
+        let a = sim.add_host("client");
+        let b = sim.add_host("server");
+        sim.link(a, b, LinkConfig::new(10_000_000, SimDuration::from_millis(30)));
+        (sim, a, b)
+    }
+
+    fn drain_bytes(sim: &mut Sim, node: NodeId, handle: crate::addr::SocketHandle) -> Vec<u8> {
+        let mut chunks = vec![];
+        while let Some(c) = sim.host_mut(node).tcp_read(handle).unwrap() {
+            chunks.push(c);
+        }
+        chunks.sort_by_key(|c| c.offset);
+        let mut out = vec![];
+        for c in chunks {
+            let off = c.offset as usize;
+            if out.len() < off + c.len() {
+                out.resize(off + c.len(), 0);
+            }
+            out[off..off + c.len()].copy_from_slice(&c.data);
+        }
+        out
+    }
+
+    #[test]
+    fn end_to_end_tcp_transfer_over_the_simulator() {
+        let (mut sim, a, b) = basic_sim();
+        sim.host_mut(b)
+            .tcp_listen(80, TcpConfig::default(), SocketOptions::standard())
+            .unwrap();
+        let ch = sim.host_mut(a).tcp_connect(
+            SocketAddr::new(b, 80),
+            TcpConfig::default(),
+            SocketOptions::standard(),
+            SimTime::ZERO,
+        );
+        sim.run_for(SimDuration::from_millis(200));
+        assert!(sim.host(a).tcp_established(ch).unwrap());
+        let sh = sim.host_mut(b).accept(80).expect("accepted");
+
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        sim.host_mut(a).tcp_write(ch, &data).unwrap();
+        sim.run_for(SimDuration::from_secs(10));
+        assert_eq!(drain_bytes(&mut sim, b, sh), data);
+        // Round-trip estimate should reflect the 60 ms path.
+        let srtt = sim.host(a).tcp_connection(ch).unwrap().srtt().unwrap();
+        assert!(srtt.as_millis_f64() >= 59.0, "srtt={srtt}");
+    }
+
+    #[test]
+    fn transfer_completes_despite_random_loss() {
+        let mut sim = Sim::new(7);
+        let a = sim.add_host("client");
+        let b = sim.add_host("server");
+        sim.link(
+            a,
+            b,
+            LinkConfig::new(10_000_000, SimDuration::from_millis(30))
+                .with_loss(LossConfig::Bernoulli { probability: 0.02 }),
+        );
+        sim.host_mut(b)
+            .tcp_listen(80, TcpConfig::default(), SocketOptions::standard())
+            .unwrap();
+        let ch = sim.host_mut(a).tcp_connect(
+            SocketAddr::new(b, 80),
+            TcpConfig::default(),
+            SocketOptions::standard(),
+            SimTime::ZERO,
+        );
+        sim.run_for(SimDuration::from_millis(300));
+        let sh = sim.host_mut(b).accept(80).expect("accepted");
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 83) as u8).collect();
+        sim.host_mut(a).tcp_write(ch, &data).unwrap();
+        sim.run_for(SimDuration::from_secs(120));
+        assert_eq!(drain_bytes(&mut sim, b, sh), data);
+        assert!(
+            sim.host(a).tcp_stats(ch).unwrap().retransmissions > 0,
+            "2% loss should force retransmissions"
+        );
+    }
+
+    #[test]
+    fn udp_datagrams_flow_through_the_simulator() {
+        let (mut sim, a, b) = basic_sim();
+        let sa = sim.host_mut(a).udp_bind(1111).unwrap();
+        let sb = sim.host_mut(b).udp_bind(2222).unwrap();
+        for i in 0..5u8 {
+            sim.host_mut(a)
+                .udp_send_to(sa, SocketAddr::new(b, 2222), &[i; 100])
+                .unwrap();
+        }
+        sim.run_for(SimDuration::from_millis(100));
+        let mut got = vec![];
+        while let Some((from, data)) = sim.host_mut(b).udp_recv(sb).unwrap() {
+            assert_eq!(from.node, a);
+            got.push(data[0]);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        // And the reverse direction.
+        sim.host_mut(b)
+            .udp_send_to(sb, SocketAddr::new(a, 1111), b"pong")
+            .unwrap();
+        sim.run_for(SimDuration::from_millis(100));
+        assert!(sim.host_mut(a).udp_recv(sa).unwrap().is_some());
+    }
+
+    #[test]
+    fn traffic_routes_through_a_middlebox_node() {
+        // client -- middlebox -- server, with the middlebox re-segmenting.
+        let mut sim = Sim::new(3);
+        let a = sim.add_host("client");
+        let m = sim.add_middlebox("resegmenter", MiddleboxBehavior::Split { max_payload: 500 });
+        let b = sim.add_host("server");
+        sim.link(a, m, LinkConfig::new(10_000_000, SimDuration::from_millis(15)));
+        sim.link(m, b, LinkConfig::new(10_000_000, SimDuration::from_millis(15)));
+        // Routes through the middlebox.
+        sim.add_route(a, b, m);
+        sim.add_route(b, a, m);
+
+        sim.host_mut(b)
+            .tcp_listen(80, TcpConfig::default(), SocketOptions::standard())
+            .unwrap();
+        let ch = sim.host_mut(a).tcp_connect(
+            SocketAddr::new(b, 80),
+            TcpConfig::default(),
+            SocketOptions::standard(),
+            SimTime::ZERO,
+        );
+        sim.run_for(SimDuration::from_millis(300));
+        let sh = sim.host_mut(b).accept(80).expect("accepted");
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i % 99) as u8).collect();
+        sim.host_mut(a).tcp_write(ch, &data).unwrap();
+        sim.run_for(SimDuration::from_secs(10));
+        assert_eq!(drain_bytes(&mut sim, b, sh), data);
+        assert!(
+            sim.middlebox(m).stats().splits > 0,
+            "segments larger than 500 B must have been split"
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_the_deadline() {
+        let (mut sim, a, b) = basic_sim();
+        let sa = sim.host_mut(a).udp_bind(1).unwrap();
+        sim.host_mut(b).udp_bind(2).unwrap();
+        sim.host_mut(a)
+            .udp_send_to(sa, SocketAddr::new(b, 2), b"x")
+            .unwrap();
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+    }
+}

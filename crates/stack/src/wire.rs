@@ -1,0 +1,136 @@
+//! The transport-layer wrapper carried inside simulated network packets.
+//!
+//! Every [`minion_simnet::Packet`] payload is one encoded
+//! [`TransportPacket`]: either a TCP segment or a UDP datagram, prefixed by a
+//! one-byte protocol number (6 for TCP, 17 for UDP, matching the IP protocol
+//! numbers).
+
+use bytes::Bytes;
+use minion_tcp::TcpSegment;
+
+/// Protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+/// Protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// A transport-layer packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportPacket {
+    /// A TCP segment.
+    Tcp(TcpSegment),
+    /// A UDP datagram.
+    Udp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Datagram payload.
+        payload: Bytes,
+    },
+}
+
+impl TransportPacket {
+    /// Serialize for transmission inside a simulated packet.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            TransportPacket::Tcp(seg) => {
+                let mut out = Vec::with_capacity(1 + seg.wire_len());
+                out.push(PROTO_TCP);
+                out.extend_from_slice(&seg.encode());
+                out
+            }
+            TransportPacket::Udp { src_port, dst_port, payload } => {
+                let mut out = Vec::with_capacity(5 + payload.len());
+                out.push(PROTO_UDP);
+                out.extend_from_slice(&src_port.to_be_bytes());
+                out.extend_from_slice(&dst_port.to_be_bytes());
+                out.extend_from_slice(payload);
+                out
+            }
+        }
+    }
+
+    /// Parse a packet payload. Returns `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<TransportPacket> {
+        let (&proto, rest) = buf.split_first()?;
+        match proto {
+            PROTO_TCP => TcpSegment::decode(rest).map(TransportPacket::Tcp),
+            PROTO_UDP => {
+                if rest.len() < 4 {
+                    return None;
+                }
+                let src_port = u16::from_be_bytes([rest[0], rest[1]]);
+                let dst_port = u16::from_be_bytes([rest[2], rest[3]]);
+                Some(TransportPacket::Udp {
+                    src_port,
+                    dst_port,
+                    payload: Bytes::copy_from_slice(&rest[4..]),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The destination port (used for demultiplexing).
+    pub fn dst_port(&self) -> u16 {
+        match self {
+            TransportPacket::Tcp(seg) => seg.dst_port,
+            TransportPacket::Udp { dst_port, .. } => *dst_port,
+        }
+    }
+
+    /// The source port.
+    pub fn src_port(&self) -> u16 {
+        match self {
+            TransportPacket::Tcp(seg) => seg.src_port,
+            TransportPacket::Udp { src_port, .. } => *src_port,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minion_tcp::{SeqNum, TcpFlags};
+
+    #[test]
+    fn tcp_roundtrip() {
+        let mut seg = TcpSegment::bare(1234, 80, SeqNum(42), SeqNum(7), TcpFlags::ACK);
+        seg.payload = Bytes::from_static(b"payload");
+        let tp = TransportPacket::Tcp(seg);
+        let decoded = TransportPacket::decode(&tp.encode()).unwrap();
+        assert_eq!(decoded, tp);
+        assert_eq!(decoded.dst_port(), 80);
+        assert_eq!(decoded.src_port(), 1234);
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let tp = TransportPacket::Udp {
+            src_port: 5000,
+            dst_port: 6000,
+            payload: Bytes::from_static(b"datagram"),
+        };
+        let decoded = TransportPacket::decode(&tp.encode()).unwrap();
+        assert_eq!(decoded, tp);
+        assert_eq!(decoded.dst_port(), 6000);
+    }
+
+    #[test]
+    fn udp_empty_payload() {
+        let tp = TransportPacket::Udp {
+            src_port: 1,
+            dst_port: 2,
+            payload: Bytes::new(),
+        };
+        assert_eq!(TransportPacket::decode(&tp.encode()).unwrap(), tp);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(TransportPacket::decode(&[]).is_none());
+        assert!(TransportPacket::decode(&[99, 1, 2, 3]).is_none());
+        assert!(TransportPacket::decode(&[PROTO_UDP, 1]).is_none());
+        assert!(TransportPacket::decode(&[PROTO_TCP, 1, 2]).is_none());
+    }
+}

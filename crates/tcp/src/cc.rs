@@ -1,0 +1,265 @@
+//! Congestion control.
+//!
+//! NewReno (RFC 5681 / 6582) is the algorithm in the paper's Linux 2.6.34
+//! testbed era and is what uTCP explicitly does **not** change: "uTCP does not
+//! change TCP's reliability or congestion control" (§8.4). A disabled variant
+//! is provided for the §4.3 design-alternative ablation.
+
+use crate::config::CcAlgorithm;
+
+/// Congestion-control state machine, windows measured in bytes.
+#[derive(Clone, Debug)]
+pub struct CongestionControl {
+    algorithm: CcAlgorithm,
+    mss: usize,
+    cwnd: usize,
+    ssthresh: usize,
+    /// Bytes acked since the last cwnd increase while in congestion avoidance.
+    bytes_acked_ca: usize,
+    in_recovery: bool,
+    stats: CcStats,
+}
+
+/// Counters exposed for experiment analysis.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CcStats {
+    /// Number of fast-retransmit recovery episodes entered.
+    pub fast_recoveries: u64,
+    /// Number of retransmission timeouts.
+    pub timeouts: u64,
+}
+
+impl CongestionControl {
+    /// Create a controller with the given algorithm, MSS, and initial window
+    /// (in segments).
+    pub fn new(algorithm: CcAlgorithm, mss: usize, initial_cwnd_segments: u32) -> Self {
+        let cwnd = mss * initial_cwnd_segments as usize;
+        CongestionControl {
+            algorithm,
+            mss,
+            cwnd,
+            ssthresh: usize::MAX / 2,
+            bytes_acked_ca: 0,
+            in_recovery: false,
+            stats: CcStats::default(),
+        }
+    }
+
+    /// Current congestion window in bytes. With congestion control disabled
+    /// this is effectively unlimited.
+    pub fn cwnd(&self) -> usize {
+        match self.algorithm {
+            CcAlgorithm::None => usize::MAX / 2,
+            CcAlgorithm::NewReno => self.cwnd,
+        }
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> usize {
+        self.ssthresh
+    }
+
+    /// True while in fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.in_recovery
+    }
+
+    /// Whether the sender is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &CcStats {
+        &self.stats
+    }
+
+    /// Process an ACK of `bytes_acked` new bytes (cumulative progress).
+    pub fn on_ack(&mut self, bytes_acked: usize) {
+        if self.algorithm == CcAlgorithm::None || bytes_acked == 0 {
+            return;
+        }
+        if self.in_recovery {
+            // Window adjustments during recovery happen via deflation on exit
+            // and inflation on duplicate ACKs.
+            return;
+        }
+        if self.in_slow_start() {
+            // cwnd grows by min(bytes_acked, MSS) per ACK (RFC 5681 §3.1).
+            self.cwnd += bytes_acked.min(self.mss);
+            if self.cwnd > self.ssthresh {
+                self.cwnd = self.ssthresh.max(self.mss);
+            }
+        } else {
+            // Congestion avoidance: one MSS per cwnd's worth of acked bytes.
+            self.bytes_acked_ca += bytes_acked;
+            if self.bytes_acked_ca >= self.cwnd {
+                self.bytes_acked_ca -= self.cwnd;
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    /// A duplicate ACK arrived while in fast recovery: inflate the window to
+    /// reflect the segment that has left the network.
+    pub fn on_dup_ack_in_recovery(&mut self) {
+        if self.algorithm == CcAlgorithm::None {
+            return;
+        }
+        if self.in_recovery {
+            self.cwnd += self.mss;
+        }
+    }
+
+    /// Enter fast recovery after three duplicate ACKs, given the current
+    /// flight size in bytes.
+    pub fn on_enter_recovery(&mut self, flight_size: usize) {
+        if self.algorithm == CcAlgorithm::None {
+            return;
+        }
+        self.stats.fast_recoveries += 1;
+        self.ssthresh = (flight_size / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh + 3 * self.mss;
+        self.in_recovery = true;
+        self.bytes_acked_ca = 0;
+    }
+
+    /// A partial ACK arrived during recovery (NewReno): deflate by the amount
+    /// acked, then add back one MSS (RFC 6582 §3.2 step 5).
+    pub fn on_partial_ack(&mut self, bytes_acked: usize) {
+        if self.algorithm == CcAlgorithm::None || !self.in_recovery {
+            return;
+        }
+        self.cwnd = self.cwnd.saturating_sub(bytes_acked).max(self.mss);
+        self.cwnd += self.mss;
+    }
+
+    /// Exit fast recovery (a full ACK arrived): deflate the window to
+    /// ssthresh.
+    pub fn on_exit_recovery(&mut self) {
+        if self.algorithm == CcAlgorithm::None {
+            return;
+        }
+        if self.in_recovery {
+            self.in_recovery = false;
+            self.cwnd = self.ssthresh.max(self.mss);
+            self.bytes_acked_ca = 0;
+        }
+    }
+
+    /// A retransmission timeout fired.
+    pub fn on_rto(&mut self, flight_size: usize) {
+        self.stats.timeouts += 1;
+        if self.algorithm == CcAlgorithm::None {
+            return;
+        }
+        self.ssthresh = (flight_size / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.in_recovery = false;
+        self.bytes_acked_ca = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: usize = 1448;
+
+    fn newreno() -> CongestionControl {
+        CongestionControl::new(CcAlgorithm::NewReno, MSS, 3)
+    }
+
+    #[test]
+    fn initial_window_is_three_segments() {
+        let cc = newreno();
+        assert_eq!(cc.cwnd(), 3 * MSS);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = newreno();
+        // Ack one full window of 3 segments: cwnd should grow to ~6 MSS.
+        for _ in 0..3 {
+            cc.on_ack(MSS);
+        }
+        assert_eq!(cc.cwnd(), 6 * MSS);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_linearly() {
+        let mut cc = newreno();
+        cc.on_enter_recovery(20 * MSS);
+        cc.on_exit_recovery();
+        assert!(!cc.in_slow_start());
+        let start = cc.cwnd();
+        // Ack one full window's worth of bytes in MSS chunks: +1 MSS.
+        let acks = start / MSS;
+        for _ in 0..acks {
+            cc.on_ack(MSS);
+        }
+        assert_eq!(cc.cwnd(), start + MSS);
+    }
+
+    #[test]
+    fn fast_recovery_halves_window() {
+        let mut cc = newreno();
+        // Grow a bit first.
+        for _ in 0..20 {
+            cc.on_ack(MSS);
+        }
+        let flight = 20 * MSS;
+        cc.on_enter_recovery(flight);
+        assert!(cc.in_recovery());
+        assert_eq!(cc.ssthresh(), flight / 2);
+        assert_eq!(cc.cwnd(), flight / 2 + 3 * MSS);
+        cc.on_dup_ack_in_recovery();
+        assert_eq!(cc.cwnd(), flight / 2 + 4 * MSS);
+        cc.on_exit_recovery();
+        assert!(!cc.in_recovery());
+        assert_eq!(cc.cwnd(), flight / 2);
+        assert_eq!(cc.stats().fast_recoveries, 1);
+    }
+
+    #[test]
+    fn partial_ack_deflates_and_readds_mss() {
+        let mut cc = newreno();
+        cc.on_enter_recovery(10 * MSS);
+        let before = cc.cwnd();
+        cc.on_partial_ack(2 * MSS);
+        assert_eq!(cc.cwnd(), before - 2 * MSS + MSS);
+    }
+
+    #[test]
+    fn rto_collapses_to_one_segment() {
+        let mut cc = newreno();
+        for _ in 0..50 {
+            cc.on_ack(MSS);
+        }
+        cc.on_rto(30 * MSS);
+        assert_eq!(cc.cwnd(), MSS);
+        assert_eq!(cc.ssthresh(), 15 * MSS);
+        assert_eq!(cc.stats().timeouts, 1);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn ssthresh_floor_is_two_mss() {
+        let mut cc = newreno();
+        cc.on_rto(MSS);
+        assert_eq!(cc.ssthresh(), 2 * MSS);
+    }
+
+    #[test]
+    fn disabled_cc_is_unbounded_and_inert() {
+        let mut cc = CongestionControl::new(CcAlgorithm::None, MSS, 3);
+        let huge = cc.cwnd();
+        assert!(huge > 1 << 30);
+        cc.on_enter_recovery(10 * MSS);
+        cc.on_rto(10 * MSS);
+        cc.on_ack(MSS);
+        assert_eq!(cc.cwnd(), huge);
+        assert!(!cc.in_recovery());
+    }
+}

@@ -1,0 +1,267 @@
+//! Configuration for TCP connections and the uTCP socket options.
+
+use minion_simnet::SimDuration;
+
+/// Which congestion-control algorithm a connection uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CcAlgorithm {
+    /// NewReno (RFC 6582): slow start, congestion avoidance, fast
+    /// retransmit/recovery with partial-ACK handling.
+    #[default]
+    NewReno,
+    /// Congestion control disabled (design alternative discussed in §4.3 of
+    /// the paper); the window is limited only by the receive window.
+    None,
+}
+
+/// Static configuration of one TCP connection.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment). The paper's testbed
+    /// uses Ethernet, giving an MSS of 1448 with timestamps or 1460 without;
+    /// we default to 1448 to match the figures.
+    pub mss: usize,
+    /// Send buffer capacity in bytes.
+    pub send_buffer: usize,
+    /// Receive buffer capacity in bytes (advertised window ceiling).
+    pub recv_buffer: usize,
+    /// Whether Nagle's algorithm is enabled. The paper disables it for all
+    /// experiments.
+    pub nagle: bool,
+    /// Whether delayed ACKs are enabled.
+    pub delayed_ack: bool,
+    /// Delayed-ACK timeout.
+    pub delayed_ack_timeout: SimDuration,
+    /// Initial congestion window in segments (RFC 6928 uses 10; Linux 2.6.34,
+    /// the paper's kernel, used 3).
+    pub initial_cwnd_segments: u32,
+    /// Minimum retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Maximum retransmission timeout.
+    pub max_rto: SimDuration,
+    /// Congestion control algorithm.
+    pub cc: CcAlgorithm,
+    /// Emulate Linux's skbuff-granularity congestion accounting: when the
+    /// sender must respect application write boundaries (uTCP's unordered
+    /// send), each write occupies its own skbuff and the congestion window is
+    /// consumed per-skbuff rather than per-byte. This reproduces the Figure 5
+    /// throughput dip for message sizes that do not pack MSS-sized buffers.
+    pub skbuff_accounting: bool,
+    /// Coalesce small unordered-send writes into the tail skbuff when they fit
+    /// entirely (the partial fix described in §8.1).
+    pub coalesce_small_writes: bool,
+    /// Fixed initial sequence number for deterministic tests; `None` draws a
+    /// pseudo-random ISN from the connection seed.
+    pub fixed_isn: Option<u32>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1448,
+            send_buffer: 256 * 1024,
+            recv_buffer: 256 * 1024,
+            nagle: false,
+            delayed_ack: true,
+            delayed_ack_timeout: SimDuration::from_millis(40),
+            initial_cwnd_segments: 3,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            cc: CcAlgorithm::NewReno,
+            skbuff_accounting: true,
+            coalesce_small_writes: true,
+            fixed_isn: None,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// A configuration matching the paper's testbed defaults (Nagle disabled,
+    /// low-latency path, 1448-byte MSS).
+    pub fn paper_default() -> Self {
+        TcpConfig::default()
+    }
+
+    /// Set the MSS.
+    pub fn with_mss(mut self, mss: usize) -> Self {
+        assert!(mss > 0);
+        self.mss = mss;
+        self
+    }
+
+    /// Set send and receive buffer sizes.
+    pub fn with_buffers(mut self, send: usize, recv: usize) -> Self {
+        self.send_buffer = send;
+        self.recv_buffer = recv;
+        self
+    }
+
+    /// Enable or disable Nagle's algorithm.
+    pub fn with_nagle(mut self, enabled: bool) -> Self {
+        self.nagle = enabled;
+        self
+    }
+
+    /// Enable or disable delayed ACKs.
+    pub fn with_delayed_ack(mut self, enabled: bool) -> Self {
+        self.delayed_ack = enabled;
+        self
+    }
+
+    /// Select the congestion-control algorithm.
+    pub fn with_cc(mut self, cc: CcAlgorithm) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Use a fixed initial sequence number (deterministic tests).
+    pub fn with_fixed_isn(mut self, isn: u32) -> Self {
+        self.fixed_isn = Some(isn);
+        self
+    }
+
+    /// Enable or disable skbuff-granularity congestion accounting.
+    pub fn with_skbuff_accounting(mut self, enabled: bool) -> Self {
+        self.skbuff_accounting = enabled;
+        self
+    }
+
+    /// Enable or disable coalescing of small unordered-send writes.
+    pub fn with_coalescing(mut self, enabled: bool) -> Self {
+        self.coalesce_small_writes = enabled;
+        self
+    }
+}
+
+/// Runtime socket options, the uTCP API surface of the paper (§4).
+///
+/// Both options default to off, giving standard TCP behaviour; they can be
+/// enabled independently, and enabling them changes nothing on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SocketOptions {
+    /// `SO_UNORDERED`: deliver segments to the application as they arrive,
+    /// including out-of-order ones, each tagged with its stream offset.
+    pub unordered_receive: bool,
+    /// `SO_UNORDEREDSEND`: writes carry a priority tag and are inserted into
+    /// the send queue ahead of lower-priority data that has not yet been
+    /// transmitted.
+    pub unordered_send: bool,
+}
+
+impl SocketOptions {
+    /// Standard TCP behaviour (both options off).
+    pub fn standard() -> Self {
+        SocketOptions::default()
+    }
+
+    /// Full uTCP behaviour (both options on).
+    pub fn utcp() -> Self {
+        SocketOptions {
+            unordered_receive: true,
+            unordered_send: true,
+        }
+    }
+
+    /// Only the receive-side extension.
+    pub fn unordered_receive_only() -> Self {
+        SocketOptions {
+            unordered_receive: true,
+            unordered_send: false,
+        }
+    }
+
+    /// Only the send-side extension.
+    pub fn unordered_send_only() -> Self {
+        SocketOptions {
+            unordered_receive: false,
+            unordered_send: true,
+        }
+    }
+}
+
+/// Per-write metadata, the paper's 5-byte `write()` header (§4.2): a priority
+/// tag plus flags. Higher tags pass lower tags in the send queue; the optional
+/// squash flag discards untransmitted data with the same tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteMeta {
+    /// Priority tag. Larger values are higher priority.
+    pub priority: u32,
+    /// If set, remove any untransmitted data previously written with exactly
+    /// the same tag before enqueueing this write.
+    pub squash: bool,
+}
+
+impl Default for WriteMeta {
+    fn default() -> Self {
+        WriteMeta { priority: 0, squash: false }
+    }
+}
+
+impl WriteMeta {
+    /// Ordinary-priority write.
+    pub fn normal() -> Self {
+        WriteMeta::default()
+    }
+
+    /// A write with the given priority tag.
+    pub fn with_priority(priority: u32) -> Self {
+        WriteMeta { priority, squash: false }
+    }
+
+    /// A squashing write with the given tag.
+    pub fn squashing(priority: u32) -> Self {
+        WriteMeta { priority, squash: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = TcpConfig::paper_default();
+        assert_eq!(c.mss, 1448);
+        assert!(!c.nagle, "paper disables Nagle");
+        assert_eq!(c.cc, CcAlgorithm::NewReno);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = TcpConfig::default()
+            .with_mss(536)
+            .with_buffers(1024, 2048)
+            .with_nagle(true)
+            .with_delayed_ack(false)
+            .with_cc(CcAlgorithm::None)
+            .with_fixed_isn(7)
+            .with_skbuff_accounting(false)
+            .with_coalescing(false);
+        assert_eq!(c.mss, 536);
+        assert_eq!(c.send_buffer, 1024);
+        assert_eq!(c.recv_buffer, 2048);
+        assert!(c.nagle);
+        assert!(!c.delayed_ack);
+        assert_eq!(c.cc, CcAlgorithm::None);
+        assert_eq!(c.fixed_isn, Some(7));
+        assert!(!c.skbuff_accounting);
+        assert!(!c.coalesce_small_writes);
+    }
+
+    #[test]
+    fn socket_option_presets() {
+        assert_eq!(SocketOptions::standard(), SocketOptions::default());
+        assert!(SocketOptions::utcp().unordered_receive);
+        assert!(SocketOptions::utcp().unordered_send);
+        assert!(SocketOptions::unordered_receive_only().unordered_receive);
+        assert!(!SocketOptions::unordered_receive_only().unordered_send);
+        assert!(SocketOptions::unordered_send_only().unordered_send);
+    }
+
+    #[test]
+    fn write_meta_constructors() {
+        assert_eq!(WriteMeta::normal().priority, 0);
+        assert_eq!(WriteMeta::with_priority(9).priority, 9);
+        assert!(WriteMeta::squashing(3).squash);
+    }
+}

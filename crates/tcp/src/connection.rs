@@ -1,0 +1,1475 @@
+//! The TCP connection state machine.
+//!
+//! This is a userspace reimplementation of the parts of a kernel TCP stack
+//! that the paper's mechanisms depend on: the three-way handshake, cumulative
+//! and selective acknowledgments, retransmission (RTO and fast retransmit
+//! with NewReno recovery), congestion and flow control, delayed ACKs, and
+//! orderly close — plus the two uTCP socket options layered on top of the
+//! send and receive buffers.
+//!
+//! The connection is a passive, poll-driven state machine in the smoltcp
+//! style: the owner feeds it arriving segments via [`TcpConnection::on_segment`],
+//! asks it for outgoing segments via [`TcpConnection::poll`], and schedules
+//! the next call using [`TcpConnection::next_timer`]. All timing comes from
+//! the caller's virtual clock, which keeps experiments deterministic.
+
+use crate::cc::CongestionControl;
+use crate::config::{SocketOptions, TcpConfig, WriteMeta};
+use crate::delivered::DeliveredChunk;
+use crate::recvbuf::ReceiveBuffer;
+use crate::rtt::RttEstimator;
+use crate::segment::{SackBlock, TcpFlags, TcpOption, TcpSegment};
+use crate::sendbuf::SendBuffer;
+use crate::seq::SeqNum;
+use bytes::Bytes;
+use minion_simnet::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Errors surfaced by the socket-level API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpError {
+    /// The connection is not in a state that allows the operation.
+    NotConnected,
+    /// The send buffer cannot accept the write.
+    BufferFull,
+    /// The connection has been closed locally.
+    Closed,
+}
+
+impl std::fmt::Display for TcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpError::NotConnected => write!(f, "connection not established"),
+            TcpError::BufferFull => write!(f, "send buffer full"),
+            TcpError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for TcpError {}
+
+/// TCP connection states (RFC 793 §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Passive open, waiting for a SYN.
+    Listen,
+    /// Active open, SYN sent.
+    SynSent,
+    /// SYN received, SYN-ACK sent.
+    SynRcvd,
+    /// Data transfer state.
+    Established,
+    /// Local close requested, FIN sent.
+    FinWait1,
+    /// Our FIN acknowledged, waiting for the peer's FIN.
+    FinWait2,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// Both sides closed simultaneously.
+    Closing,
+    /// We closed after the peer; waiting for our FIN's ACK.
+    LastAck,
+    /// Waiting out 2·MSL before releasing state.
+    TimeWait,
+}
+
+/// Per-connection statistics used throughout the evaluation harness.
+#[derive(Clone, Debug, Default)]
+pub struct ConnStats {
+    /// Segments emitted (including retransmissions and pure ACKs).
+    pub segments_sent: u64,
+    /// Segments received and processed.
+    pub segments_received: u64,
+    /// Payload bytes transmitted the first time.
+    pub bytes_sent: u64,
+    /// Payload bytes retransmitted.
+    pub bytes_retransmitted: u64,
+    /// Payload bytes cumulatively acknowledged by the peer.
+    pub bytes_acked: u64,
+    /// Payload bytes received (before reassembly de-duplication).
+    pub bytes_received: u64,
+    /// Data segments retransmitted.
+    pub retransmissions: u64,
+    /// Fast-retransmit events.
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks: u64,
+    /// Pure ACK segments sent.
+    pub acks_sent: u64,
+}
+
+/// A transmitted-but-unacknowledged range, used for flight accounting, RTT
+/// sampling, and the SACK scoreboard.
+#[derive(Clone, Debug)]
+struct TxRecord {
+    start: u64,
+    end: u64,
+    /// Window charge: payload bytes, or a full MSS under skbuff accounting.
+    charge: usize,
+    sent_at: SimTime,
+    retransmitted: bool,
+    sacked: bool,
+}
+
+/// Pending-ACK state for the delayed-ACK machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AckPending {
+    None,
+    Delayed(SimTime),
+    Immediate,
+}
+
+/// A TCP connection endpoint.
+#[derive(Clone, Debug)]
+pub struct TcpConnection {
+    config: TcpConfig,
+    opts: SocketOptions,
+    state: TcpState,
+    local_port: u16,
+    remote_port: u16,
+
+    // ---- Send state ----
+    iss: SeqNum,
+    send_buf: SendBuffer,
+    /// Offset of the highest cumulatively acknowledged data byte.
+    snd_una: u64,
+    /// Offset from which the next retransmission should read, when one has
+    /// been scheduled (RTO or fast retransmit).
+    resend_cursor: Option<u64>,
+    /// Exclusive upper bound of the scheduled retransmission: one segment's
+    /// worth for fast retransmit / NewReno partial ACKs, everything up to
+    /// `snd_max` for an RTO (go-back-N).
+    resend_until: u64,
+    /// Transmitted, unacknowledged ranges.
+    unacked: VecDeque<TxRecord>,
+    peer_window: usize,
+    peer_mss: usize,
+    dup_ack_count: u32,
+    /// NewReno recovery point: recovery ends when snd_una passes this offset.
+    recover: u64,
+    cc: CongestionControl,
+    rtt: RttEstimator,
+    rto_expiry: Option<SimTime>,
+    /// Number of consecutive RTO expirations without progress.
+    rto_backoffs: u32,
+
+    // ---- Handshake / close state ----
+    syn_sent_at: Option<SimTime>,
+    syn_acked: bool,
+    close_requested: bool,
+    fin_sent: bool,
+    fin_offset: Option<u64>,
+    fin_acked: bool,
+    peer_fin_offset: Option<u64>,
+    time_wait_expiry: Option<SimTime>,
+
+    // ---- Receive state ----
+    irs: SeqNum,
+    recv_buf: ReceiveBuffer,
+    ack_pending: AckPending,
+    /// Set when the connection should emit a SYN or SYN-ACK on the next poll.
+    handshake_pending: bool,
+
+    stats: ConnStats,
+}
+
+impl TcpConnection {
+    /// Create a connection endpoint in the `Closed` state.
+    pub fn new(local_port: u16, remote_port: u16, config: TcpConfig, opts: SocketOptions) -> Self {
+        let isn = config
+            .fixed_isn
+            .unwrap_or_else(|| {
+                // Deterministic but port-dependent ISN.
+                (u32::from(local_port) << 16) ^ u32::from(remote_port) ^ 0x5EED_1234
+            });
+        let send_buf = SendBuffer::new(config.send_buffer);
+        let recv_buf = ReceiveBuffer::new(config.recv_buffer, opts.unordered_receive);
+        let cc = CongestionControl::new(config.cc, config.mss, config.initial_cwnd_segments);
+        let rtt = RttEstimator::new(config.min_rto, config.max_rto);
+        TcpConnection {
+            config,
+            opts,
+            state: TcpState::Closed,
+            local_port,
+            remote_port,
+            iss: SeqNum(isn),
+            send_buf,
+            snd_una: 0,
+            resend_cursor: None,
+            resend_until: 0,
+            unacked: VecDeque::new(),
+            peer_window: 65535,
+            peer_mss: 536,
+            dup_ack_count: 0,
+            recover: 0,
+            cc,
+            rtt,
+            rto_expiry: None,
+            rto_backoffs: 0,
+            syn_sent_at: None,
+            syn_acked: false,
+            close_requested: false,
+            fin_sent: false,
+            fin_offset: None,
+            fin_acked: false,
+            peer_fin_offset: None,
+            time_wait_expiry: None,
+            irs: SeqNum(0),
+            recv_buf,
+            ack_pending: AckPending::None,
+            handshake_pending: false,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Begin an active open (client side). The SYN is emitted by the next
+    /// [`poll`](Self::poll).
+    pub fn open(&mut self, now: SimTime) {
+        assert_eq!(self.state, TcpState::Closed, "open() on a used connection");
+        self.state = TcpState::SynSent;
+        self.handshake_pending = true;
+        self.syn_sent_at = Some(now);
+        self.rto_expiry = Some(now + self.rtt.rto());
+    }
+
+    /// Begin a passive open (server side).
+    pub fn listen(&mut self) {
+        assert_eq!(self.state, TcpState::Closed, "listen() on a used connection");
+        self.state = TcpState::Listen;
+    }
+
+    /// The connection's current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// True once the three-way handshake has completed.
+    pub fn is_established(&self) -> bool {
+        matches!(
+            self.state,
+            TcpState::Established
+                | TcpState::FinWait1
+                | TcpState::FinWait2
+                | TcpState::CloseWait
+                | TcpState::Closing
+                | TcpState::LastAck
+        )
+    }
+
+    /// True once the connection has fully closed (or was reset).
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, TcpState::Closed | TcpState::TimeWait)
+    }
+
+    /// Local port number.
+    pub fn local_port(&self) -> u16 {
+        self.local_port
+    }
+
+    /// Remote port number.
+    pub fn remote_port(&self) -> u16 {
+        self.remote_port
+    }
+
+    /// The socket options currently in effect.
+    pub fn options(&self) -> SocketOptions {
+        self.opts
+    }
+
+    /// Update socket options (the uTCP `setsockopt` calls). Options can be
+    /// enabled at any point in the connection's life.
+    pub fn set_options(&mut self, opts: SocketOptions) {
+        self.opts = opts;
+        self.recv_buf.set_unordered(opts.unordered_receive);
+    }
+
+    /// Connection statistics.
+    pub fn stats(&self) -> &ConnStats {
+        &self.stats
+    }
+
+    /// Smoothed RTT estimate, if one exists.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rtt.srtt()
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> usize {
+        self.cc.cwnd()
+    }
+
+    /// Free space in the send buffer.
+    pub fn send_buffer_free(&self) -> usize {
+        self.send_buf.free_space()
+    }
+
+    /// Bytes queued in the send buffer that have not yet been acknowledged.
+    pub fn send_buffer_len(&self) -> usize {
+        self.send_buf.len()
+    }
+
+    /// Bytes queued but not yet transmitted for the first time.
+    pub fn unsent_bytes(&self) -> usize {
+        self.send_buf
+            .end_offset()
+            .saturating_sub(self.send_buf.transmitted_offset()) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Application API
+    // ------------------------------------------------------------------
+
+    /// Queue data for transmission with default (priority-0) metadata.
+    pub fn write(&mut self, data: &[u8]) -> Result<usize, TcpError> {
+        self.write_with_meta(data, WriteMeta::normal())
+    }
+
+    /// Queue data for transmission with uTCP write metadata (§4.2). When the
+    /// `SO_UNORDEREDSEND` option is off the metadata is ignored, matching the
+    /// paper's fallback behaviour on stock TCP stacks.
+    pub fn write_with_meta(&mut self, data: &[u8], meta: WriteMeta) -> Result<usize, TcpError> {
+        if !self.is_established() && self.state != TcpState::SynSent {
+            return Err(TcpError::NotConnected);
+        }
+        if self.close_requested {
+            return Err(TcpError::Closed);
+        }
+        let unordered = self.opts.unordered_send;
+        let result = if unordered {
+            self.send_buf.write_with_priority(
+                data,
+                meta.priority,
+                meta.squash,
+                true,
+                self.config.mss,
+                self.config.coalesce_small_writes,
+            )
+        } else {
+            self.send_buf.write(data)
+        };
+        result.map_err(|_| TcpError::BufferFull)
+    }
+
+    /// Read the next chunk of received data, if any.
+    ///
+    /// With `SO_UNORDERED` enabled, chunks may arrive out of order and carry
+    /// their stream offset (the paper's 5-byte read header); otherwise chunks
+    /// are in-order byte-stream data.
+    pub fn read(&mut self) -> Option<DeliveredChunk> {
+        self.recv_buf.read()
+    }
+
+    /// True if a `read()` would return data.
+    pub fn readable(&self) -> bool {
+        self.recv_buf.readable()
+    }
+
+    /// Request an orderly close. Queued data is still delivered; the FIN is
+    /// sent once the send queue drains.
+    pub fn close(&mut self) {
+        self.close_requested = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Sequence-number mapping helpers
+    // ------------------------------------------------------------------
+
+    /// Sequence number corresponding to a send-stream byte offset.
+    fn seq_of_offset(&self, offset: u64) -> SeqNum {
+        self.iss + 1 + offset as u32
+    }
+
+    /// Send-stream offset corresponding to an acknowledgment number.
+    fn offset_of_ack(&self, ack: SeqNum) -> u64 {
+        u64::from(ack.distance_from(self.iss + 1))
+    }
+
+    /// Receive-stream offset for a received segment's sequence number.
+    fn offset_of_seq(&self, seq: SeqNum) -> u64 {
+        u64::from(seq.distance_from(self.irs + 1))
+    }
+
+    /// The acknowledgment number to advertise, covering in-order data and the
+    /// peer's FIN when it has been reached.
+    fn ack_to_send(&self) -> SeqNum {
+        let mut ack = self.irs + 1 + self.recv_buf.rcv_nxt() as u32;
+        if let Some(fin_off) = self.peer_fin_offset {
+            if self.recv_buf.rcv_nxt() >= fin_off {
+                ack += 1;
+            }
+        }
+        ack
+    }
+
+    /// Highest sequence number we have transmitted (exclusive).
+    fn snd_max_offset(&self) -> u64 {
+        self.send_buf.transmitted_offset()
+    }
+
+    // ------------------------------------------------------------------
+    // Segment input
+    // ------------------------------------------------------------------
+
+    /// Process an arriving segment.
+    pub fn on_segment(&mut self, seg: &TcpSegment, now: SimTime) {
+        self.stats.segments_received += 1;
+        match self.state {
+            TcpState::Closed => {}
+            TcpState::Listen => self.on_segment_listen(seg, now),
+            TcpState::SynSent => self.on_segment_syn_sent(seg, now),
+            _ => self.on_segment_synchronized(seg, now),
+        }
+    }
+
+    fn on_segment_listen(&mut self, seg: &TcpSegment, now: SimTime) {
+        if !seg.flags.syn || seg.flags.ack || seg.flags.rst {
+            return;
+        }
+        self.irs = seg.seq;
+        if let Some(mss) = seg.mss_option() {
+            self.peer_mss = mss as usize;
+        }
+        self.peer_window = seg.window as usize;
+        self.state = TcpState::SynRcvd;
+        self.handshake_pending = true;
+        self.syn_sent_at = Some(now);
+        self.rto_expiry = Some(now + self.rtt.rto());
+    }
+
+    fn on_segment_syn_sent(&mut self, seg: &TcpSegment, now: SimTime) {
+        if seg.flags.rst {
+            self.state = TcpState::Closed;
+            return;
+        }
+        if !(seg.flags.syn && seg.flags.ack) {
+            return;
+        }
+        if seg.ack != self.iss + 1 {
+            return; // Not an acknowledgment of our SYN.
+        }
+        self.irs = seg.seq;
+        if let Some(mss) = seg.mss_option() {
+            self.peer_mss = mss as usize;
+        }
+        self.peer_window = seg.window as usize;
+        self.syn_acked = true;
+        if let Some(sent) = self.syn_sent_at.take() {
+            self.rtt.on_sample(now.saturating_since(sent));
+        }
+        self.state = TcpState::Established;
+        self.rto_expiry = None;
+        self.rto_backoffs = 0;
+        // Complete the handshake with an ACK.
+        self.ack_pending = AckPending::Immediate;
+    }
+
+    fn on_segment_synchronized(&mut self, seg: &TcpSegment, now: SimTime) {
+        if seg.flags.rst {
+            self.state = TcpState::Closed;
+            return;
+        }
+
+        // A retransmitted SYN-ACK while we are established means our final
+        // handshake ACK was lost: re-acknowledge.
+        if seg.flags.syn && seg.flags.ack {
+            self.ack_pending = AckPending::Immediate;
+            return;
+        }
+
+        // Complete a passive open.
+        if self.state == TcpState::SynRcvd && seg.flags.ack && seg.ack == self.iss + 1 {
+            self.syn_acked = true;
+            if let Some(sent) = self.syn_sent_at.take() {
+                self.rtt.on_sample(now.saturating_since(sent));
+            }
+            self.state = TcpState::Established;
+            self.rto_expiry = None;
+            self.rto_backoffs = 0;
+        }
+
+        self.peer_window = seg.window as usize;
+
+        if seg.flags.ack {
+            self.process_ack(seg, now);
+        }
+
+        if !seg.payload.is_empty() {
+            self.process_payload(seg, now);
+        }
+
+        if seg.flags.fin {
+            self.process_fin(seg);
+        }
+    }
+
+    fn process_payload(&mut self, seg: &TcpSegment, _now: SimTime) {
+        let offset = self.offset_of_seq(seg.seq);
+        // Reject data far outside the window (e.g. wildly out-of-range
+        // offsets from a confused peer); the receive buffer handles overlap.
+        let window_limit = self.recv_buf.rcv_nxt() + self.config.recv_buffer as u64;
+        if offset > window_limit {
+            return;
+        }
+        self.stats.bytes_received += seg.payload.len() as u64;
+        let before = self.recv_buf.rcv_nxt();
+        self.recv_buf.on_data(offset, &seg.payload);
+        let after = self.recv_buf.rcv_nxt();
+
+        // Immediate ACK for out-of-order arrivals, duplicates, and gap fills
+        // (RFC 5681 §4.2); only plain in-order progress may be delayed.
+        let out_of_order = offset > before
+            || after == before
+            || after > offset + seg.payload.len() as u64;
+        if out_of_order || !self.config.delayed_ack {
+            // Out-of-order (or gap-filling) data elicits an immediate ACK so
+            // the sender sees duplicate ACKs / SACK promptly.
+            self.ack_pending = AckPending::Immediate;
+        } else {
+            match self.ack_pending {
+                AckPending::None => {
+                    self.ack_pending =
+                        AckPending::Delayed(_now + self.config.delayed_ack_timeout);
+                }
+                AckPending::Delayed(_) => {
+                    // Second in-order segment: ACK now (RFC 1122).
+                    self.ack_pending = AckPending::Immediate;
+                }
+                AckPending::Immediate => {}
+            }
+        }
+    }
+
+    fn process_fin(&mut self, seg: &TcpSegment) {
+        let fin_off = self.offset_of_seq(seg.seq) + seg.payload.len() as u64;
+        self.peer_fin_offset = Some(fin_off);
+        self.ack_pending = AckPending::Immediate;
+        // Only transition once the FIN is in-order (all prior data received).
+        if self.recv_buf.rcv_nxt() >= fin_off {
+            match self.state {
+                TcpState::Established => self.state = TcpState::CloseWait,
+                TcpState::FinWait1 => {
+                    self.state = if self.fin_acked {
+                        TcpState::TimeWait
+                    } else {
+                        TcpState::Closing
+                    };
+                }
+                TcpState::FinWait2 => self.state = TcpState::TimeWait,
+                _ => {}
+            }
+        }
+    }
+
+    fn process_ack(&mut self, seg: &TcpSegment, now: SimTime) {
+        let ack_off = self.offset_of_ack(seg.ack);
+        // Account for a FIN acknowledgment.
+        let fin_ack_off = self.fin_offset.map(|f| f + 1);
+        let data_ack_off = if Some(ack_off) == fin_ack_off {
+            self.fin_acked = true;
+            ack_off - 1
+        } else {
+            ack_off
+        };
+
+        // Ignore ACKs for data beyond what we have sent (stale/corrupt).
+        if data_ack_off > self.snd_max_offset() {
+            return;
+        }
+
+        // Record SACK information on the scoreboard.
+        if !seg.sack_blocks().is_empty() {
+            self.apply_sack(seg.sack_blocks());
+        }
+
+        if data_ack_off > self.snd_una {
+            self.on_new_ack(data_ack_off, now);
+        } else if data_ack_off == self.snd_una
+            && self.snd_max_offset() > self.snd_una
+            && seg.payload.is_empty()
+            && !seg.flags.fin
+            && !seg.flags.syn
+        {
+            self.on_duplicate_ack(now);
+        }
+
+        // Close-related state transitions driven by our FIN being acked.
+        if self.fin_acked {
+            match self.state {
+                TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                TcpState::Closing => self.state = TcpState::TimeWait,
+                TcpState::LastAck => self.state = TcpState::Closed,
+                _ => {}
+            }
+            if self.state == TcpState::TimeWait && self.time_wait_expiry.is_none() {
+                self.time_wait_expiry = Some(now + SimDuration::from_secs(2));
+            }
+            // With the FIN acknowledged and no data outstanding there is
+            // nothing left to retransmit.
+            if self.snd_una >= self.send_buf.end_offset() {
+                self.rto_expiry = None;
+            }
+        }
+    }
+
+    fn apply_sack(&mut self, blocks: &[SackBlock]) {
+        for block in blocks {
+            let start = self.offset_of_ack(block.start);
+            let end = self.offset_of_ack(block.end);
+            if end <= start || end > self.snd_max_offset() + 1 {
+                continue;
+            }
+            for rec in self.unacked.iter_mut() {
+                if rec.start >= start && rec.end <= end {
+                    rec.sacked = true;
+                }
+            }
+        }
+    }
+
+    fn on_new_ack(&mut self, ack_off: u64, now: SimTime) {
+        let newly_acked = (ack_off - self.snd_una) as usize;
+        self.stats.bytes_acked += newly_acked as u64;
+        self.dup_ack_count = 0;
+
+        // Retire acknowledged transmission records and sample RTT from a
+        // record that was never retransmitted (Karn's rule).
+        let mut rtt_sampled = false;
+        while let Some(front) = self.unacked.front() {
+            if front.end <= ack_off {
+                let rec = self.unacked.pop_front().expect("front exists");
+                if !rec.retransmitted && !rtt_sampled {
+                    self.rtt.on_sample(now.saturating_since(rec.sent_at));
+                    rtt_sampled = true;
+                }
+            } else {
+                break;
+            }
+        }
+
+        self.snd_una = ack_off;
+        self.send_buf.acknowledge(ack_off);
+        self.rto_backoffs = 0;
+
+        if self.cc.in_recovery() {
+            if ack_off >= self.recover {
+                // Full acknowledgment: leave recovery.
+                self.cc.on_exit_recovery();
+                self.resend_cursor = None;
+            } else {
+                // Partial ACK (NewReno): retransmit the next lost segment.
+                self.cc.on_partial_ack(newly_acked);
+                self.resend_cursor = Some(self.snd_una);
+                self.resend_until = self.snd_una + 1;
+            }
+        } else {
+            self.cc.on_ack(newly_acked);
+        }
+
+        // Restart the retransmission timer.
+        self.rto_expiry = if self.unacked.is_empty() && self.snd_una >= self.snd_max_offset() {
+            None
+        } else {
+            Some(now + self.rtt.rto())
+        };
+    }
+
+    fn on_duplicate_ack(&mut self, now: SimTime) {
+        self.stats.dup_acks += 1;
+        self.dup_ack_count += 1;
+        if self.cc.in_recovery() {
+            self.cc.on_dup_ack_in_recovery();
+            return;
+        }
+        if self.dup_ack_count == 3 {
+            // Fast retransmit: resend the first unacknowledged segment and
+            // enter NewReno recovery.
+            let flight = self.flight_charge();
+            self.cc.on_enter_recovery(flight);
+            self.recover = self.snd_max_offset();
+            self.resend_cursor = Some(self.snd_una);
+            self.resend_until = self.snd_una + 1;
+            self.stats.fast_retransmits += 1;
+            self.rto_expiry = Some(now + self.rtt.rto());
+        }
+    }
+
+    /// Bytes charged against the congestion window for in-flight data.
+    fn flight_charge(&self) -> usize {
+        self.unacked
+            .iter()
+            .filter(|r| !r.sacked)
+            .map(|r| r.charge)
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Timers and output
+    // ------------------------------------------------------------------
+
+    /// The earliest time at which [`poll`](Self::poll) should next be called.
+    pub fn next_timer(&self) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        let mut consider = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                earliest = Some(match earliest {
+                    Some(e) => e.min(t),
+                    None => t,
+                });
+            }
+        };
+        consider(self.rto_expiry);
+        consider(self.time_wait_expiry);
+        if let AckPending::Delayed(t) = self.ack_pending {
+            consider(Some(t));
+        }
+        earliest
+    }
+
+    fn on_rto(&mut self, now: SimTime) {
+        self.stats.timeouts += 1;
+        let flight = self.flight_charge();
+        self.cc.on_rto(flight);
+        self.rtt.backoff();
+        self.rto_backoffs += 1;
+        self.dup_ack_count = 0;
+        // Go-back-N: retransmission restarts from the cumulative ACK point
+        // and re-covers everything outstanding (window permitting); the
+        // scoreboard is rebuilt as segments are re-sent.
+        self.unacked.clear();
+        if self.snd_una < self.snd_max_offset() {
+            self.resend_cursor = Some(self.snd_una);
+            self.resend_until = self.snd_max_offset();
+        }
+        if matches!(self.state, TcpState::SynSent | TcpState::SynRcvd) {
+            self.handshake_pending = true;
+        }
+        self.rto_expiry = Some(now + self.rtt.rto());
+    }
+
+    /// Advance timers and produce any segments that should be transmitted now.
+    pub fn poll(&mut self, now: SimTime) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+
+        // Nothing is ever retransmitted once the connection has terminated;
+        // dropping the timer also lets callers' event loops go idle.
+        if matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
+            self.rto_expiry = None;
+        }
+
+        // Retransmission / handshake timer.
+        if let Some(expiry) = self.rto_expiry {
+            if now >= expiry && !matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
+                self.on_rto(now);
+            }
+        }
+
+        // TIME-WAIT entry and expiry.
+        if self.state == TcpState::TimeWait && self.time_wait_expiry.is_none() {
+            self.time_wait_expiry = Some(now + SimDuration::from_secs(2));
+        }
+        if let Some(tw) = self.time_wait_expiry {
+            if now >= tw {
+                self.state = TcpState::Closed;
+                self.time_wait_expiry = None;
+            }
+        }
+
+        // Handshake segments.
+        if self.handshake_pending {
+            match self.state {
+                TcpState::SynSent => {
+                    out.push(self.make_syn(false));
+                    self.handshake_pending = false;
+                }
+                TcpState::SynRcvd => {
+                    out.push(self.make_syn(true));
+                    self.handshake_pending = false;
+                }
+                _ => self.handshake_pending = false,
+            }
+        }
+
+        if self.is_established() {
+            self.emit_data(now, &mut out);
+            self.maybe_emit_fin(now, &mut out);
+        }
+
+        // A pure ACK if one is still owed after data emission (data segments
+        // piggyback the ACK and clear the pending state).
+        let ack_due = match self.ack_pending {
+            AckPending::Immediate => true,
+            AckPending::Delayed(t) => now >= t,
+            AckPending::None => false,
+        };
+        let can_ack = !matches!(
+            self.state,
+            TcpState::Closed | TcpState::Listen | TcpState::SynSent | TcpState::SynRcvd
+        );
+        if ack_due && can_ack {
+            out.push(self.make_ack());
+            self.stats.acks_sent += 1;
+            self.ack_pending = AckPending::None;
+        }
+
+        self.stats.segments_sent += out.len() as u64;
+        out
+    }
+
+    fn make_syn(&self, is_syn_ack: bool) -> TcpSegment {
+        let mut seg = TcpSegment::bare(
+            self.local_port,
+            self.remote_port,
+            self.iss,
+            if is_syn_ack { self.irs + 1 } else { SeqNum(0) },
+            if is_syn_ack { TcpFlags::SYN_ACK } else { TcpFlags::SYN },
+        );
+        seg.window = self.recv_buf.window() as u32;
+        seg.options = vec![TcpOption::Mss(self.config.mss as u16), TcpOption::SackPermitted];
+        seg
+    }
+
+    fn make_ack(&self) -> TcpSegment {
+        let mut seg = TcpSegment::bare(
+            self.local_port,
+            self.remote_port,
+            self.seq_of_offset(self.snd_max_offset()),
+            self.ack_to_send(),
+            TcpFlags::ACK,
+        );
+        seg.window = self.recv_buf.window() as u32;
+        let sacks = self.recv_buf.sack_blocks(self.irs, 3);
+        if !sacks.is_empty() {
+            seg.options = vec![TcpOption::Sack(sacks)];
+        }
+        seg
+    }
+
+    fn make_data_segment(&mut self, offset: u64, data: Vec<u8>, retransmit: bool) -> TcpSegment {
+        let mut seg = TcpSegment::bare(
+            self.local_port,
+            self.remote_port,
+            self.seq_of_offset(offset),
+            self.ack_to_send(),
+            TcpFlags { psh: true, ..TcpFlags::ACK },
+        );
+        seg.window = self.recv_buf.window() as u32;
+        let sacks = self.recv_buf.sack_blocks(self.irs, 3);
+        if !sacks.is_empty() {
+            seg.options = vec![TcpOption::Sack(sacks)];
+        }
+        if retransmit {
+            self.stats.bytes_retransmitted += data.len() as u64;
+        } else {
+            self.stats.bytes_sent += data.len() as u64;
+        }
+        seg.payload = Bytes::from(data);
+        // Data segments carry the ACK, satisfying any pending ACK obligation.
+        self.ack_pending = AckPending::None;
+        seg
+    }
+
+    /// The maximum payload for one segment: our MSS clamped by the peer's.
+    fn effective_mss(&self) -> usize {
+        self.config.mss.min(self.peer_mss.max(1))
+    }
+
+    /// Whether segments must respect application write boundaries
+    /// (uTCP unordered send keeps each write in its own skbuffs).
+    fn respect_write_boundaries(&self) -> bool {
+        self.opts.unordered_send
+    }
+
+    /// The congestion-window charge for a segment of `len` payload bytes.
+    fn window_charge(&self, len: usize) -> usize {
+        if self.config.skbuff_accounting && self.opts.unordered_send {
+            // Linux counts skbuffs, not bytes: an under-filled skbuff consumes
+            // as much window as a full one (§7, §8.1).
+            self.effective_mss()
+        } else {
+            len
+        }
+    }
+
+    fn emit_data(&mut self, now: SimTime, out: &mut Vec<TcpSegment>) {
+        let mss = self.effective_mss();
+        let respect_boundaries = self.respect_write_boundaries();
+        let effective_window = self.cc.cwnd().min(self.peer_window.max(mss));
+
+        // 1. Retransmissions requested by RTO or fast retransmit / partial ACK.
+        // Fast retransmit and NewReno partial ACKs resend a single segment;
+        // after an RTO the cursor walks the whole outstanding range
+        // (go-back-N), pausing whenever the congestion window is full and
+        // resuming on later polls as ACKs open it again.
+        if let Some(cursor) = self.resend_cursor {
+            let mut offset = cursor.max(self.snd_una);
+            let limit = self.resend_until.min(self.snd_max_offset());
+            let mut sent_any = false;
+            loop {
+                if offset >= limit {
+                    self.resend_cursor = None;
+                    break;
+                }
+                // Skip ranges the peer has already SACKed.
+                if self.is_sacked(offset) {
+                    offset = self.next_unsacked_offset(offset).unwrap_or(limit);
+                    continue;
+                }
+                if self.flight_charge() >= effective_window {
+                    // Window-limited: remember where to resume.
+                    self.resend_cursor = Some(offset);
+                    break;
+                }
+                let max_len = mss.min((self.snd_max_offset() - offset) as usize);
+                let Some(data) = self.send_buf.data_at(offset, max_len, respect_boundaries) else {
+                    self.resend_cursor = None;
+                    break;
+                };
+                let end = offset + data.len() as u64;
+                let charge = self.window_charge(data.len());
+                let seg = self.make_data_segment(offset, data, true);
+                out.push(seg);
+                self.record_transmission(offset, end, charge, now, true);
+                sent_any = true;
+                offset = end;
+            }
+            if sent_any && self.rto_expiry.is_none() {
+                self.rto_expiry = Some(now + self.rtt.rto());
+            }
+        }
+
+        // 2. New data, limited by the usable window.
+        loop {
+            let next = self.snd_max_offset();
+            let available = self.send_buf.available_from(next);
+            if available == 0 {
+                break;
+            }
+            let flight = self.flight_charge();
+            if flight >= effective_window {
+                break;
+            }
+            let max_len = mss.min(available);
+            let Some(data) = self.send_buf.data_at(next, max_len, respect_boundaries) else {
+                break;
+            };
+            let charge = self.window_charge(data.len());
+            if flight > 0 && flight + charge > effective_window {
+                break;
+            }
+            // Nagle: hold back a short segment while data is outstanding.
+            if self.config.nagle
+                && data.len() < mss
+                && flight > 0
+                && !self.close_requested
+            {
+                break;
+            }
+            let end = next + data.len() as u64;
+            let seg = self.make_data_segment(next, data, false);
+            out.push(seg);
+            self.send_buf.mark_transmitted(end);
+            self.record_transmission(next, end, charge, now, false);
+            if self.rto_expiry.is_none() {
+                self.rto_expiry = Some(now + self.rtt.rto());
+            }
+        }
+    }
+
+    fn record_transmission(
+        &mut self,
+        start: u64,
+        end: u64,
+        charge: usize,
+        now: SimTime,
+        retransmitted: bool,
+    ) {
+        if retransmitted {
+            self.stats.retransmissions += 1;
+        }
+        self.unacked.push_back(TxRecord {
+            start,
+            end,
+            charge,
+            sent_at: now,
+            retransmitted,
+            sacked: false,
+        });
+    }
+
+    fn is_sacked(&self, offset: u64) -> bool {
+        self.unacked
+            .iter()
+            .any(|r| r.sacked && offset >= r.start && offset < r.end)
+    }
+
+    fn next_unsacked_offset(&self, offset: u64) -> Option<u64> {
+        self.unacked
+            .iter()
+            .filter(|r| r.sacked && offset >= r.start && offset < r.end)
+            .map(|r| r.end)
+            .max()
+    }
+
+    fn maybe_emit_fin(&mut self, now: SimTime, out: &mut Vec<TcpSegment>) {
+        if !self.close_requested || self.fin_sent {
+            return;
+        }
+        // Send the FIN only once all queued data has been transmitted.
+        if self.send_buf.available_from(self.snd_max_offset()) > 0 {
+            return;
+        }
+        let fin_off = self.send_buf.end_offset();
+        self.fin_offset = Some(fin_off);
+        self.fin_sent = true;
+        let mut seg = TcpSegment::bare(
+            self.local_port,
+            self.remote_port,
+            self.seq_of_offset(fin_off),
+            self.ack_to_send(),
+            TcpFlags::FIN_ACK,
+        );
+        seg.window = self.recv_buf.window() as u32;
+        out.push(seg);
+        self.ack_pending = AckPending::None;
+        match self.state {
+            TcpState::Established => self.state = TcpState::FinWait1,
+            TcpState::CloseWait => self.state = TcpState::LastAck,
+            _ => {}
+        }
+        if self.rto_expiry.is_none() {
+            self.rto_expiry = Some(now + self.rtt.rto());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CcAlgorithm;
+
+    /// Drive two connections against each other through an in-memory "wire"
+    /// that can drop chosen data segments. Returns when both sides go idle.
+    struct Harness {
+        client: TcpConnection,
+        server: TcpConnection,
+        now: SimTime,
+        /// One-way delay of the wire.
+        delay: SimDuration,
+        /// In-flight segments: (arrival time, to_server?, segment)
+        wire: Vec<(SimTime, bool, TcpSegment)>,
+        /// Data-segment indices (1-based count of data segments sent by the
+        /// client) to drop once.
+        drop_client_data: Vec<u64>,
+        client_data_count: u64,
+    }
+
+    impl Harness {
+        fn new(client_opts: SocketOptions, server_opts: SocketOptions) -> Self {
+            let cfg = TcpConfig::default().with_fixed_isn(1000);
+            let mut client = TcpConnection::new(10000, 80, cfg.clone(), client_opts);
+            let mut server = TcpConnection::new(80, 10000, cfg, server_opts);
+            client.open(SimTime::ZERO);
+            server.listen();
+            Harness {
+                client,
+                server,
+                now: SimTime::ZERO,
+                delay: SimDuration::from_millis(30),
+                wire: Vec::new(),
+                drop_client_data: Vec::new(),
+                client_data_count: 0,
+            }
+        }
+
+        fn transfer(&mut self) {
+            // Collect outgoing segments from both endpoints.
+            for seg in self.client.poll(self.now) {
+                let is_data = !seg.payload.is_empty();
+                if is_data {
+                    self.client_data_count += 1;
+                    if self.drop_client_data.contains(&self.client_data_count) {
+                        continue;
+                    }
+                }
+                self.wire.push((self.now + self.delay, true, seg));
+            }
+            for seg in self.server.poll(self.now) {
+                self.wire.push((self.now + self.delay, false, seg));
+            }
+        }
+
+        /// Advance time to the next event and deliver due segments.
+        fn step(&mut self) -> bool {
+            self.transfer();
+            // Find next event time: wire arrival or connection timer.
+            let mut next: Option<SimTime> = None;
+            let mut consider = |t: Option<SimTime>| {
+                if let Some(t) = t {
+                    next = Some(match next {
+                        Some(n) => n.min(t),
+                        None => t,
+                    });
+                }
+            };
+            consider(self.wire.iter().map(|(t, _, _)| *t).min());
+            consider(self.client.next_timer());
+            consider(self.server.next_timer());
+            let Some(next) = next else { return false };
+            self.now = self.now.max(next);
+            // Deliver all due segments.
+            let due: Vec<(SimTime, bool, TcpSegment)> = {
+                let mut due = vec![];
+                let mut keep = vec![];
+                for item in self.wire.drain(..) {
+                    if item.0 <= self.now {
+                        due.push(item);
+                    } else {
+                        keep.push(item);
+                    }
+                }
+                self.wire = keep;
+                due
+            };
+            for (_, to_server, seg) in due {
+                if to_server {
+                    self.server.on_segment(&seg, self.now);
+                } else {
+                    self.client.on_segment(&seg, self.now);
+                }
+            }
+            true
+        }
+
+        fn run_until(&mut self, deadline: SimTime) {
+            let mut guard = 0u32;
+            while self.now < deadline {
+                if !self.step() {
+                    break;
+                }
+                guard += 1;
+                assert!(guard < 500_000, "harness stopped making progress");
+            }
+        }
+
+        fn run_until_idle(&mut self, max_time: SimTime) {
+            let mut guard = 0u32;
+            loop {
+                self.transfer();
+                if self.wire.is_empty()
+                    && self.client.next_timer().is_none()
+                    && self.server.next_timer().is_none()
+                {
+                    break;
+                }
+                if !self.step() || self.now >= max_time {
+                    break;
+                }
+                guard += 1;
+                assert!(guard < 500_000, "harness stopped making progress");
+            }
+        }
+
+        fn drain_server_bytes(&mut self) -> Vec<u8> {
+            let mut chunks = vec![];
+            while let Some(c) = self.server.read() {
+                chunks.push(c);
+            }
+            // Reassemble by offset (handles unordered delivery).
+            let mut out = vec![];
+            chunks.sort_by_key(|c| c.offset);
+            for c in chunks {
+                let off = c.offset as usize;
+                if out.len() < off + c.len() {
+                    out.resize(off + c.len(), 0);
+                }
+                out[off..off + c.len()].copy_from_slice(&c.data);
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn three_way_handshake_establishes_both_sides() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(500));
+        assert_eq!(h.client.state(), TcpState::Established);
+        assert_eq!(h.server.state(), TcpState::Established);
+        assert!(h.client.srtt().is_some(), "client sampled RTT from handshake");
+    }
+
+    #[test]
+    fn bulk_transfer_without_loss_delivers_all_bytes_in_order() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(200));
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        h.client.write(&data).unwrap();
+        h.run_until_idle(SimTime::from_secs(30));
+        let received = h.drain_server_bytes();
+        assert_eq!(received.len(), data.len());
+        assert_eq!(received, data);
+        assert_eq!(h.client.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn lost_segment_is_recovered_by_fast_retransmit() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(200));
+        let data: Vec<u8> = (0..60_000u32).map(|i| (i % 253) as u8).collect();
+        h.client.write(&data).unwrap();
+        h.drop_client_data = vec![5];
+        h.run_until_idle(SimTime::from_secs(60));
+        let received = h.drain_server_bytes();
+        assert_eq!(received, data, "all data eventually delivered despite loss");
+        assert!(h.client.stats().retransmissions >= 1);
+        assert!(
+            h.client.stats().fast_retransmits >= 1,
+            "loss with plenty of following data should trigger fast retransmit, stats={:?}",
+            h.client.stats()
+        );
+    }
+
+    #[test]
+    fn lost_segment_at_tail_is_recovered_by_rto() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(200));
+        // Two-segment write, drop the last data segment: not enough dupacks,
+        // so recovery must come from the retransmission timeout.
+        let data: Vec<u8> = vec![7u8; 2000];
+        h.client.write(&data).unwrap();
+        h.drop_client_data = vec![2];
+        h.run_until_idle(SimTime::from_secs(120));
+        let received = h.drain_server_bytes();
+        assert_eq!(received, data);
+        assert!(h.client.stats().timeouts >= 1, "stats={:?}", h.client.stats());
+    }
+
+    #[test]
+    fn standard_receiver_blocks_delivery_behind_a_hole() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(200));
+        let data: Vec<u8> = (0..4000u32).map(|i| (i % 250) as u8).collect();
+        h.client.write(&data).unwrap();
+        h.drop_client_data = vec![1];
+        // Run just long enough for the first window of segments to arrive but
+        // not long enough for loss recovery (RTO is at least 200 ms away).
+        h.run_until(h.now + SimDuration::from_millis(150));
+        // Standard TCP: nothing readable, the first segment is missing.
+        assert!(!h.server.readable(), "hole blocks all delivery on standard TCP");
+    }
+
+    #[test]
+    fn unordered_receiver_delivers_past_a_hole_immediately() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::utcp());
+        h.run_until(SimTime::from_millis(200));
+        let data: Vec<u8> = (0..4000u32).map(|i| (i % 250) as u8).collect();
+        h.client.write(&data).unwrap();
+        h.drop_client_data = vec![1];
+        h.run_until(h.now + SimDuration::from_millis(150));
+        // uTCP: segments after the hole are already available, with offsets.
+        assert!(h.server.readable(), "uTCP delivers out-of-order data early");
+        let mut saw_out_of_order = false;
+        while let Some(c) = h.server.read() {
+            if !c.in_order {
+                saw_out_of_order = true;
+                assert!(c.offset > 0);
+                let expected: Vec<u8> = (c.offset..c.offset + c.len() as u64)
+                    .map(|i| (i % 250) as u8)
+                    .collect();
+                assert_eq!(&c.data[..], &expected[..], "offset metadata is accurate");
+            }
+        }
+        assert!(saw_out_of_order);
+    }
+
+    #[test]
+    fn wire_format_is_identical_for_utcp() {
+        // Run the same deterministic transfer with and without uTCP options on
+        // the receiver and compare every segment the *sender* puts on the wire
+        // as well as the receiver's ACK stream lengths: uTCP must not change
+        // wire-visible behaviour when no loss occurs.
+        fn run(receiver_opts: SocketOptions) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+            let mut h = Harness::new(SocketOptions::standard(), receiver_opts);
+            let mut client_wire: Vec<Vec<u8>> = vec![];
+            let mut server_wire: Vec<Vec<u8>> = vec![];
+            h.run_until(SimTime::from_millis(200));
+            h.client.write(&vec![42u8; 30_000]).unwrap();
+            // Manually step so we can capture segments.
+            for _ in 0..2000 {
+                for seg in h.client.poll(h.now) {
+                    client_wire.push(seg.encode());
+                    h.wire.push((h.now + h.delay, true, seg));
+                }
+                for seg in h.server.poll(h.now) {
+                    server_wire.push(seg.encode());
+                    h.wire.push((h.now + h.delay, false, seg));
+                }
+                let next = h
+                    .wire
+                    .iter()
+                    .map(|(t, _, _)| *t)
+                    .min()
+                    .into_iter()
+                    .chain(h.client.next_timer())
+                    .chain(h.server.next_timer())
+                    .min();
+                let Some(next) = next else { break };
+                h.now = h.now.max(next);
+                let mut keep = vec![];
+                for (t, to_server, seg) in h.wire.drain(..) {
+                    if t <= h.now {
+                        if to_server {
+                            h.server.on_segment(&seg, h.now);
+                        } else {
+                            h.client.on_segment(&seg, h.now);
+                        }
+                    } else {
+                        keep.push((t, to_server, seg));
+                    }
+                }
+                h.wire = keep;
+                while h.server.read().is_some() {}
+            }
+            (client_wire, server_wire)
+        }
+        let (tcp_client, tcp_server) = run(SocketOptions::standard());
+        let (utcp_client, utcp_server) = run(SocketOptions::utcp());
+        assert_eq!(tcp_client, utcp_client, "sender wire behaviour unchanged");
+        assert_eq!(tcp_server, utcp_server, "receiver ACK stream unchanged");
+    }
+
+    #[test]
+    fn unordered_send_prioritization_reorders_untransmitted_data() {
+        let cfg = TcpConfig::default().with_fixed_isn(1);
+        let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::utcp());
+        c.open(SimTime::ZERO);
+        // Complete handshake manually.
+        let syn = &c.poll(SimTime::ZERO)[0];
+        let mut synack = TcpSegment::bare(2, 1, SeqNum(5000), syn.seq + 1, TcpFlags::SYN_ACK);
+        synack.options = vec![TcpOption::Mss(1448), TcpOption::SackPermitted];
+        synack.window = 1 << 20;
+        c.on_segment(&synack, SimTime::from_millis(1));
+        assert!(c.is_established());
+        // Ten low-priority bulk writes; the initial congestion window only
+        // lets the first three leave immediately.
+        for _ in 0..10 {
+            c.write_with_meta(&[0u8; 1448], WriteMeta::with_priority(0)).unwrap();
+        }
+        let first = c.poll(SimTime::from_millis(2));
+        assert_eq!(first.iter().filter(|s| !s.payload.is_empty()).count(), 3);
+        // A high-priority message written afterwards must pass the seven bulk
+        // writes still waiting in the send queue (but not the three already
+        // transmitted).
+        c.write_with_meta(b"URGENT", WriteMeta::with_priority(9)).unwrap();
+        let mut ack = TcpSegment::bare(
+            2,
+            1,
+            SeqNum(5001),
+            first.last().unwrap().seq_end(),
+            TcpFlags::ACK,
+        );
+        ack.window = 1 << 20;
+        c.on_segment(&ack, SimTime::from_millis(60));
+        let next = c.poll(SimTime::from_millis(60));
+        let data_segs: Vec<&TcpSegment> = next.iter().filter(|s| !s.payload.is_empty()).collect();
+        assert!(!data_segs.is_empty());
+        assert_eq!(
+            data_segs[0].payload.as_ref(),
+            b"URGENT",
+            "urgent data leads the next flight, ahead of queued bulk"
+        );
+        // The remaining bulk data still follows afterwards.
+        assert!(data_segs[1..]
+            .iter()
+            .any(|s| s.payload.iter().all(|&b| b == 0)));
+    }
+
+    #[test]
+    fn cc_disabled_sends_entire_window_at_once() {
+        let cfg = TcpConfig::default().with_fixed_isn(1).with_cc(CcAlgorithm::None);
+        let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::standard());
+        c.open(SimTime::ZERO);
+        let syn = &c.poll(SimTime::ZERO)[0];
+        let mut synack = TcpSegment::bare(2, 1, SeqNum(5000), syn.seq + 1, TcpFlags::SYN_ACK);
+        synack.options = vec![TcpOption::Mss(1448), TcpOption::SackPermitted];
+        synack.window = 1 << 20;
+        c.on_segment(&synack, SimTime::from_millis(1));
+        c.write(&vec![0u8; 100 * 1448]).unwrap();
+        let segs = c.poll(SimTime::from_millis(2));
+        // Without congestion control, the whole backlog goes out (peer window
+        // permitting) in a single poll.
+        assert_eq!(segs.iter().map(|s| s.payload.len()).sum::<usize>(), 100 * 1448);
+    }
+
+    #[test]
+    fn orderly_close_reaches_closed_states_on_both_sides() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(200));
+        h.client.write(b"goodbye").unwrap();
+        h.client.close();
+        h.run_until(SimTime::from_millis(400));
+        h.server.close();
+        h.run_until_idle(SimTime::from_secs(10));
+        assert_eq!(h.drain_server_bytes(), b"goodbye");
+        assert!(h.client.is_closed(), "client state: {:?}", h.client.state());
+        assert!(h.server.is_closed(), "server state: {:?}", h.server.state());
+    }
+
+    #[test]
+    fn write_before_connect_fails() {
+        let mut c = TcpConnection::new(
+            1,
+            2,
+            TcpConfig::default(),
+            SocketOptions::standard(),
+        );
+        assert_eq!(c.write(b"x"), Err(TcpError::NotConnected));
+    }
+
+    #[test]
+    fn write_after_close_fails() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(200));
+        h.client.close();
+        assert_eq!(h.client.write(b"x"), Err(TcpError::Closed));
+    }
+
+    #[test]
+    fn send_buffer_backpressure_reports_full() {
+        let cfg = TcpConfig::default().with_buffers(1000, 65536).with_fixed_isn(3);
+        let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::standard());
+        c.open(SimTime::ZERO);
+        let _ = c.poll(SimTime::ZERO);
+        // Can't transmit (no handshake reply), so the buffer fills and then
+        // reports backpressure.
+        assert!(c.write(&vec![0u8; 900]).is_ok());
+        assert_eq!(c.write(&vec![0u8; 200]), Err(TcpError::BufferFull));
+    }
+
+    #[test]
+    fn duplicate_acks_are_counted() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(200));
+        let data: Vec<u8> = vec![1u8; 80_000];
+        h.client.write(&data).unwrap();
+        h.drop_client_data = vec![3];
+        h.run_until_idle(SimTime::from_secs(60));
+        assert!(h.client.stats().dup_acks >= 3);
+        assert_eq!(h.drain_server_bytes(), data);
+    }
+
+    #[test]
+    fn stats_track_bytes_sent_and_acked() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(200));
+        let data = vec![9u8; 10_000];
+        h.client.write(&data).unwrap();
+        h.run_until_idle(SimTime::from_secs(10));
+        assert_eq!(h.client.stats().bytes_sent, 10_000);
+        assert_eq!(h.client.stats().bytes_acked, 10_000);
+        assert_eq!(h.server.stats().bytes_received, 10_000);
+    }
+}

@@ -1,0 +1,48 @@
+//! # minion-tcp
+//!
+//! A userspace TCP implementation with the paper's **uTCP** extensions
+//! ("Fitting Square Pegs Through Round Pipes", NSDI 2012, §4).
+//!
+//! The crate provides a faithful, deterministic TCP endpoint — handshake,
+//! cumulative/selective acknowledgments, RTT estimation, retransmission
+//! timeouts, fast retransmit with NewReno recovery, congestion and flow
+//! control, delayed ACKs, and orderly close — plus the two uTCP socket
+//! options:
+//!
+//! * [`SocketOptions::unordered_receive`] (`SO_UNORDERED`): arriving segments
+//!   are handed to the application immediately, each tagged with its logical
+//!   stream offset ([`DeliveredChunk`]), without waiting for earlier holes to
+//!   fill. Wire-visible behaviour (ACKs, SACKs, advertised window) is
+//!   unchanged.
+//! * [`SocketOptions::unordered_send`] (`SO_UNORDEREDSEND`): application
+//!   writes carry a priority tag ([`WriteMeta`]) and may pass lower-priority
+//!   writes that have not yet been transmitted; an optional squash flag
+//!   discards superseded untransmitted writes.
+//!
+//! The connection object is sans-I/O: it consumes arriving [`TcpSegment`]s,
+//! produces outgoing segments from [`TcpConnection::poll`], and is driven by
+//! virtual time ([`minion_simnet::SimTime`]), making it usable both under the
+//! discrete-event simulator (`minion-stack`) and in unit tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod config;
+pub mod connection;
+pub mod delivered;
+pub mod recvbuf;
+pub mod rtt;
+pub mod segment;
+pub mod sendbuf;
+pub mod seq;
+
+pub use cc::{CcStats, CongestionControl};
+pub use config::{CcAlgorithm, SocketOptions, TcpConfig, WriteMeta};
+pub use connection::{ConnStats, TcpConnection, TcpError, TcpState};
+pub use delivered::DeliveredChunk;
+pub use recvbuf::{ReceiveBuffer, RecvStats};
+pub use rtt::RttEstimator;
+pub use segment::{SackBlock, TcpFlags, TcpOption, TcpSegment};
+pub use sendbuf::{BufferFull, SendBuffer};
+pub use seq::SeqNum;

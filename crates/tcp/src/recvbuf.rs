@@ -1,0 +1,434 @@
+//! The TCP receive path: reassembly, SACK generation, and uTCP's
+//! receive-side extension (§4.1).
+//!
+//! A conventional receiver holds out-of-order segments in a reordering queue
+//! and releases data to the application only once the sequence-space gap
+//! before it has been filled. With `SO_UNORDERED` enabled, every arriving
+//! segment is *also* pushed to the application immediately, tagged with its
+//! stream offset, while all wire-visible behaviour (cumulative ACK, SACK
+//! blocks, advertised window) remains exactly that of standard TCP.
+
+use crate::delivered::DeliveredChunk;
+use crate::segment::SackBlock;
+use crate::seq::SeqNum;
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Receive-path statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecvStats {
+    /// Segments that arrived exactly at the cumulative point.
+    pub in_order_segments: u64,
+    /// Segments that arrived above the cumulative point (a gap exists).
+    pub out_of_order_segments: u64,
+    /// Segments that carried only already-received data.
+    pub duplicate_segments: u64,
+    /// Total payload bytes accepted.
+    pub bytes_received: u64,
+    /// Chunks delivered to the application ahead of the cumulative point.
+    pub early_deliveries: u64,
+}
+
+/// The receive buffer / reassembly queue for one connection.
+#[derive(Clone, Debug)]
+pub struct ReceiveBuffer {
+    /// Next expected in-order stream offset (receive.next − ISN − 1).
+    rcv_nxt: u64,
+    /// Out-of-order store: non-overlapping, non-adjacent runs keyed by offset.
+    ooo: BTreeMap<u64, Vec<u8>>,
+    /// Data ready for the application.
+    ready: VecDeque<DeliveredChunk>,
+    /// Bytes currently sitting in `ready` (not yet read by the application).
+    ready_bytes: usize,
+    /// Bytes in `ready` that were delivered at the cumulative in-order point;
+    /// only these count against the advertised window, so that the window is
+    /// wire-identical to a standard TCP receiver (out-of-order early
+    /// deliveries are still accounted through the reassembly store).
+    in_order_ready_bytes: usize,
+    capacity: usize,
+    /// Whether uTCP's unordered delivery is enabled.
+    unordered: bool,
+    stats: RecvStats,
+}
+
+impl ReceiveBuffer {
+    /// Create a receive buffer with the given advertised-window capacity.
+    pub fn new(capacity: usize, unordered: bool) -> Self {
+        ReceiveBuffer {
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            ready: VecDeque::new(),
+            ready_bytes: 0,
+            in_order_ready_bytes: 0,
+            capacity,
+            unordered,
+            stats: RecvStats::default(),
+        }
+    }
+
+    /// Enable or disable unordered delivery at runtime (the socket option can
+    /// be set after the connection is established).
+    pub fn set_unordered(&mut self, unordered: bool) {
+        self.unordered = unordered;
+    }
+
+    /// Whether unordered delivery is enabled.
+    pub fn unordered(&self) -> bool {
+        self.unordered
+    }
+
+    /// The next expected in-order stream offset (drives the cumulative ACK).
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Receive statistics.
+    pub fn stats(&self) -> &RecvStats {
+        &self.stats
+    }
+
+    /// Total bytes held in the out-of-order store.
+    pub fn ooo_bytes(&self) -> usize {
+        self.ooo.values().map(|v| v.len()).sum()
+    }
+
+    /// The advertised receive window.
+    ///
+    /// As in standard TCP, the window tracks the cumulative in-order point and
+    /// application consumption; delivering data out-of-order to the
+    /// application does **not** open the window early (§4.1).
+    pub fn window(&self) -> usize {
+        self.capacity
+            .saturating_sub(self.in_order_ready_bytes)
+            .saturating_sub(self.ooo_bytes())
+    }
+
+    /// Accept a data segment at stream offset `offset`.
+    pub fn on_data(&mut self, offset: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let end = offset + data.len() as u64;
+        if end <= self.rcv_nxt {
+            self.stats.duplicate_segments += 1;
+            return;
+        }
+
+        let in_order = offset <= self.rcv_nxt;
+        if in_order {
+            self.stats.in_order_segments += 1;
+        } else {
+            self.stats.out_of_order_segments += 1;
+        }
+
+        // uTCP: hand the arriving segment to the application immediately,
+        // before reassembly, tagged with its stream offset. Duplicate and
+        // overlapping deliveries are permitted (at-least-once semantics).
+        if self.unordered {
+            let (chunk_off, chunk_data) = if offset < self.rcv_nxt {
+                // Trim the already-delivered prefix to avoid re-delivering the
+                // in-order region on every retransmission.
+                let skip = (self.rcv_nxt - offset) as usize;
+                (self.rcv_nxt, &data[skip..])
+            } else {
+                (offset, data)
+            };
+            if !chunk_data.is_empty() {
+                if !in_order {
+                    self.stats.early_deliveries += 1;
+                }
+                self.push_ready(DeliveredChunk::new(
+                    chunk_off,
+                    in_order,
+                    Bytes::copy_from_slice(chunk_data),
+                ));
+            }
+        }
+
+        // Insert into the reassembly store (merging overlaps), then advance
+        // the cumulative point over any now-contiguous data.
+        self.insert_ooo(offset, data);
+        self.advance_cumulative();
+        self.stats.bytes_received += data.len() as u64;
+    }
+
+    fn push_ready(&mut self, chunk: DeliveredChunk) {
+        self.ready_bytes += chunk.len();
+        if chunk.in_order {
+            self.in_order_ready_bytes += chunk.len();
+        }
+        self.ready.push_back(chunk);
+    }
+
+    /// Merge a run into the out-of-order store, coalescing overlaps.
+    fn insert_ooo(&mut self, offset: u64, data: &[u8]) {
+        let mut start = offset;
+        let mut buf = data.to_vec();
+
+        // Merge with any predecessor that overlaps or abuts.
+        if let Some((&pstart, pdata)) = self.ooo.range(..=start).next_back() {
+            let pend = pstart + pdata.len() as u64;
+            if pend >= start {
+                // Overlaps/abuts: extend the predecessor, keeping its tail if
+                // the new data is wholly contained within it.
+                let keep = (start - pstart) as usize;
+                let mut merged = pdata[..keep].to_vec();
+                merged.extend_from_slice(&buf);
+                let new_end = start + buf.len() as u64;
+                if pend > new_end {
+                    merged.extend_from_slice(&pdata[(new_end - pstart) as usize..]);
+                }
+                start = pstart;
+                buf = merged;
+                self.ooo.remove(&pstart);
+            }
+        }
+
+        // Merge with any successors covered by or abutting the new run.
+        let mut end = start + buf.len() as u64;
+        loop {
+            let Some((&sstart, sdata)) = self.ooo.range(start..).next() else { break };
+            if sstart > end {
+                break;
+            }
+            let send = sstart + sdata.len() as u64;
+            if send > end {
+                let skip = (end - sstart) as usize;
+                buf.extend_from_slice(&sdata[skip..]);
+                end = send;
+            }
+            self.ooo.remove(&sstart);
+        }
+
+        self.ooo.insert(start, buf);
+    }
+
+    /// Advance `rcv_nxt` over contiguous data and (for ordered delivery) queue
+    /// the newly in-order bytes to the application.
+    fn advance_cumulative(&mut self) {
+        while let Some((&start, run)) = self.ooo.range(..=self.rcv_nxt).next_back() {
+            let end = start + run.len() as u64;
+            if end <= self.rcv_nxt {
+                // Entirely below the cumulative point: retire it.
+                self.ooo.remove(&start);
+                continue;
+            }
+            if start > self.rcv_nxt {
+                break;
+            }
+            // Run crosses the cumulative point.
+            let newly = &run[(self.rcv_nxt - start) as usize..];
+            if !self.unordered {
+                let chunk =
+                    DeliveredChunk::new(self.rcv_nxt, true, Bytes::copy_from_slice(newly));
+                self.push_ready(chunk);
+            }
+            self.rcv_nxt = end;
+            self.ooo.remove(&start);
+        }
+    }
+
+    /// Pop the next chunk ready for the application, if any.
+    pub fn read(&mut self) -> Option<DeliveredChunk> {
+        let chunk = self.ready.pop_front()?;
+        self.ready_bytes -= chunk.len();
+        if chunk.in_order {
+            self.in_order_ready_bytes -= chunk.len();
+        }
+        Some(chunk)
+    }
+
+    /// Whether any data is ready for the application.
+    pub fn readable(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Number of chunks queued for the application.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Current SACK blocks describing the out-of-order runs above the
+    /// cumulative point, most recent first, at most `max_blocks`.
+    pub fn sack_blocks(&self, isn: SeqNum, max_blocks: usize) -> Vec<SackBlock> {
+        // Data offset 0 corresponds to sequence number ISN + 1 (after the SYN).
+        let base = isn + 1;
+        let mut blocks: Vec<SackBlock> = self
+            .ooo
+            .iter()
+            .filter(|(&start, run)| start + run.len() as u64 > self.rcv_nxt && start > self.rcv_nxt)
+            .map(|(&start, run)| SackBlock {
+                start: base + start as u32,
+                end: base + (start + run.len() as u64) as u32,
+            })
+            .collect();
+        // Report the highest (most recently useful) blocks first.
+        blocks.reverse();
+        blocks.truncate(max_blocks);
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ordered() -> ReceiveBuffer {
+        ReceiveBuffer::new(1 << 20, false)
+    }
+
+    fn unordered() -> ReceiveBuffer {
+        ReceiveBuffer::new(1 << 20, true)
+    }
+
+    fn drain(rb: &mut ReceiveBuffer) -> Vec<DeliveredChunk> {
+        let mut v = vec![];
+        while let Some(c) = rb.read() {
+            v.push(c);
+        }
+        v
+    }
+
+    #[test]
+    fn ordered_delivery_waits_for_gap_fill() {
+        let mut rb = ordered();
+        rb.on_data(0, &[1u8; 100]);
+        rb.on_data(200, &[3u8; 100]); // gap at [100, 200)
+        let chunks = drain(&mut rb);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].offset, 0);
+        assert_eq!(rb.rcv_nxt(), 100);
+        // Fill the hole: both the hole and the buffered later data deliver.
+        rb.on_data(100, &[2u8; 100]);
+        let chunks = drain(&mut rb);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].offset, 100);
+        assert_eq!(chunks[0].len(), 200);
+        assert_eq!(rb.rcv_nxt(), 300);
+        assert!(chunks.iter().all(|c| c.in_order));
+    }
+
+    #[test]
+    fn unordered_delivery_is_immediate_with_offsets() {
+        let mut rb = unordered();
+        rb.on_data(0, &[1u8; 100]);
+        rb.on_data(200, &[3u8; 100]);
+        let chunks = drain(&mut rb);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].offset, 0);
+        assert!(chunks[0].in_order);
+        assert_eq!(chunks[1].offset, 200);
+        assert!(!chunks[1].in_order, "delivered despite the hole");
+        // The cumulative point still reflects only in-order data, as TCP would.
+        assert_eq!(rb.rcv_nxt(), 100);
+        assert_eq!(rb.stats().early_deliveries, 1);
+    }
+
+    #[test]
+    fn unordered_mode_does_not_redeliver_hole_fill_twice() {
+        let mut rb = unordered();
+        rb.on_data(0, &[1u8; 100]);
+        rb.on_data(200, &[3u8; 100]);
+        drain(&mut rb);
+        rb.on_data(100, &[2u8; 100]);
+        let chunks = drain(&mut rb);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].offset, 100);
+        assert_eq!(chunks[0].len(), 100);
+        assert_eq!(rb.rcv_nxt(), 300);
+    }
+
+    #[test]
+    fn retransmission_overlap_is_trimmed_in_unordered_mode() {
+        let mut rb = unordered();
+        rb.on_data(0, &[1u8; 100]);
+        drain(&mut rb);
+        // A retransmission covering [0, 150): only [100, 150) is new.
+        rb.on_data(0, &[1u8; 150]);
+        let chunks = drain(&mut rb);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].offset, 100);
+        assert_eq!(chunks[0].len(), 50);
+    }
+
+    #[test]
+    fn exact_duplicates_are_counted_and_ignored() {
+        let mut rb = ordered();
+        rb.on_data(0, &[1u8; 100]);
+        rb.on_data(0, &[1u8; 100]);
+        assert_eq!(rb.stats().duplicate_segments, 1);
+        assert_eq!(drain(&mut rb).len(), 1);
+    }
+
+    #[test]
+    fn overlapping_out_of_order_runs_merge() {
+        let mut rb = ordered();
+        rb.on_data(100, &[2u8; 100]);
+        rb.on_data(150, &[2u8; 100]); // overlaps previous run
+        rb.on_data(300, &[4u8; 50]);
+        assert_eq!(rb.ooo_bytes(), 150 + 50);
+        rb.on_data(0, &[1u8; 100]);
+        assert_eq!(rb.rcv_nxt(), 250);
+        rb.on_data(250, &[3u8; 50]);
+        assert_eq!(rb.rcv_nxt(), 350);
+        let total: usize = drain(&mut rb).iter().map(|c| c.len()).sum();
+        assert_eq!(total, 350);
+    }
+
+    #[test]
+    fn sack_blocks_describe_out_of_order_runs() {
+        let mut rb = ordered();
+        let isn = SeqNum(1000);
+        rb.on_data(0, &[0u8; 100]);
+        rb.on_data(200, &[0u8; 100]);
+        rb.on_data(400, &[0u8; 100]);
+        let blocks = rb.sack_blocks(isn, 3);
+        assert_eq!(blocks.len(), 2);
+        // Most recent (highest) block first; offsets are ISN+1-relative.
+        assert_eq!(blocks[0].start, SeqNum(1001 + 400));
+        assert_eq!(blocks[0].end, SeqNum(1001 + 500));
+        assert_eq!(blocks[1].start, SeqNum(1001 + 200));
+        assert_eq!(blocks[1].end, SeqNum(1001 + 300));
+        // Once holes fill, no SACK blocks remain.
+        rb.on_data(100, &[0u8; 100]);
+        rb.on_data(300, &[0u8; 100]);
+        assert!(rb.sack_blocks(isn, 3).is_empty());
+    }
+
+    #[test]
+    fn window_shrinks_with_unread_and_ooo_data() {
+        let mut rb = ReceiveBuffer::new(1000, false);
+        assert_eq!(rb.window(), 1000);
+        rb.on_data(0, &[0u8; 300]);
+        assert_eq!(rb.window(), 700, "unread in-order data consumes window");
+        rb.on_data(500, &[0u8; 200]);
+        assert_eq!(rb.window(), 500, "out-of-order data consumes window");
+        rb.read();
+        assert_eq!(rb.window(), 800);
+    }
+
+    #[test]
+    fn unordered_window_matches_ordered_window_behaviour() {
+        // Wire-visible behaviour must be identical: delivering data early must
+        // not open the advertised window early.
+        let mut ordered_rb = ReceiveBuffer::new(1000, false);
+        let mut unordered_rb = ReceiveBuffer::new(1000, true);
+        for rb in [&mut ordered_rb, &mut unordered_rb] {
+            rb.on_data(100, &[0u8; 200]);
+        }
+        // Even though the unordered receiver handed the bytes to the app...
+        assert_eq!(unordered_rb.ready_len(), 1);
+        assert_eq!(ordered_rb.ready_len(), 0);
+        // ...the advertised windows are the same.
+        assert_eq!(ordered_rb.window(), unordered_rb.window());
+        assert_eq!(ordered_rb.rcv_nxt(), unordered_rb.rcv_nxt());
+    }
+
+    #[test]
+    fn empty_data_is_ignored() {
+        let mut rb = unordered();
+        rb.on_data(0, &[]);
+        assert!(!rb.readable());
+        assert_eq!(rb.stats().bytes_received, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Round-trip-time estimation and retransmission-timeout computation,
+//! following Jacobson/Karels (RFC 6298) with Karn's rule applied by the
+//! caller (retransmitted segments are never sampled).
+
+use minion_simnet::SimDuration;
+
+/// RTT estimator maintaining smoothed RTT and RTT variance.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// Create an estimator with the given RTO clamp. The initial RTO before
+    /// any sample is 1 second (RFC 6298 §2.1), clamped to the bounds.
+    pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        let initial = SimDuration::from_secs(1).max(min_rto).min(max_rto);
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: initial,
+            min_rto,
+            max_rto,
+            samples: 0,
+        }
+    }
+
+    /// Record an RTT sample from a non-retransmitted segment.
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        self.samples += 1;
+        match self.srtt {
+            None => {
+                // First measurement: SRTT = R, RTTVAR = R/2.
+                self.srtt = Some(rtt);
+                self.rttvar = rtt.div(2);
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
+                let delta = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = SimDuration::from_micros(
+                    (self.rttvar.as_micros() * 3 + delta.as_micros()) / 4,
+                );
+                // SRTT = 7/8 SRTT + 1/8 R
+                self.srtt = Some(SimDuration::from_micros(
+                    (srtt.as_micros() * 7 + rtt.as_micros()) / 8,
+                ));
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        // RTO = SRTT + max(G, 4*RTTVAR); we use a 1 ms clock granularity.
+        let var_term = self
+            .rttvar
+            .saturating_mul(4)
+            .max(SimDuration::from_millis(1));
+        self.rto = (srtt + var_term).max(self.min_rto).min(self.max_rto);
+    }
+
+    /// Exponentially back off the RTO after a retransmission timeout.
+    pub fn backoff(&mut self) {
+        self.rto = self.rto.saturating_mul(2).min(self.max_rto);
+    }
+
+    /// The current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// The smoothed RTT, if at least one sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// The RTT variance estimate.
+    pub fn rttvar(&self) -> SimDuration {
+        self.rttvar
+    }
+
+    /// Number of samples incorporated.
+    pub fn sample_count(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(60))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let e = RttEstimator::default();
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        assert!(e.srtt().is_none());
+    }
+
+    #[test]
+    fn first_sample_initializes_srtt() {
+        let mut e = RttEstimator::default();
+        e.on_sample(SimDuration::from_millis(60));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(60)));
+        assert_eq!(e.rttvar(), SimDuration::from_millis(30));
+        // RTO = 60 + 4*30 = 180 ms, clamped to min 200 ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+        assert_eq!(e.sample_count(), 1);
+    }
+
+    #[test]
+    fn converges_to_stable_rtt() {
+        let mut e = RttEstimator::default();
+        for _ in 0..100 {
+            e.on_sample(SimDuration::from_millis(60));
+        }
+        let srtt = e.srtt().unwrap().as_millis_f64();
+        assert!((srtt - 60.0).abs() < 1.0, "srtt={srtt}");
+        // Variance decays toward zero, so RTO approaches SRTT + clamp floor.
+        assert!(e.rto() <= SimDuration::from_millis(210));
+        assert!(e.rto() >= SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn rto_grows_with_variance() {
+        let mut stable = RttEstimator::default();
+        let mut jittery = RttEstimator::default();
+        for i in 0..50 {
+            stable.on_sample(SimDuration::from_millis(100));
+            let jitter = if i % 2 == 0 { 40 } else { 160 };
+            jittery.on_sample(SimDuration::from_millis(jitter));
+        }
+        assert!(jittery.rto() > stable.rto());
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let mut e = RttEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(4));
+        e.on_sample(SimDuration::from_millis(100));
+        let base = e.rto();
+        e.backoff();
+        assert_eq!(e.rto(), base.saturating_mul(2).min(SimDuration::from_secs(4)));
+        for _ in 0..10 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(4));
+    }
+}

@@ -1,0 +1,449 @@
+//! TCP segment wire format.
+//!
+//! The segment layout follows RFC 793 closely enough that wire-visible
+//! behaviour (sequence/ACK numbers, flags, window, SACK options) is faithful,
+//! while checksums are omitted because the simulated links never corrupt
+//! payloads. uTCP makes **no** changes to this format — that is the central
+//! compatibility claim of the paper, and the test
+//! `wire_format_is_identical_for_utcp` in the connection module checks it.
+
+use crate::seq::SeqNum;
+use bytes::Bytes;
+use std::fmt;
+
+/// TCP header flags.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// SYN: synchronize sequence numbers.
+    pub syn: bool,
+    /// ACK: the acknowledgment field is valid.
+    pub ack: bool,
+    /// FIN: sender has finished sending.
+    pub fin: bool,
+    /// RST: reset the connection.
+    pub rst: bool,
+    /// PSH: push buffered data to the application.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// A SYN segment.
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    /// A SYN+ACK segment.
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    /// A bare ACK segment.
+    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    /// A FIN+ACK segment.
+    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
+    /// A RST segment.
+    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false };
+
+    fn to_byte(self) -> u8 {
+        (self.fin as u8)
+            | (self.syn as u8) << 1
+            | (self.rst as u8) << 2
+            | (self.psh as u8) << 3
+            | (self.ack as u8) << 4
+    }
+
+    fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+impl fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        if self.syn {
+            s.push('S');
+        }
+        if self.ack {
+            s.push('A');
+        }
+        if self.fin {
+            s.push('F');
+        }
+        if self.rst {
+            s.push('R');
+        }
+        if self.psh {
+            s.push('P');
+        }
+        if s.is_empty() {
+            s.push('-');
+        }
+        write!(f, "{s}")
+    }
+}
+
+/// A single SACK block: the half-open range `[start, end)` of received bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SackBlock {
+    /// First sequence number of the block.
+    pub start: SeqNum,
+    /// One past the last sequence number of the block.
+    pub end: SeqNum,
+}
+
+impl SackBlock {
+    /// Length of the block in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True if the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if the block contains the sequence number.
+    pub fn contains(&self, seq: SeqNum) -> bool {
+        seq.in_range(self.start, self.end)
+    }
+}
+
+/// TCP options carried in the header.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TcpOption {
+    /// Maximum segment size, advertised on SYN.
+    Mss(u16),
+    /// SACK permitted, advertised on SYN.
+    SackPermitted,
+    /// Selective acknowledgment blocks.
+    Sack(Vec<SackBlock>),
+    /// Window scale shift count, advertised on SYN.
+    WindowScale(u8),
+}
+
+/// A TCP segment as it appears on the wire (header + payload).
+#[derive(Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or of the SYN/FIN).
+    pub seq: SeqNum,
+    /// Acknowledgment number (valid when `flags.ack`).
+    pub ack: SeqNum,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes (pre-scaling).
+    pub window: u32,
+    /// Header options.
+    pub options: Vec<TcpOption>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Byte length of the base header in the serialized format (matches the
+    /// 20-byte RFC 793 header without checksum/urgent fields, with an explicit
+    /// payload-length field in their place).
+    pub const BASE_HEADER_LEN: usize = 20;
+
+    /// Construct a segment with no options and no payload.
+    pub fn bare(src_port: u16, dst_port: u16, seq: SeqNum, ack: SeqNum, flags: TcpFlags) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 65535,
+            options: Vec::new(),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// The amount of sequence space this segment occupies (payload plus one
+    /// for SYN and one for FIN).
+    pub fn seq_space(&self) -> u32 {
+        self.payload.len() as u32 + self.flags.syn as u32 + self.flags.fin as u32
+    }
+
+    /// Sequence number of the byte following this segment.
+    pub fn seq_end(&self) -> SeqNum {
+        self.seq + self.seq_space()
+    }
+
+    /// The MSS option value, if present.
+    pub fn mss_option(&self) -> Option<u16> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Mss(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Whether the SACK-permitted option is present.
+    pub fn sack_permitted(&self) -> bool {
+        self.options.iter().any(|o| matches!(o, TcpOption::SackPermitted))
+    }
+
+    /// The SACK blocks carried by this segment (empty if none).
+    pub fn sack_blocks(&self) -> &[SackBlock] {
+        self.options
+            .iter()
+            .find_map(|o| match o {
+                TcpOption::Sack(blocks) => Some(blocks.as_slice()),
+                _ => None,
+            })
+            .unwrap_or(&[])
+    }
+
+    /// Total length of the serialized segment (header + options + payload).
+    pub fn wire_len(&self) -> usize {
+        Self::BASE_HEADER_LEN + self.options_wire_len() + self.payload.len()
+    }
+
+    fn options_wire_len(&self) -> usize {
+        self.options
+            .iter()
+            .map(|o| match o {
+                TcpOption::Mss(_) => 4,
+                TcpOption::SackPermitted => 2,
+                TcpOption::Sack(blocks) => 2 + blocks.len() * 8,
+                TcpOption::WindowScale(_) => 3,
+            })
+            .sum()
+    }
+
+    /// Serialize the segment to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let opt_len = self.options_wire_len();
+        assert!(opt_len <= 255, "options too long");
+        let mut out = Vec::with_capacity(Self::BASE_HEADER_LEN + opt_len + self.payload.len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.raw().to_be_bytes());
+        out.extend_from_slice(&self.ack.raw().to_be_bytes());
+        out.push(self.flags.to_byte());
+        out.push(opt_len as u8);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        debug_assert_eq!(out.len(), Self::BASE_HEADER_LEN);
+        for opt in &self.options {
+            match opt {
+                TcpOption::Mss(v) => {
+                    out.push(2);
+                    out.push(4);
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+                TcpOption::SackPermitted => {
+                    out.push(4);
+                    out.push(2);
+                }
+                TcpOption::Sack(blocks) => {
+                    out.push(5);
+                    out.push((2 + blocks.len() * 8) as u8);
+                    for b in blocks {
+                        out.extend_from_slice(&b.start.raw().to_be_bytes());
+                        out.extend_from_slice(&b.end.raw().to_be_bytes());
+                    }
+                }
+                TcpOption::WindowScale(s) => {
+                    out.push(3);
+                    out.push(3);
+                    out.push(*s);
+                }
+            }
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse a segment from bytes. Returns `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<TcpSegment> {
+        if buf.len() < Self::BASE_HEADER_LEN {
+            return None;
+        }
+        let src_port = u16::from_be_bytes([buf[0], buf[1]]);
+        let dst_port = u16::from_be_bytes([buf[2], buf[3]]);
+        let seq = SeqNum(u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]));
+        let ack = SeqNum(u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]));
+        let flags = TcpFlags::from_byte(buf[12]);
+        let opt_len = buf[13] as usize;
+        let window = u32::from_be_bytes([buf[14], buf[15], buf[16], buf[17]]);
+        let payload_len = u16::from_be_bytes([buf[18], buf[19]]) as usize;
+        let opt_end = Self::BASE_HEADER_LEN.checked_add(opt_len)?;
+        if buf.len() < opt_end + payload_len {
+            return None;
+        }
+        let mut options = Vec::new();
+        let mut i = Self::BASE_HEADER_LEN;
+        while i < opt_end {
+            let kind = buf[i];
+            match kind {
+                2 => {
+                    if i + 4 > opt_end {
+                        return None;
+                    }
+                    options.push(TcpOption::Mss(u16::from_be_bytes([buf[i + 2], buf[i + 3]])));
+                    i += 4;
+                }
+                4 => {
+                    options.push(TcpOption::SackPermitted);
+                    i += 2;
+                }
+                5 => {
+                    if i + 2 > opt_end {
+                        return None;
+                    }
+                    let len = buf[i + 1] as usize;
+                    if len < 2 || (len - 2) % 8 != 0 || i + len > opt_end {
+                        return None;
+                    }
+                    let mut blocks = Vec::new();
+                    let mut j = i + 2;
+                    while j + 8 <= i + len {
+                        let start =
+                            SeqNum(u32::from_be_bytes([buf[j], buf[j + 1], buf[j + 2], buf[j + 3]]));
+                        let end = SeqNum(u32::from_be_bytes([
+                            buf[j + 4],
+                            buf[j + 5],
+                            buf[j + 6],
+                            buf[j + 7],
+                        ]));
+                        blocks.push(SackBlock { start, end });
+                        j += 8;
+                    }
+                    options.push(TcpOption::Sack(blocks));
+                    i += len;
+                }
+                3 => {
+                    if i + 3 > opt_end {
+                        return None;
+                    }
+                    options.push(TcpOption::WindowScale(buf[i + 2]));
+                    i += 3;
+                }
+                _ => return None,
+            }
+        }
+        let payload = Bytes::copy_from_slice(&buf[opt_end..opt_end + payload_len]);
+        Some(TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            options,
+            payload,
+        })
+    }
+}
+
+impl fmt::Debug for TcpSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:?} {}->{} seq={} ack={} win={} len={}{}]",
+            self.flags,
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            self.window,
+            self.payload.len(),
+            if self.sack_blocks().is_empty() {
+                String::new()
+            } else {
+                format!(" sack={:?}", self.sack_blocks())
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_segment() -> TcpSegment {
+        TcpSegment {
+            src_port: 443,
+            dst_port: 51034,
+            seq: SeqNum(123456),
+            ack: SeqNum(654321),
+            flags: TcpFlags::ACK,
+            window: 29200,
+            options: vec![
+                TcpOption::Mss(1448),
+                TcpOption::SackPermitted,
+                TcpOption::WindowScale(7),
+                TcpOption::Sack(vec![
+                    SackBlock { start: SeqNum(1000), end: SeqNum(2000) },
+                    SackBlock { start: SeqNum(3000), end: SeqNum(3500) },
+                ]),
+            ],
+            payload: Bytes::from_static(b"hello minion"),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let seg = sample_segment();
+        let bytes = seg.encode();
+        assert_eq!(bytes.len(), seg.wire_len());
+        let decoded = TcpSegment::decode(&bytes).expect("decodes");
+        assert_eq!(decoded, seg);
+    }
+
+    #[test]
+    fn roundtrip_without_options_or_payload() {
+        let seg = TcpSegment::bare(1, 2, SeqNum(0), SeqNum(0), TcpFlags::SYN);
+        let decoded = TcpSegment::decode(&seg.encode()).unwrap();
+        assert_eq!(decoded, seg);
+        assert_eq!(decoded.seq_space(), 1, "SYN occupies one sequence number");
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let seg = sample_segment();
+        let bytes = seg.encode();
+        assert!(TcpSegment::decode(&bytes[..10]).is_none());
+        assert!(TcpSegment::decode(&bytes[..bytes.len() - 1]).is_none());
+        assert!(TcpSegment::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn flag_byte_roundtrip() {
+        for b in 0..32u8 {
+            let f = TcpFlags::from_byte(b);
+            assert_eq!(f.to_byte(), b);
+        }
+    }
+
+    #[test]
+    fn option_accessors() {
+        let seg = sample_segment();
+        assert_eq!(seg.mss_option(), Some(1448));
+        assert!(seg.sack_permitted());
+        assert_eq!(seg.sack_blocks().len(), 2);
+        assert_eq!(seg.sack_blocks()[0].len(), 1000);
+        assert!(seg.sack_blocks()[0].contains(SeqNum(1500)));
+        assert!(!seg.sack_blocks()[0].contains(SeqNum(2000)));
+    }
+
+    #[test]
+    fn seq_space_counts_payload_and_fin() {
+        let mut seg = sample_segment();
+        assert_eq!(seg.seq_space(), 12);
+        seg.flags.fin = true;
+        assert_eq!(seg.seq_space(), 13);
+        assert_eq!(seg.seq_end(), SeqNum(123456 + 13));
+    }
+
+    #[test]
+    fn sack_block_empty() {
+        let b = SackBlock { start: SeqNum(5), end: SeqNum(5) };
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

@@ -1,0 +1,476 @@
+//! The TCP send buffer, including uTCP's send-side extensions (§4.2).
+//!
+//! The buffer is a queue of application writes ("chunks", emulating Linux
+//! skbuffs). Offsets are 64-bit logical stream offsets; the connection maps
+//! them to 32-bit wire sequence numbers.
+//!
+//! uTCP semantics implemented here:
+//!
+//! * **Priority insertion** — a write tagged with a higher priority is placed
+//!   ahead of lower-priority writes that have not yet been transmitted.
+//! * **Transmit-boundary constraint** — data is never inserted ahead of any
+//!   write that has been transmitted in whole or in part, which is what keeps
+//!   the reordering invisible on the wire.
+//! * **Squash** — an optional flag discards untransmitted writes carrying the
+//!   same tag, for update-oriented applications.
+//! * **Write-boundary preservation** — when the unordered-send option is on,
+//!   a wire segment never spans two writes (each write starts a new skbuff),
+//!   with optional coalescing of small writes into the tail skbuff.
+
+use std::collections::VecDeque;
+
+/// Error returned when a write does not fit in the send buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferFull;
+
+#[derive(Clone, Debug)]
+struct Chunk {
+    data: Vec<u8>,
+    priority: u32,
+}
+
+/// The send queue.
+#[derive(Clone, Debug)]
+pub struct SendBuffer {
+    chunks: VecDeque<Chunk>,
+    /// Stream offset of the first byte of `chunks[0]`.
+    head_offset: u64,
+    /// Stream offset up to which data has been transmitted at least once.
+    transmitted: u64,
+    /// Total bytes currently buffered.
+    buffered: usize,
+    capacity: usize,
+    /// Count of writes that were coalesced into an existing tail chunk.
+    coalesced_writes: u64,
+    /// Count of writes whose position was advanced past lower-priority data.
+    priority_insertions: u64,
+    /// Count of chunks discarded by the squash flag.
+    squashed_chunks: u64,
+}
+
+impl SendBuffer {
+    /// Create an empty buffer with the given byte capacity.
+    pub fn new(capacity: usize) -> Self {
+        SendBuffer {
+            chunks: VecDeque::new(),
+            head_offset: 0,
+            transmitted: 0,
+            buffered: 0,
+            capacity,
+            coalesced_writes: 0,
+            priority_insertions: 0,
+            squashed_chunks: 0,
+        }
+    }
+
+    /// Bytes currently buffered (acknowledged data is removed).
+    pub fn len(&self) -> usize {
+        self.buffered
+    }
+
+    /// True if no data is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffered == 0
+    }
+
+    /// Free space in bytes.
+    pub fn free_space(&self) -> usize {
+        self.capacity - self.buffered
+    }
+
+    /// Stream offset of the first buffered (lowest unacknowledged) byte.
+    pub fn head_offset(&self) -> u64 {
+        self.head_offset
+    }
+
+    /// Stream offset one past the last buffered byte.
+    pub fn end_offset(&self) -> u64 {
+        self.head_offset + self.buffered as u64
+    }
+
+    /// Stream offset up to which data has been transmitted at least once.
+    pub fn transmitted_offset(&self) -> u64 {
+        self.transmitted
+    }
+
+    /// Number of writes coalesced into the tail chunk.
+    pub fn coalesced_writes(&self) -> u64 {
+        self.coalesced_writes
+    }
+
+    /// Number of writes inserted ahead of lower-priority data.
+    pub fn priority_insertions(&self) -> u64 {
+        self.priority_insertions
+    }
+
+    /// Number of chunks removed by squashing writes.
+    pub fn squashed_chunks(&self) -> u64 {
+        self.squashed_chunks
+    }
+
+    /// Index of the first chunk that is entirely untransmitted, i.e. the
+    /// earliest position at which new data may legally be inserted.
+    fn first_untouched_chunk(&self) -> usize {
+        let mut offset = self.head_offset;
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            if offset >= self.transmitted {
+                return i;
+            }
+            offset += chunk.data.len() as u64;
+        }
+        self.chunks.len()
+    }
+
+    /// Enqueue an ordinary (standard TCP) write at the tail of the queue.
+    pub fn write(&mut self, data: &[u8]) -> Result<usize, BufferFull> {
+        self.write_with_priority(data, 0, false, false, usize::MAX, false)
+    }
+
+    /// Enqueue a write with uTCP send-side semantics.
+    ///
+    /// * `priority` — larger values are more urgent.
+    /// * `squash` — discard untransmitted chunks with the same priority tag.
+    /// * `unordered` — whether `SO_UNORDEREDSEND` is active (enables priority
+    ///   insertion, squash, and write-boundary preservation).
+    /// * `mss`, `coalesce` — coalesce this write into the tail chunk when both
+    ///   fit within one MSS-sized skbuff (the §8.1 mitigation).
+    pub fn write_with_priority(
+        &mut self,
+        data: &[u8],
+        priority: u32,
+        squash: bool,
+        unordered: bool,
+        mss: usize,
+        coalesce: bool,
+    ) -> Result<usize, BufferFull> {
+        if data.len() > self.free_space() {
+            return Err(BufferFull);
+        }
+        if data.is_empty() {
+            return Ok(0);
+        }
+
+        if !unordered {
+            // Standard TCP: a pure byte stream; append to the tail chunk to
+            // emulate Linux's MSS-sized skbuff packing.
+            if let Some(last) = self.chunks.back_mut() {
+                last.data.extend_from_slice(data);
+            } else {
+                self.chunks.push_back(Chunk { data: data.to_vec(), priority: 0 });
+            }
+            self.buffered += data.len();
+            return Ok(data.len());
+        }
+
+        let first_insertable = self.first_untouched_chunk();
+
+        // Squash: drop untransmitted chunks carrying exactly the same tag.
+        if squash {
+            let mut i = self.chunks.len();
+            while i > first_insertable {
+                i -= 1;
+                if self.chunks[i].priority == priority {
+                    let removed = self.chunks.remove(i).expect("index in range");
+                    self.buffered -= removed.data.len();
+                    self.squashed_chunks += 1;
+                }
+            }
+        }
+
+        // Find the insertion index: after all transmitted data, before the
+        // first untransmitted chunk with strictly lower priority (FIFO among
+        // equal priorities).
+        let first_insertable = self.first_untouched_chunk();
+        let mut insert_at = self.chunks.len();
+        for i in first_insertable..self.chunks.len() {
+            if self.chunks[i].priority < priority {
+                insert_at = i;
+                break;
+            }
+        }
+
+        if insert_at < self.chunks.len() {
+            self.priority_insertions += 1;
+            self.chunks.insert(insert_at, Chunk { data: data.to_vec(), priority });
+            self.buffered += data.len();
+            return Ok(data.len());
+        }
+
+        // Appending at the tail: optionally coalesce with the tail chunk if
+        // both writes fit entirely within one MSS-sized skbuff, the tail is
+        // untransmitted, and the priorities match.
+        if coalesce {
+            if let Some(last) = self.chunks.back() {
+                let last_start = self.end_offset() - last.data.len() as u64;
+                let tail_untransmitted = last_start >= self.transmitted;
+                if tail_untransmitted
+                    && last.priority == priority
+                    && last.data.len() + data.len() <= mss
+                {
+                    self.chunks
+                        .back_mut()
+                        .expect("tail exists")
+                        .data
+                        .extend_from_slice(data);
+                    self.buffered += data.len();
+                    self.coalesced_writes += 1;
+                    return Ok(data.len());
+                }
+            }
+        }
+
+        self.chunks.push_back(Chunk { data: data.to_vec(), priority });
+        self.buffered += data.len();
+        Ok(data.len())
+    }
+
+    /// Read up to `max_len` bytes starting at stream offset `offset` for
+    /// (re)transmission. When `respect_boundaries` is set the returned slice
+    /// never crosses a chunk boundary (uTCP's write-boundary preservation).
+    ///
+    /// Returns `None` if `offset` is outside the buffered range.
+    pub fn data_at(&self, offset: u64, max_len: usize, respect_boundaries: bool) -> Option<Vec<u8>> {
+        if offset < self.head_offset || offset >= self.end_offset() || max_len == 0 {
+            return None;
+        }
+        let mut chunk_start = self.head_offset;
+        let mut out: Vec<u8> = Vec::new();
+        for chunk in &self.chunks {
+            let chunk_end = chunk_start + chunk.data.len() as u64;
+            if offset < chunk_end {
+                let skip = offset.saturating_sub(chunk_start) as usize;
+                let from_this_chunk = if out.is_empty() {
+                    &chunk.data[skip..]
+                } else {
+                    &chunk.data[..]
+                };
+                let remaining = max_len - out.len();
+                let take = from_this_chunk.len().min(remaining);
+                out.extend_from_slice(&from_this_chunk[..take]);
+                if out.len() >= max_len || respect_boundaries {
+                    break;
+                }
+            }
+            chunk_start = chunk_end;
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// Record that data up to `offset` (exclusive) has been transmitted at
+    /// least once.
+    pub fn mark_transmitted(&mut self, offset: u64) {
+        if offset > self.transmitted {
+            self.transmitted = offset.min(self.end_offset());
+        }
+    }
+
+    /// Remove data acknowledged up to `offset` (exclusive).
+    pub fn acknowledge(&mut self, offset: u64) {
+        let offset = offset.min(self.end_offset());
+        while self.head_offset < offset {
+            let Some(front) = self.chunks.front_mut() else { break };
+            let front_len = front.data.len() as u64;
+            let acked_in_front = (offset - self.head_offset).min(front_len) as usize;
+            if acked_in_front == front.data.len() {
+                self.buffered -= front.data.len();
+                self.head_offset += front_len;
+                self.chunks.pop_front();
+            } else {
+                front.data.drain(..acked_in_front);
+                self.buffered -= acked_in_front;
+                self.head_offset += acked_in_front as u64;
+                break;
+            }
+        }
+        if self.transmitted < self.head_offset {
+            self.transmitted = self.head_offset;
+        }
+    }
+
+    /// The stream offsets (relative to the head) of chunk boundaries from the
+    /// given offset onward, used by the connection to segment along write
+    /// boundaries. Returns the end offset of the chunk containing `offset`.
+    pub fn chunk_end_at(&self, offset: u64) -> Option<u64> {
+        if offset < self.head_offset || offset >= self.end_offset() {
+            return None;
+        }
+        let mut chunk_start = self.head_offset;
+        for chunk in &self.chunks {
+            let chunk_end = chunk_start + chunk.data.len() as u64;
+            if offset < chunk_end {
+                return Some(chunk_end);
+            }
+            chunk_start = chunk_end;
+        }
+        None
+    }
+
+    /// Bytes available at or after `offset`.
+    pub fn available_from(&self, offset: u64) -> usize {
+        self.end_offset().saturating_sub(offset.max(self.head_offset)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: usize = 1448;
+
+    #[test]
+    fn standard_writes_are_fifo_bytes() {
+        let mut b = SendBuffer::new(1 << 16);
+        b.write(b"hello ").unwrap();
+        b.write(b"world").unwrap();
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.data_at(0, 100, false).unwrap(), b"hello world");
+        assert_eq!(b.data_at(6, 100, false).unwrap(), b"world");
+    }
+
+    #[test]
+    fn buffer_full_is_reported() {
+        let mut b = SendBuffer::new(8);
+        assert_eq!(b.write(b"12345678"), Ok(8));
+        assert_eq!(b.write(b"x"), Err(BufferFull));
+        assert_eq!(b.free_space(), 0);
+    }
+
+    #[test]
+    fn acknowledge_frees_space_and_advances_head() {
+        let mut b = SendBuffer::new(1 << 16);
+        b.write(&[1u8; 100]).unwrap();
+        b.write(&[2u8; 100]).unwrap();
+        b.mark_transmitted(150);
+        b.acknowledge(150);
+        assert_eq!(b.head_offset(), 150);
+        assert_eq!(b.len(), 50);
+        assert_eq!(b.data_at(150, 100, false).unwrap(), vec![2u8; 50]);
+        // Acknowledging beyond the end clamps.
+        b.acknowledge(1_000_000);
+        assert!(b.is_empty());
+        assert_eq!(b.head_offset(), 200);
+    }
+
+    #[test]
+    fn priority_write_passes_untransmitted_low_priority_data() {
+        let mut b = SendBuffer::new(1 << 16);
+        // Low-priority bulk write, none of it transmitted yet.
+        b.write_with_priority(&[0u8; 1000], 0, false, true, MSS, false).unwrap();
+        // High-priority write should jump ahead of it.
+        b.write_with_priority(&[9u8; 10], 5, false, true, MSS, false).unwrap();
+        assert_eq!(b.priority_insertions(), 1);
+        assert_eq!(b.data_at(0, 10, true).unwrap(), vec![9u8; 10]);
+        assert_eq!(b.data_at(10, 4, true).unwrap(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn priority_write_never_passes_transmitted_data() {
+        let mut b = SendBuffer::new(1 << 16);
+        b.write_with_priority(&[0u8; 1000], 0, false, true, MSS, false).unwrap();
+        // Part of the low-priority write has hit the wire.
+        b.mark_transmitted(100);
+        b.write_with_priority(&[9u8; 10], 5, false, true, MSS, false).unwrap();
+        // The high-priority data must come after the *entire* partially
+        // transmitted write, not in the middle of it (§4.2).
+        assert_eq!(b.data_at(0, 1000, true).unwrap(), vec![0u8; 1000]);
+        assert_eq!(b.data_at(1000, 10, true).unwrap(), vec![9u8; 10]);
+        assert_eq!(b.priority_insertions(), 0);
+    }
+
+    #[test]
+    fn equal_priority_writes_stay_fifo() {
+        let mut b = SendBuffer::new(1 << 16);
+        b.write_with_priority(b"first", 3, false, true, MSS, false).unwrap();
+        b.write_with_priority(b"second", 3, false, true, MSS, false).unwrap();
+        assert_eq!(b.data_at(0, 5, true).unwrap(), b"first");
+        assert_eq!(b.data_at(5, 6, true).unwrap(), b"second");
+    }
+
+    #[test]
+    fn squash_discards_untransmitted_same_tag_data() {
+        let mut b = SendBuffer::new(1 << 16);
+        b.write_with_priority(b"stale update 1", 7, false, true, MSS, false).unwrap();
+        b.write_with_priority(b"other tag", 3, false, true, MSS, false).unwrap();
+        b.write_with_priority(b"fresh!", 7, true, true, MSS, false).unwrap();
+        assert_eq!(b.squashed_chunks(), 1);
+        // Tag-7 data now consists only of the fresh write, ordered ahead of
+        // the lower-priority tag-3 write.
+        assert_eq!(b.data_at(0, 6, true).unwrap(), b"fresh!");
+        assert_eq!(b.data_at(6, 9, true).unwrap(), b"other tag");
+        assert_eq!(b.len(), 15);
+    }
+
+    #[test]
+    fn squash_does_not_discard_transmitted_data() {
+        let mut b = SendBuffer::new(1 << 16);
+        b.write_with_priority(b"already sent", 7, false, true, MSS, false).unwrap();
+        b.mark_transmitted(5);
+        b.write_with_priority(b"new", 7, true, true, MSS, false).unwrap();
+        assert_eq!(b.squashed_chunks(), 0);
+        assert_eq!(b.len(), 15);
+    }
+
+    #[test]
+    fn boundary_respecting_reads_stop_at_chunk_end() {
+        let mut b = SendBuffer::new(1 << 16);
+        b.write_with_priority(&[1u8; 500], 0, false, true, MSS, false).unwrap();
+        b.write_with_priority(&[2u8; 500], 0, false, true, MSS, false).unwrap();
+        // With boundaries respected, a read at offset 0 stops at 500 bytes.
+        assert_eq!(b.data_at(0, MSS, true).unwrap().len(), 500);
+        // Without, it can span both writes.
+        assert_eq!(b.data_at(0, MSS, false).unwrap().len(), 1000);
+        assert_eq!(b.chunk_end_at(0), Some(500));
+        assert_eq!(b.chunk_end_at(500), Some(1000));
+        assert_eq!(b.chunk_end_at(1000), None);
+    }
+
+    #[test]
+    fn coalescing_merges_small_writes_into_tail_skbuff() {
+        let mut b = SendBuffer::new(1 << 16);
+        // Four 362-byte writes fit exactly in one 1448-byte MSS.
+        for _ in 0..4 {
+            b.write_with_priority(&[3u8; 362], 0, false, true, MSS, true).unwrap();
+        }
+        assert_eq!(b.coalesced_writes(), 3);
+        assert_eq!(b.data_at(0, MSS, true).unwrap().len(), MSS);
+        // A fifth write no longer fits in the tail skbuff and starts a new one.
+        b.write_with_priority(&[3u8; 362], 0, false, true, MSS, true).unwrap();
+        assert_eq!(b.data_at(MSS as u64, MSS, true).unwrap().len(), 362);
+    }
+
+    #[test]
+    fn coalescing_does_not_merge_across_priorities_or_transmitted_tail() {
+        let mut b = SendBuffer::new(1 << 16);
+        b.write_with_priority(&[1u8; 100], 0, false, true, MSS, true).unwrap();
+        b.write_with_priority(&[2u8; 100], 5, false, true, MSS, true).unwrap();
+        assert_eq!(b.coalesced_writes(), 0);
+        let mut b = SendBuffer::new(1 << 16);
+        b.write_with_priority(&[1u8; 100], 0, false, true, MSS, true).unwrap();
+        b.mark_transmitted(100);
+        b.write_with_priority(&[2u8; 100], 0, false, true, MSS, true).unwrap();
+        assert_eq!(b.coalesced_writes(), 0, "tail already transmitted");
+    }
+
+    #[test]
+    fn available_from_and_empty_reads() {
+        let mut b = SendBuffer::new(1 << 16);
+        assert!(b.data_at(0, 10, false).is_none());
+        b.write(&[0u8; 10]).unwrap();
+        assert_eq!(b.available_from(0), 10);
+        assert_eq!(b.available_from(4), 6);
+        assert_eq!(b.available_from(100), 0);
+        assert!(b.data_at(10, 10, false).is_none());
+        assert!(b.data_at(0, 0, false).is_none());
+    }
+
+    #[test]
+    fn empty_write_is_noop() {
+        let mut b = SendBuffer::new(16);
+        assert_eq!(b.write(&[]), Ok(0));
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! 32-bit TCP sequence number arithmetic (RFC 793 style modular comparison).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number with wrapping 32-bit arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// Construct from a raw 32-bit value.
+    pub const fn new(v: u32) -> Self {
+        SeqNum(v)
+    }
+
+    /// The raw 32-bit value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// `self < other` in modular arithmetic.
+    pub fn lt(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// `self <= other` in modular arithmetic.
+    pub fn le(self, other: SeqNum) -> bool {
+        self == other || self.lt(other)
+    }
+
+    /// `self > other` in modular arithmetic.
+    pub fn gt(self, other: SeqNum) -> bool {
+        other.lt(self)
+    }
+
+    /// `self >= other` in modular arithmetic.
+    pub fn ge(self, other: SeqNum) -> bool {
+        other.le(self)
+    }
+
+    /// True if `self` lies in the half-open interval `[start, end)`.
+    pub fn in_range(self, start: SeqNum, end: SeqNum) -> bool {
+        start.le(self) && self.lt(end)
+    }
+
+    /// The number of bytes from `earlier` to `self` (modular).
+    pub fn distance_from(self, earlier: SeqNum) -> u32 {
+        self.0.wrapping_sub(earlier.0)
+    }
+
+    /// The smaller (earlier) of two sequence numbers.
+    pub fn min(self, other: SeqNum) -> SeqNum {
+        if self.le(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger (later) of two sequence numbers.
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.ge(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<u32> for SeqNum {
+    type Output = SeqNum;
+    fn sub(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_sub(rhs))
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    fn sub(self, rhs: SeqNum) -> u32 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq({})", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_comparison() {
+        let a = SeqNum(10);
+        let b = SeqNum(20);
+        assert!(a.lt(b));
+        assert!(a.le(b));
+        assert!(b.gt(a));
+        assert!(b.ge(a));
+        assert!(a.le(a));
+        assert!(!a.lt(a));
+    }
+
+    #[test]
+    fn wrapping_comparison() {
+        let near_max = SeqNum(u32::MAX - 5);
+        let wrapped = SeqNum(10);
+        assert!(near_max.lt(wrapped));
+        assert!(wrapped.gt(near_max));
+        assert_eq!(wrapped.distance_from(near_max), 16);
+        assert_eq!(near_max + 16, wrapped);
+    }
+
+    #[test]
+    fn in_range_across_wrap() {
+        let start = SeqNum(u32::MAX - 2);
+        let end = SeqNum(5);
+        assert!(SeqNum(u32::MAX).in_range(start, end));
+        assert!(SeqNum(0).in_range(start, end));
+        assert!(SeqNum(4).in_range(start, end));
+        assert!(!SeqNum(5).in_range(start, end));
+        assert!(!SeqNum(100).in_range(start, end));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut s = SeqNum(100);
+        s += 50;
+        assert_eq!(s, SeqNum(150));
+        assert_eq!(s - 25u32, SeqNum(125));
+        assert_eq!(SeqNum(150) - SeqNum(100), 50);
+        assert_eq!(SeqNum(10).min(SeqNum(20)), SeqNum(10));
+        assert_eq!(SeqNum(10).max(SeqNum(20)), SeqNum(20));
+    }
+}

@@ -1,0 +1,28 @@
+//! # minion-tls
+//!
+//! A TLS-1.1-style record layer and the **uTLS** out-of-order receiver from
+//! the Minion paper (§6): records are located in arbitrary stream fragments
+//! by scanning for plausible 5-byte headers, their record numbers are
+//! predicted from byte offsets, and every guess is confirmed by the record
+//! MAC before delivery — producing a secure datagram service whose wire
+//! format is unchanged from stream TLS.
+//!
+//! The handshake is a simplified pre-shared-key exchange (see DESIGN.md);
+//! everything at and below the record layer — header format, explicit IVs,
+//! MAC-then-encrypt, sequence-numbered MAC pseudo-header, ciphersuite
+//! negotiation constraints — follows the TLS structure the paper relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod session;
+pub mod utls;
+
+pub use record::{
+    CipherSuite, RecordError, RecordHeader, RecordProtection, CONTENT_APPLICATION_DATA,
+    CONTENT_HANDSHAKE, IV_LEN, MAC_LEN, MAX_RECORD_LEN, RECORD_HEADER_LEN, VERSION_TLS10,
+    VERSION_TLS11,
+};
+pub use session::{Role, TlsConfig, TlsError, TlsSession};
+pub use utls::{UtlsReceiver, UtlsRecord, UtlsStats};

@@ -1,0 +1,40 @@
+//! Web page loads: pipelined HTTP/1.1 over TCP vs parallel requests over
+//! msTCP (paper §8.5, Figure 13).
+//!
+//! Run with: `cargo run --release --example web_multistream`
+
+use minion_repro::apps::{generate_trace, load_page_mstcp, load_page_pipelined_tcp};
+use minion_repro::simnet::{LinkConfig, SimDuration};
+use minion_repro::stack::Sim;
+
+fn main() {
+    let trace = generate_trace(6, 99);
+    println!(
+        "{:<14} {:>6} {:>10} {:>14} {:>14} {:>14} {:>14}",
+        "bucket", "reqs", "bytes", "PLT tcp (ms)", "PLT msTCP", "TTFB tcp (ms)", "TTFB msTCP"
+    );
+    for (i, page) in trace.iter().enumerate() {
+        let mut sim = Sim::new(100 + i as u64);
+        let client = sim.add_host("browser");
+        let server = sim.add_host("webserver");
+        sim.link(client, server, LinkConfig::new(1_500_000, SimDuration::from_millis(30)));
+        let pipelined = load_page_pipelined_tcp(&mut sim, client, server, page, 8000);
+
+        let mut sim = Sim::new(200 + i as u64);
+        let client = sim.add_host("browser");
+        let server = sim.add_host("webserver");
+        sim.link(client, server, LinkConfig::new(1_500_000, SimDuration::from_millis(30)));
+        let mstcp = load_page_mstcp(&mut sim, client, server, page, 8000);
+
+        println!(
+            "{:<14} {:>6} {:>10} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
+            page.bucket(),
+            page.request_count(),
+            page.total_bytes(),
+            pipelined.page_load_time.as_millis_f64(),
+            mstcp.page_load_time.as_millis_f64(),
+            pipelined.mean_first_byte().as_millis_f64(),
+            mstcp.mean_first_byte().as_millis_f64(),
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests over the core data structures and codecs.
+
+use minion_repro::cobs;
+use minion_repro::core::FragmentStore;
+use minion_repro::crypto;
+use minion_repro::tcp::{SackBlock, SeqNum, TcpFlags, TcpOption, TcpSegment};
+use minion_repro::tls::{CipherSuite, RecordProtection, CONTENT_APPLICATION_DATA, VERSION_TLS11};
+use proptest::prelude::*;
+
+proptest! {
+    /// COBS is a bijection on arbitrary byte strings and never emits the
+    /// reserved marker byte.
+    #[test]
+    fn cobs_roundtrip_and_marker_freedom(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let encoded = cobs::encode(&data);
+        prop_assert!(encoded.iter().all(|&b| b != cobs::MARKER));
+        prop_assert!(encoded.len() <= cobs::max_encoded_len(data.len()));
+        let decoded = cobs::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, data);
+    }
+
+    /// Framed records are always recoverable from the full stream, and
+    /// concatenations of framed records scan back to the original sequence.
+    #[test]
+    fn framed_records_scan_back(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..600), 1..12)
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&cobs::frame_datagram(p));
+        }
+        let scanned = cobs::scan_records(&stream, true);
+        let got: Vec<Vec<u8>> = scanned.into_iter().map(|r| r.payload).collect();
+        prop_assert_eq!(got, payloads);
+    }
+
+    /// The fragment store reassembles an arbitrary permutation of arbitrary
+    /// overlapping slices of a stream into exactly the original bytes.
+    #[test]
+    fn fragment_store_reassembles_any_arrival_order(
+        len in 1usize..2000,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i * 131 % 251) as u8).collect();
+        // Slice the stream into chunks of pseudo-random sizes, then deliver
+        // them in a pseudo-random order with some duplicates.
+        let mut chunks = Vec::new();
+        let mut offset = 0usize;
+        let mut state = seed | 1;
+        while offset < len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let size = 1 + (state >> 33) as usize % 200;
+            let end = (offset + size).min(len);
+            chunks.push((offset as u64, data[offset..end].to_vec()));
+            offset = end;
+        }
+        let mut order: Vec<usize> = (0..chunks.len()).collect();
+        // Deterministic shuffle.
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(12345);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut store = FragmentStore::new();
+        for &i in &order {
+            let (off, ref chunk) = chunks[i];
+            store.insert(off, chunk);
+            // Occasionally re-deliver a duplicate.
+            if i % 5 == 0 {
+                store.insert(off, chunk);
+            }
+        }
+        let frag = store.fragment_at(0).expect("stream head present");
+        prop_assert_eq!(frag.offset, 0);
+        prop_assert_eq!(frag.data, data);
+        prop_assert_eq!(store.fragment_count(), 1);
+    }
+
+    /// TCP segments round-trip through their wire encoding for arbitrary
+    /// field values.
+    #[test]
+    fn tcp_segment_roundtrip(
+        src in any::<u16>(),
+        dst in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        window in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+        sack_ranges in proptest::collection::vec((any::<u32>(), 1u32..5000), 0..3),
+    ) {
+        let mut seg = TcpSegment::bare(src, dst, SeqNum::new(seq), SeqNum::new(ack), TcpFlags::ACK);
+        seg.window = window;
+        seg.payload = payload.into();
+        if !sack_ranges.is_empty() {
+            let blocks: Vec<SackBlock> = sack_ranges
+                .iter()
+                .map(|&(start, len)| SackBlock { start: SeqNum::new(start), end: SeqNum::new(start) + len })
+                .collect();
+            seg.options = vec![TcpOption::SackPermitted, TcpOption::Sack(blocks), TcpOption::Mss(1448)];
+        }
+        let decoded = TcpSegment::decode(&seg.encode()).unwrap();
+        prop_assert_eq!(decoded, seg);
+    }
+
+    /// TLS records round-trip under the correct record number and fail under
+    /// any other record number (the property uTLS's guess-and-verify relies
+    /// on).
+    #[test]
+    fn tls_record_mac_binds_the_record_number(
+        payload in proptest::collection::vec(any::<u8>(), 1..1500),
+        record_number in 0u64..1_000_000,
+        wrong_delta in 1u64..50,
+    ) {
+        let enc = *b"prop-test-key-16";
+        let mac = [3u8; 32];
+        let mut tx = RecordProtection::new(CipherSuite::Aes128CbcExplicitIv, enc, mac, VERSION_TLS11);
+        let mut rx = RecordProtection::new(CipherSuite::Aes128CbcExplicitIv, enc, mac, VERSION_TLS11);
+        let wire = tx.seal(record_number, CONTENT_APPLICATION_DATA, &payload);
+        let header = minion_repro::tls::RecordHeader::decode(&wire).unwrap();
+        let body = &wire[minion_repro::tls::RECORD_HEADER_LEN..];
+        prop_assert_eq!(rx.open(record_number, &header, body).unwrap(), payload);
+        prop_assert!(rx.open(record_number + wrong_delta, &header, body).is_err());
+    }
+
+    /// SHA-256 and HMAC are deterministic and input-sensitive.
+    #[test]
+    fn hashes_are_deterministic_and_sensitive(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        flip in any::<usize>(),
+    ) {
+        let a = crypto::sha256(&data);
+        let b = crypto::sha256(&data);
+        prop_assert_eq!(a, b);
+        let mut mutated = data.clone();
+        let idx = flip % mutated.len();
+        mutated[idx] ^= 0x01;
+        prop_assert_ne!(crypto::sha256(&mutated), a);
+        prop_assert_ne!(
+            crypto::hmac_sha256(b"k1", &data),
+            crypto::hmac_sha256(b"k2", &data)
+        );
+    }
+}
