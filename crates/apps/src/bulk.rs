@@ -185,7 +185,11 @@ impl CompetingFlow {
             }
             // A practically unbounded transfer keeps the path congested.
             sim.host_mut(self.to)
-                .tcp_listen(self.listen_port, TcpConfig::default(), SocketOptions::standard())
+                .tcp_listen(
+                    self.listen_port,
+                    TcpConfig::default(),
+                    SocketOptions::standard(),
+                )
                 .expect("listen for competing flow");
             let sender = BulkSender::connect(
                 sim.host_mut(self.from),
@@ -227,7 +231,11 @@ mod tests {
         let b = sim.add_host("receiver");
         // 8 Mbps, 20 ms RTT, with a queue of roughly four bandwidth-delay
         // products so overflow losses stay occasional.
-        sim.link(a, b, LinkConfig::new(8_000_000, SimDuration::from_millis(10)).with_queue_bytes(128 * 1024));
+        sim.link(
+            a,
+            b,
+            LinkConfig::new(8_000_000, SimDuration::from_millis(10)).with_queue_bytes(128 * 1024),
+        );
         sim.host_mut(b)
             .tcp_listen(5001, TcpConfig::default(), SocketOptions::standard())
             .unwrap();
@@ -266,7 +274,11 @@ mod tests {
         let mut sim = Sim::new(4);
         let a = sim.add_host("a");
         let b = sim.add_host("b");
-        sim.link(a, b, LinkConfig::new(3_000_000, SimDuration::from_millis(30)));
+        sim.link(
+            a,
+            b,
+            LinkConfig::new(3_000_000, SimDuration::from_millis(30)),
+        );
         let mut flow = CompetingFlow::new(a, b, 6000, SimTime::from_secs(1));
         flow.tick(&mut sim, SimTime::ZERO);
         assert!(!flow.started());

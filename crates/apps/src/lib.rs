@@ -19,6 +19,8 @@ pub mod vpn;
 pub mod web;
 
 pub use bulk::{BulkSender, BulkSink, CompetingFlow};
-pub use voip::{estimate_mos, frame_number, VoipReceiver, VoipReport, VoipSource, VoipSourceConfig};
+pub use voip::{
+    estimate_mos, frame_number, VoipReceiver, VoipReport, VoipSource, VoipSourceConfig,
+};
 pub use vpn::{TunnelGateway, ACK_PRIORITY};
 pub use web::{generate_trace, load_page_mstcp, load_page_pipelined_tcp, PageLoadMetrics, WebPage};

@@ -117,7 +117,9 @@ pub fn frame_number(payload: &[u8]) -> Option<u64> {
     if payload.len() < 8 {
         return None;
     }
-    Some(u64::from_be_bytes(payload[..8].try_into().expect("8 bytes")))
+    Some(u64::from_be_bytes(
+        payload[..8].try_into().expect("8 bytes"),
+    ))
 }
 
 /// The receiver: a playout (jitter) buffer plus the metrics the paper plots.
@@ -152,7 +154,11 @@ pub struct VoipReport {
 
 impl VoipReceiver {
     /// Create a receiver with the given playout buffer depth.
-    pub fn new(config: VoipSourceConfig, jitter_buffer: SimDuration, source_start: SimTime) -> Self {
+    pub fn new(
+        config: VoipSourceConfig,
+        jitter_buffer: SimDuration,
+        source_start: SimTime,
+    ) -> Self {
         let frames = config.total_frames() as usize;
         VoipReceiver {
             config,
@@ -165,14 +171,17 @@ impl VoipReceiver {
 
     /// Record the arrival of a frame payload at `now`.
     pub fn on_frame(&mut self, payload: &[u8], now: SimTime) {
-        let Some(number) = frame_number(payload) else { return };
+        let Some(number) = frame_number(payload) else {
+            return;
+        };
         let idx = number as usize;
         if idx >= self.arrivals.len() || self.arrivals[idx].is_some() {
             return; // out of range or duplicate
         }
         self.arrivals[idx] = Some(now);
         let sent = self.source_start + self.config.frame_interval.saturating_mul(number);
-        self.latencies.add(now.saturating_since(sent).as_millis_f64());
+        self.latencies
+            .add(now.saturating_since(sent).as_millis_f64());
     }
 
     /// Number of frames received so far.
@@ -222,15 +231,18 @@ impl VoipReceiver {
             let end = (i + window_frames).min(total);
             let window = &per_frame_ok[i..end];
             let mos = estimate_mos(window);
-            let t = self.source_start
-                + self.config.frame_interval.saturating_mul(i as u64);
+            let t = self.source_start + self.config.frame_interval.saturating_mul(i as u64);
             mos_timeline.push(t, mos);
             i = end;
         }
 
         VoipReport {
             latencies_ms: self.latencies.clone(),
-            miss_fraction: if total == 0 { 0.0 } else { missed as f64 / total as f64 },
+            miss_fraction: if total == 0 {
+                0.0
+            } else {
+                missed as f64 / total as f64
+            },
             burst_lengths,
             mos_timeline,
             overall_mos: estimate_mos(&per_frame_ok),
@@ -314,7 +326,7 @@ mod tests {
         while let Some((n, payload)) = src.poll(t) {
             assert_eq!(frame_number(&payload), Some(n));
             count += 1;
-            t = t + SimDuration::from_millis(20);
+            t += SimDuration::from_millis(20);
         }
         assert_eq!(count, 50);
         assert!(src.next_send_time().is_none());
@@ -369,14 +381,17 @@ mod tests {
     fn mos_degrades_with_loss_and_burstiness() {
         let clean = vec![true; 1000];
         let mos_clean = estimate_mos(&clean);
-        assert!(mos_clean > 4.2, "clean call scores near the top: {mos_clean}");
+        assert!(
+            mos_clean > 4.2,
+            "clean call scores near the top: {mos_clean}"
+        );
 
         // 5% scattered loss.
         let scattered: Vec<bool> = (0..1000).map(|i| i % 20 != 0).collect();
         let mos_scattered = estimate_mos(&scattered);
 
         // 5% loss concentrated in bursts of 10.
-        let bursty: Vec<bool> = (0..1000).map(|i| !(i % 200 < 10)).collect();
+        let bursty: Vec<bool> = (0..1000).map(|i| i % 200 >= 10).collect();
         let mos_bursty = estimate_mos(&bursty);
 
         assert!(mos_scattered < mos_clean);

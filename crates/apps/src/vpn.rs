@@ -28,7 +28,11 @@ enum InnerRole {
     /// This gateway's inner endpoint sends `total` bytes.
     Source { total: u64, written: u64 },
     /// This gateway's inner endpoint receives and counts bytes.
-    Sink { received: u64, first_byte: Option<SimTime>, last_byte: Option<SimTime> },
+    Sink {
+        received: u64,
+        first_byte: Option<SimTime>,
+        last_byte: Option<SimTime>,
+    },
 }
 
 struct InnerFlow {
@@ -104,7 +108,10 @@ impl TunnelGateway {
             flow_id,
             InnerFlow {
                 conn,
-                role: InnerRole::Source { total: total_bytes, written: 0 },
+                role: InnerRole::Source {
+                    total: total_bytes,
+                    written: 0,
+                },
             },
         );
     }
@@ -122,7 +129,11 @@ impl TunnelGateway {
             flow_id,
             InnerFlow {
                 conn,
-                role: InnerRole::Sink { received: 0, first_byte: None, last_byte: None },
+                role: InnerRole::Sink {
+                    received: 0,
+                    first_byte: None,
+                    last_byte: None,
+                },
             },
         );
     }
@@ -140,11 +151,12 @@ impl TunnelGateway {
     /// delivered byte.
     pub fn sink_goodput_bps(&self, flow_id: u32) -> f64 {
         match self.flows.get(&flow_id).map(|f| &f.role) {
-            Some(InnerRole::Sink { received, first_byte: Some(f), last_byte: Some(l), .. })
-                if l > f =>
-            {
-                *received as f64 * 8.0 / (*l - *f).as_secs_f64()
-            }
+            Some(InnerRole::Sink {
+                received,
+                first_byte: Some(f),
+                last_byte: Some(l),
+                ..
+            }) if l > f => *received as f64 * 8.0 / (*l - *f).as_secs_f64(),
             _ => 0.0,
         }
     }
@@ -182,14 +194,21 @@ impl TunnelGateway {
                     if flow.conn.is_established() {
                         while *written < *total && flow.conn.send_buffer_free() >= 16 * 1024 {
                             let chunk = (16 * 1024).min((*total - *written) as usize);
-                            match flow.conn.write_with_meta(&vec![0xAB; chunk], WriteMeta::normal()) {
+                            match flow
+                                .conn
+                                .write_with_meta(&vec![0xAB; chunk], WriteMeta::normal())
+                            {
                                 Ok(n) => *written += n as u64,
                                 Err(_) => break,
                             }
                         }
                     }
                 }
-                InnerRole::Sink { received, first_byte, last_byte } => {
+                InnerRole::Sink {
+                    received,
+                    first_byte,
+                    last_byte,
+                } => {
                     while let Some(chunk) = flow.conn.read() {
                         if first_byte.is_none() {
                             *first_byte = Some(now);
@@ -222,7 +241,10 @@ impl TunnelGateway {
 
     /// The earliest inner-connection timer (so callers can pick a tick rate).
     pub fn next_inner_timer(&self) -> Option<SimTime> {
-        self.flows.values().filter_map(|f| f.conn.next_timer()).min()
+        self.flows
+            .values()
+            .filter_map(|f| f.conn.next_timer())
+            .min()
     }
 }
 
@@ -289,8 +311,20 @@ mod tests {
         // Download: the server gateway sources 300 KB, the client gateway sinks.
         sg.add_source_flow(1, 300_000, sim.now());
         cg.add_sink_flow(1);
-        run_ticks(&mut sim, client, server, &mut cg, &mut sg, 800, SimDuration::from_millis(10));
-        assert_eq!(cg.sink_received(1), 300_000, "entire download delivered through the tunnel");
+        run_ticks(
+            &mut sim,
+            client,
+            server,
+            &mut cg,
+            &mut sg,
+            800,
+            SimDuration::from_millis(10),
+        );
+        assert_eq!(
+            cg.sink_received(1),
+            300_000,
+            "entire download delivered through the tunnel"
+        );
         assert!(sg.source_finished(1));
         let goodput = cg.sink_goodput_bps(1);
         assert!(
@@ -308,7 +342,15 @@ mod tests {
         cg.add_sink_flow(1);
         cg.add_source_flow(2, 40_000, sim.now());
         sg.add_sink_flow(2);
-        run_ticks(&mut sim, client, server, &mut cg, &mut sg, 1500, SimDuration::from_millis(10));
+        run_ticks(
+            &mut sim,
+            client,
+            server,
+            &mut cg,
+            &mut sg,
+            1500,
+            SimDuration::from_millis(10),
+        );
         assert_eq!(cg.sink_received(1), 150_000);
         assert_eq!(sg.sink_received(2), 40_000);
     }
@@ -318,7 +360,15 @@ mod tests {
         let (mut sim, client, server, mut cg, mut sg) = tunnel_pair(Protocol::TcpTlv, false);
         sg.add_source_flow(1, 100_000, sim.now());
         cg.add_sink_flow(1);
-        run_ticks(&mut sim, client, server, &mut cg, &mut sg, 800, SimDuration::from_millis(10));
+        run_ticks(
+            &mut sim,
+            client,
+            server,
+            &mut cg,
+            &mut sg,
+            800,
+            SimDuration::from_millis(10),
+        );
         assert_eq!(cg.sink_received(1), 100_000);
     }
 

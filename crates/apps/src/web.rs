@@ -65,7 +65,10 @@ pub fn generate_trace(pages: usize, seed: u64) -> Vec<WebPage> {
         let secondary_sizes = (0..secondary_count)
             .map(|_| rng.bounded_pareto(1.2, 1_500.0, 120_000.0) as usize)
             .collect();
-        out.push(WebPage { primary_size, secondary_sizes });
+        out.push(WebPage {
+            primary_size,
+            secondary_sizes,
+        });
     }
     out
 }
@@ -161,7 +164,7 @@ pub fn load_page_pipelined_tcp(
         let now = sim.now();
         // --- client side ---
         if !sent_primary_request {
-            let _ = sim.host_mut(client).tcp_write(ch, &vec![1u8; REQUEST_SIZE]);
+            let _ = sim.host_mut(client).tcp_write(ch, &[1u8; REQUEST_SIZE]);
             sent_primary_request = true;
         }
         while let Ok(Some(chunk)) = sim.host_mut(client).tcp_read(ch) {
@@ -175,7 +178,9 @@ pub fn load_page_pipelined_tcp(
                         break;
                     }
                     let len = u32::from_be_bytes(
-                        stream[parsed_upto..parsed_upto + 4].try_into().expect("4 bytes"),
+                        stream[parsed_upto..parsed_upto + 4]
+                            .try_into()
+                            .expect("4 bytes"),
                     ) as usize;
                     parsed_upto += 4;
                     current_remaining = Some(len);
@@ -197,9 +202,7 @@ pub fn load_page_pipelined_tcp(
                         // Primary object finished: issue the secondary requests.
                         if completed == 1 && !sent_secondary_requests {
                             for _ in 0..page.secondary_sizes.len() {
-                                let _ = sim
-                                    .host_mut(client)
-                                    .tcp_write(ch, &vec![2u8; REQUEST_SIZE]);
+                                let _ = sim.host_mut(client).tcp_write(ch, &[2u8; REQUEST_SIZE]);
                             }
                             sent_secondary_requests = true;
                         }
@@ -265,8 +268,12 @@ pub fn load_page_mstcp(
     let config = MinionConfig::default();
     MsTcpConnection::listen(sim.host_mut(server), port, &config).expect("listen");
     let now = sim.now();
-    let mut client_conn =
-        MsTcpConnection::connect(sim.host_mut(client), SocketAddr::new(server, port), &config, now);
+    let mut client_conn = MsTcpConnection::connect(
+        sim.host_mut(client),
+        SocketAddr::new(server, port),
+        &config,
+        now,
+    );
     let mut server_conn = None;
     while server_conn.is_none() {
         sim.run_for(TICK);
@@ -286,7 +293,13 @@ pub fn load_page_mstcp(
     // Client: request streams. The request payload names the object index.
     let primary_stream = client_conn.open_stream();
     client_conn
-        .send_message(sim.host_mut(client), primary_stream, &0u32.to_be_bytes(), false, 0)
+        .send_message(
+            sim.host_mut(client),
+            primary_stream,
+            &0u32.to_be_bytes(),
+            false,
+            0,
+        )
         .expect("request");
     let mut request_stream_of_object: HashMap<u32, usize> = HashMap::new();
     request_stream_of_object.insert(primary_stream, 0);
@@ -348,7 +361,9 @@ pub fn load_page_mstcp(
 
         // Client: receive stream data.
         for ev in client_conn.recv(sim.host_mut(client)) {
-            let Some(&object) = request_stream_of_object.get(&ev.stream) else { continue };
+            let Some(&object) = request_stream_of_object.get(&ev.stream) else {
+                continue;
+            };
             if first_byte_times[object].is_none() && !ev.data.is_empty() {
                 first_byte_times[object] = Some(now - start);
             }

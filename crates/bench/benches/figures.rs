@@ -1,6 +1,8 @@
 //! `cargo bench --bench figures` regenerates every table and figure of the
 //! paper's evaluation at quick scale and prints the data series.
-use minion_bench::{fig05, fig06, fig10, fig13, table1, voip_experiments, vpn_experiments, DEFAULT_SEED};
+use minion_bench::{
+    fig05, fig06, fig10, fig13, table1, voip_experiments, vpn_experiments, DEFAULT_SEED,
+};
 use minion_simnet::SimDuration;
 use std::time::Instant;
 
@@ -8,7 +10,10 @@ fn timed(name: &str, f: impl FnOnce() -> minion_simnet::Table) {
     let start = Instant::now();
     let table = f();
     println!("{}", table.to_text());
-    println!("[{name} regenerated in {:.1}s]\n", start.elapsed().as_secs_f64());
+    println!(
+        "[{name} regenerated in {:.1}s]\n",
+        start.elapsed().as_secs_f64()
+    );
 }
 
 fn main() {
@@ -18,16 +23,26 @@ fn main() {
     timed("figure 5", || {
         fig05::to_table(&fig05::run(&fig05::paper_message_sizes(), 600_000, seed))
     });
-    timed("figure 6a", || fig06::run_fig6a(&[0.01, 0.02], 400_000, seed));
-    timed("figure 6b", || fig06::run_fig6b(&[0.01, 0.02], 400_000, seed));
-    timed("figure 7", || voip_experiments::run_fig7(SimDuration::from_secs(20), seed));
-    timed("figure 8", || voip_experiments::run_fig8(SimDuration::from_secs(20), seed));
+    timed("figure 6a", || {
+        fig06::run_fig6a(&[0.01, 0.02], 400_000, seed)
+    });
+    timed("figure 6b", || {
+        fig06::run_fig6b(&[0.01, 0.02], 400_000, seed)
+    });
+    timed("figure 7", || {
+        voip_experiments::run_fig7(SimDuration::from_secs(20), seed)
+    });
+    timed("figure 8", || {
+        voip_experiments::run_fig8(SimDuration::from_secs(20), seed)
+    });
     timed("figure 9", || voip_experiments::run_fig9(2, seed));
     timed("figure 10", || fig10::run(800, seed));
     timed("figure 11", || {
         vpn_experiments::run_fig11(&[0, 2, 4], SimDuration::from_secs(15), seed)
     });
-    timed("figure 12", || vpn_experiments::run_fig12(SimDuration::from_secs(15), seed));
+    timed("figure 12", || {
+        vpn_experiments::run_fig12(SimDuration::from_secs(15), seed)
+    });
     timed("figure 13", || fig13::to_table(&fig13::run_trace(6, seed)));
-    timed("table 1", || table1::run());
+    timed("table 1", table1::run);
 }

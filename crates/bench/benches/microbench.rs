@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use minion_cobs::{decode, encode, frame_datagram, scan_records};
 use minion_crypto::{hmac_sha256, sha256};
 use minion_tcp::{SeqNum, TcpFlags, TcpSegment};
-use minion_tls::{CipherSuite, RecordProtection, UtlsReceiver, CONTENT_APPLICATION_DATA, VERSION_TLS11};
+use minion_tls::{
+    CipherSuite, RecordProtection, UtlsReceiver, CONTENT_APPLICATION_DATA, VERSION_TLS11,
+};
 use std::time::Duration;
 
 fn payload(len: usize) -> Vec<u8> {
@@ -15,12 +17,18 @@ fn payload(len: usize) -> Vec<u8> {
 
 fn bench_cobs(c: &mut Criterion) {
     let mut group = c.benchmark_group("cobs");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let data = payload(1400);
     group.throughput(Throughput::Bytes(1400));
-    group.bench_function("encode_1400B", |b| b.iter(|| encode(std::hint::black_box(&data))));
+    group.bench_function("encode_1400B", |b| {
+        b.iter(|| encode(std::hint::black_box(&data)))
+    });
     let encoded = encode(&data);
-    group.bench_function("decode_1400B", |b| b.iter(|| decode(std::hint::black_box(&encoded))));
+    group.bench_function("decode_1400B", |b| {
+        b.iter(|| decode(std::hint::black_box(&encoded)))
+    });
     // Record scanning over a 20-record fragment.
     let mut stream = Vec::new();
     for _ in 0..20 {
@@ -35,10 +43,14 @@ fn bench_cobs(c: &mut Criterion) {
 
 fn bench_crypto(c: &mut Criterion) {
     let mut group = c.benchmark_group("crypto");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let data = payload(1400);
     group.throughput(Throughput::Bytes(1400));
-    group.bench_function("sha256_1400B", |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    group.bench_function("sha256_1400B", |b| {
+        b.iter(|| sha256(std::hint::black_box(&data)))
+    });
     group.bench_function("hmac_sha256_1400B", |b| {
         b.iter(|| hmac_sha256(b"key", std::hint::black_box(&data)))
     });
@@ -47,12 +59,19 @@ fn bench_crypto(c: &mut Criterion) {
 
 fn bench_tls(c: &mut Criterion) {
     let mut group = c.benchmark_group("tls");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let data = payload(1400);
     let keys = (*b"0123456789abcdef", [7u8; 32]);
     group.throughput(Throughput::Bytes(1400));
     group.bench_function("seal_record_1400B", |b| {
-        let mut tx = RecordProtection::new(CipherSuite::Aes128CbcExplicitIv, keys.0, keys.1, VERSION_TLS11);
+        let mut tx = RecordProtection::new(
+            CipherSuite::Aes128CbcExplicitIv,
+            keys.0,
+            keys.1,
+            VERSION_TLS11,
+        );
         let mut n = 0u64;
         b.iter(|| {
             let wire = tx.seal(n, CONTENT_APPLICATION_DATA, std::hint::black_box(&data));
@@ -62,9 +81,21 @@ fn bench_tls(c: &mut Criterion) {
     });
     // uTLS out-of-order recovery of a record after a hole.
     group.bench_function("utls_recover_after_hole", |b| {
-        let mut tx = RecordProtection::new(CipherSuite::Aes128CbcExplicitIv, keys.0, keys.1, VERSION_TLS11);
-        let rx_prot = RecordProtection::new(CipherSuite::Aes128CbcExplicitIv, keys.0, keys.1, VERSION_TLS11);
-        let wires: Vec<Vec<u8>> = (0..4u64).map(|n| tx.seal(n, CONTENT_APPLICATION_DATA, &data)).collect();
+        let mut tx = RecordProtection::new(
+            CipherSuite::Aes128CbcExplicitIv,
+            keys.0,
+            keys.1,
+            VERSION_TLS11,
+        );
+        let rx_prot = RecordProtection::new(
+            CipherSuite::Aes128CbcExplicitIv,
+            keys.0,
+            keys.1,
+            VERSION_TLS11,
+        );
+        let wires: Vec<Vec<u8>> = (0..4u64)
+            .map(|n| tx.seal(n, CONTENT_APPLICATION_DATA, &data))
+            .collect();
         let offset1 = wires[0].len() as u64;
         let offset3 = (wires[0].len() + wires[1].len() + wires[2].len()) as u64;
         b.iter(|| {
@@ -79,11 +110,15 @@ fn bench_tls(c: &mut Criterion) {
 
 fn bench_tcp(c: &mut Criterion) {
     let mut group = c.benchmark_group("tcp");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let mut seg = TcpSegment::bare(443, 50000, SeqNum(123456), SeqNum(654321), TcpFlags::ACK);
     seg.payload = bytes::Bytes::from(payload(1400));
     group.throughput(Throughput::Bytes(1400));
-    group.bench_function("segment_encode_1400B", |b| b.iter(|| std::hint::black_box(&seg).encode()));
+    group.bench_function("segment_encode_1400B", |b| {
+        b.iter(|| std::hint::black_box(&seg).encode())
+    });
     let wire = seg.encode();
     group.bench_function("segment_decode_1400B", |b| {
         b.iter(|| TcpSegment::decode(std::hint::black_box(&wire)))

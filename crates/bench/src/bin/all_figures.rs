@@ -1,20 +1,46 @@
 //! Runs every figure and table of the evaluation in sequence.
-use minion_bench::{fig05, fig06, fig10, fig13, table1, voip_experiments, vpn_experiments, Scale, DEFAULT_SEED};
+use minion_bench::{
+    fig05, fig06, fig10, fig13, table1, voip_experiments, vpn_experiments, Scale, DEFAULT_SEED,
+};
 
 fn main() {
     let scale = Scale::from_env();
     let seed = DEFAULT_SEED;
     println!("== Minion evaluation (scale: {scale:?}) ==\n");
     let samples = fig05::run(&fig05::paper_message_sizes(), scale.transfer_bytes(), seed);
-    print!("{}\n", fig05::to_table(&samples).to_text());
-    print!("{}\n", fig06::run_fig6a(&[0.005, 0.01, 0.02], scale.transfer_bytes() / 2, seed).to_text());
-    print!("{}\n", fig06::run_fig6b(&[0.005, 0.01, 0.02], scale.transfer_bytes() / 2, seed).to_text());
-    print!("{}\n", voip_experiments::run_fig7(scale.voip_duration(), seed).to_text());
-    print!("{}\n", voip_experiments::run_fig8(scale.voip_duration(), seed).to_text());
-    print!("{}\n", voip_experiments::run_fig9(scale.voip_minutes(), seed).to_text());
-    print!("{}\n", fig10::run(scale.priority_messages(), seed).to_text());
-    print!("{}\n", vpn_experiments::run_fig11(&[0, 1, 2, 3, 4, 5], scale.vpn_duration(), seed).to_text());
-    print!("{}\n", vpn_experiments::run_fig12(scale.vpn_duration(), seed).to_text());
-    print!("{}\n", fig13::to_table(&fig13::run_trace(scale.web_pages(), seed)).to_text());
-    print!("{}\n", table1::run().to_text());
+    println!("{}", fig05::to_table(&samples).to_text());
+    println!(
+        "{}",
+        fig06::run_fig6a(&[0.005, 0.01, 0.02], scale.transfer_bytes() / 2, seed).to_text()
+    );
+    println!(
+        "{}",
+        fig06::run_fig6b(&[0.005, 0.01, 0.02], scale.transfer_bytes() / 2, seed).to_text()
+    );
+    println!(
+        "{}",
+        voip_experiments::run_fig7(scale.voip_duration(), seed).to_text()
+    );
+    println!(
+        "{}",
+        voip_experiments::run_fig8(scale.voip_duration(), seed).to_text()
+    );
+    println!(
+        "{}",
+        voip_experiments::run_fig9(scale.voip_minutes(), seed).to_text()
+    );
+    println!("{}", fig10::run(scale.priority_messages(), seed).to_text());
+    println!(
+        "{}",
+        vpn_experiments::run_fig11(&[0, 1, 2, 3, 4, 5], scale.vpn_duration(), seed).to_text()
+    );
+    println!(
+        "{}",
+        vpn_experiments::run_fig12(scale.vpn_duration(), seed).to_text()
+    );
+    println!(
+        "{}",
+        fig13::to_table(&fig13::run_trace(scale.web_pages(), seed)).to_text()
+    );
+    println!("{}", table1::run().to_text());
 }

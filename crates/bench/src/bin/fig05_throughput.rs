@@ -3,7 +3,11 @@ use minion_bench::{fig05, Scale, DEFAULT_SEED};
 
 fn main() {
     let scale = Scale::from_env();
-    let samples = fig05::run(&fig05::paper_message_sizes(), scale.transfer_bytes(), DEFAULT_SEED);
+    let samples = fig05::run(
+        &fig05::paper_message_sizes(),
+        scale.transfer_bytes(),
+        DEFAULT_SEED,
+    );
     let table = fig05::to_table(&samples);
     print!("{}", table.to_text());
     print!("{}", table.to_csv());

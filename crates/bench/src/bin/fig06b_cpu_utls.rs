@@ -3,7 +3,11 @@ use minion_bench::{fig06, Scale, DEFAULT_SEED};
 
 fn main() {
     let scale = Scale::from_env();
-    let table = fig06::run_fig6b(&[0.005, 0.01, 0.02], scale.transfer_bytes() / 2, DEFAULT_SEED);
+    let table = fig06::run_fig6b(
+        &[0.005, 0.01, 0.02],
+        scale.transfer_bytes() / 2,
+        DEFAULT_SEED,
+    );
     print!("{}", table.to_text());
     print!("{}", table.to_csv());
 }

@@ -55,10 +55,7 @@ pub fn run_bulk_transfer(
         now,
     );
     sim.run_for(SimDuration::from_millis(200));
-    let handle = sim
-        .host_mut(receiver_node)
-        .accept(5001)
-        .expect("accepted");
+    let handle = sim.host_mut(receiver_node).accept(5001).expect("accepted");
     let mut sink = BulkSink::new(handle);
 
     let deadline = SimDuration::from_secs(600);
@@ -137,8 +134,16 @@ mod tests {
     #[test]
     fn table_has_one_row_per_size() {
         let samples = vec![
-            ThroughputSample { message_size: 100, tcp_mbps: 1.0, utcp_mbps: 0.5 },
-            ThroughputSample { message_size: 1448, tcp_mbps: 1.9, utcp_mbps: 1.9 },
+            ThroughputSample {
+                message_size: 100,
+                tcp_mbps: 1.0,
+                utcp_mbps: 0.5,
+            },
+            ThroughputSample {
+                message_size: 1448,
+                tcp_mbps: 1.9,
+                utcp_mbps: 1.9,
+            },
         ];
         let t = to_table(&samples);
         assert_eq!(t.row_count(), 2);

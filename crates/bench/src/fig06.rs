@@ -81,7 +81,10 @@ pub fn run_transfer(
                 while sent < total_datagrams
                     && $tx.send_buffer_free(sim.host($sender_host)) > 4 * datagram.len()
                 {
-                    if $tx.send_datagram(sim.host_mut($sender_host), &datagram).is_err() {
+                    if $tx
+                        .send_datagram(sim.host_mut($sender_host), &datagram)
+                        .is_err()
+                    {
                         break;
                     }
                     sent += 1;
@@ -105,7 +108,8 @@ pub fn run_transfer(
         Protocol::Ucobs => {
             UcobsSocket::listen(sim.host_mut(b), 7000, &config).unwrap();
             let now = sim.now();
-            let mut tx = UcobsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7000), &config, now);
+            let mut tx =
+                UcobsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7000), &config, now);
             sim.run_for(SimDuration::from_millis(200));
             let mut rx = UcobsSocket::accept(sim.host_mut(b), 7000).expect("accepted");
             run_datagram_protocol!(tx, rx, a, b);
@@ -113,8 +117,12 @@ pub fn run_transfer(
         Protocol::TcpTlv => {
             TcpTlvSocket::listen(sim.host_mut(b), 7000, &baseline_config).unwrap();
             let now = sim.now();
-            let mut tx =
-                TcpTlvSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7000), &baseline_config, now);
+            let mut tx = TcpTlvSocket::connect(
+                sim.host_mut(a),
+                SocketAddr::new(b, 7000),
+                &baseline_config,
+                now,
+            );
             sim.run_for(SimDuration::from_millis(200));
             let mut rx = TcpTlvSocket::accept(sim.host_mut(b), 7000).expect("accepted");
             run_datagram_protocol!(tx, rx, a, b);
@@ -122,7 +130,8 @@ pub fn run_transfer(
         Protocol::Utls => {
             UtlsSocket::listen(sim.host_mut(b), 7443, &config).unwrap();
             let now = sim.now();
-            let mut tx = UtlsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7443), &config, now);
+            let mut tx =
+                UtlsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7443), &config, now);
             sim.run_for(SimDuration::from_millis(200));
             let mut rx = UtlsSocket::accept(sim.host_mut(b), 7443, &config).expect("accepted");
             // Drive the TLS handshake.
@@ -209,7 +218,8 @@ pub fn run_transfer_without_utcp(
         Protocol::Ucobs => {
             UcobsSocket::listen(sim.host_mut(b), 7000, &config).unwrap();
             let now = sim.now();
-            let mut tx = UcobsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7000), &config, now);
+            let mut tx =
+                UcobsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7000), &config, now);
             sim.run_for(SimDuration::from_millis(200));
             let mut rx = UcobsSocket::accept(sim.host_mut(b), 7000).expect("accepted");
             pump!(tx, rx);
@@ -217,7 +227,8 @@ pub fn run_transfer_without_utcp(
         Protocol::Utls => {
             UtlsSocket::listen(sim.host_mut(b), 7443, &config).unwrap();
             let now = sim.now();
-            let mut tx = UtlsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7443), &config, now);
+            let mut tx =
+                UtlsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7443), &config, now);
             sim.run_for(SimDuration::from_millis(200));
             let mut rx = UtlsSocket::accept(sim.host_mut(b), 7443, &config).expect("accepted");
             for _ in 0..6 {
@@ -280,7 +291,13 @@ pub fn run_fig6a(loss_rates: &[f64], total_bytes: u64, seed: u64) -> Table {
 pub fn run_fig6b(loss_rates: &[f64], total_bytes: u64, seed: u64) -> Table {
     let mut table = Table::new(
         "Figure 6(b): processing cost normalised to TLS",
-        &["loss_rate", "tls_send", "utls_send", "tls_recv", "utls_recv"],
+        &[
+            "loss_rate",
+            "tls_send",
+            "utls_send",
+            "tls_recv",
+            "utls_recv",
+        ],
     );
     for &loss in loss_rates {
         let tls = run_transfer_without_utcp(Protocol::Utls, loss, total_bytes, 1200, seed);

@@ -89,7 +89,10 @@ pub fn run_priority_experiment(
         idle_rounds = if got_any { 0 } else { idle_rounds + 1 };
     }
 
-    PriorityDelays { low_priority_ms: low, high_priority_ms: high }
+    PriorityDelays {
+        low_priority_ms: low,
+        high_priority_ms: high,
+    }
 }
 
 /// Render Figure 10's data: delay statistics per priority class, TCP vs uTCP.

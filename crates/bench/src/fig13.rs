@@ -6,7 +6,9 @@
 //! table reports, per request-count bucket, the median total page-load time
 //! and the median of each page's average time-to-first-byte.
 
-use minion_apps::{generate_trace, load_page_mstcp, load_page_pipelined_tcp, PageLoadMetrics, WebPage};
+use minion_apps::{
+    generate_trace, load_page_mstcp, load_page_pipelined_tcp, PageLoadMetrics, WebPage,
+};
 use minion_simnet::{Distribution, LinkConfig, NodeId, SimDuration, Table};
 use minion_stack::Sim;
 use std::collections::BTreeMap;
@@ -45,7 +47,11 @@ pub fn run_trace(pages: usize, seed: u64) -> Vec<PageComparison> {
         let pipelined = load_page_pipelined_tcp(&mut sim, client, server, page, 8000);
         let (mut sim, client, server) = web_sim(seed + i as u64 + 1000);
         let mstcp = load_page_mstcp(&mut sim, client, server, page, 8000);
-        out.push(PageComparison { page: page.clone(), pipelined, mstcp });
+        out.push(PageComparison {
+            page: page.clone(),
+            pipelined,
+            mstcp,
+        });
     }
     out
 }

@@ -36,7 +36,10 @@ pub enum Scale {
 impl Scale {
     /// Read the scale from the `MINION_FULL` environment variable.
     pub fn from_env() -> Scale {
-        if std::env::var("MINION_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("MINION_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Scale::Full
         } else {
             Scale::Quick

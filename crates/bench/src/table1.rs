@@ -12,7 +12,9 @@ use std::path::{Path, PathBuf};
 
 /// Count non-blank, non-comment lines of Rust in a file.
 pub fn count_loc(path: &Path) -> u64 {
-    let Ok(content) = std::fs::read_to_string(path) else { return 0 };
+    let Ok(content) = std::fs::read_to_string(path) else {
+        return 0;
+    };
     content
         .lines()
         .map(str::trim)
@@ -25,7 +27,9 @@ pub fn count_crate_loc(src_dir: &Path) -> u64 {
     let mut total = 0;
     let mut stack = vec![src_dir.to_path_buf()];
     while let Some(dir) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
         for entry in entries.flatten() {
             let path = entry.path();
             if path.is_dir() {
@@ -108,7 +112,11 @@ mod tests {
         let dir = std::env::temp_dir().join("minion-table1-test");
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("sample.rs");
-        std::fs::write(&file, "// comment\n\nfn main() {\n    let x = 1;\n}\n//! doc\n").unwrap();
+        std::fs::write(
+            &file,
+            "// comment\n\nfn main() {\n    let x = 1;\n}\n//! doc\n",
+        )
+        .unwrap();
         assert_eq!(count_loc(&file), 3);
         std::fs::remove_file(&file).ok();
     }

@@ -7,7 +7,9 @@
 //! 200 ms playout buffer; Figure 9 plots a sliding-window quality score over
 //! a longer call as competing flows are added one per minute.
 
-use minion_apps::{frame_number, CompetingFlow, VoipReceiver, VoipReport, VoipSource, VoipSourceConfig};
+use minion_apps::{
+    frame_number, CompetingFlow, VoipReceiver, VoipReport, VoipSource, VoipSourceConfig,
+};
 use minion_core::{MinionConfig, MinionTransport, Protocol, UdpShim};
 use minion_simnet::{Distribution, LinkConfig, SimDuration, SimTime, Table};
 use minion_stack::{Sim, SocketAddr};
@@ -77,10 +79,16 @@ pub fn run_call(config: &VoipRunConfig) -> VoipReport {
     match config.protocol {
         Protocol::Udp => {
             tx = MinionTransport::Udp(
-                UdpShim::bind(sim.host_mut(sender), 0, Some(SocketAddr::new(receiver, 9999)))
-                    .expect("bind"),
+                UdpShim::bind(
+                    sim.host_mut(sender),
+                    0,
+                    Some(SocketAddr::new(receiver, 9999)),
+                )
+                .expect("bind"),
             );
-            rx = MinionTransport::Udp(UdpShim::bind(sim.host_mut(receiver), 9999, None).expect("bind"));
+            rx = MinionTransport::Udp(
+                UdpShim::bind(sim.host_mut(receiver), 9999, None).expect("bind"),
+            );
         }
         protocol => {
             MinionTransport::listen(protocol, sim.host_mut(receiver), 9999, &minion_config)
@@ -105,8 +113,12 @@ pub fn run_call(config: &VoipRunConfig) -> VoipReport {
                 let _ = tx.recv(sim.host_mut(sender));
                 sim.run_for(SimDuration::from_millis(80));
                 if accepted.is_none() {
-                    accepted =
-                        MinionTransport::accept(protocol, sim.host_mut(receiver), 9999, &minion_config);
+                    accepted = MinionTransport::accept(
+                        protocol,
+                        sim.host_mut(receiver),
+                        9999,
+                        &minion_config,
+                    );
                 }
             }
             rx = accepted.expect("accepted");
@@ -203,7 +215,11 @@ pub fn run_fig8(duration: SimDuration, seed: u64) -> Table {
     }
     for burst in [1usize, 2, 3, 5, 10, 20, 30, 50] {
         let row: Vec<String> = std::iter::once(burst.to_string())
-            .chain(dists.iter().map(|d| format!("{:.3}", d.fraction_at_most(burst as f64))))
+            .chain(
+                dists
+                    .iter()
+                    .map(|d| format!("{:.3}", d.fraction_at_most(burst as f64))),
+            )
             .collect();
         table.add_row(row);
     }

@@ -27,10 +27,26 @@ pub struct TunnelVariant {
 /// The four variants of Figure 12 (and the two of Figure 11).
 pub fn variants() -> Vec<TunnelVariant> {
     vec![
-        TunnelVariant { protocol: Protocol::TcpTlv, prioritize_acks: false, label: "TCP" },
-        TunnelVariant { protocol: Protocol::TcpTlv, prioritize_acks: true, label: "TCP+priACKs" },
-        TunnelVariant { protocol: Protocol::Ucobs, prioritize_acks: false, label: "uCOBS" },
-        TunnelVariant { protocol: Protocol::Ucobs, prioritize_acks: true, label: "uCOBS+priACKs" },
+        TunnelVariant {
+            protocol: Protocol::TcpTlv,
+            prioritize_acks: false,
+            label: "TCP",
+        },
+        TunnelVariant {
+            protocol: Protocol::TcpTlv,
+            prioritize_acks: true,
+            label: "TCP+priACKs",
+        },
+        TunnelVariant {
+            protocol: Protocol::Ucobs,
+            prioritize_acks: false,
+            label: "uCOBS",
+        },
+        TunnelVariant {
+            protocol: Protocol::Ucobs,
+            prioritize_acks: true,
+            label: "uCOBS+priACKs",
+        },
     ]
 }
 
@@ -106,8 +122,12 @@ pub fn run_tunnel(
     }
 
     let elapsed = (sim.now() - start).as_secs_f64();
-    let downloaded: u64 = (0..downloads).map(|i| client_gw.sink_received(1 + i as u32)).sum();
-    let uploaded: u64 = (0..uploads).map(|i| server_gw.sink_received(100 + i as u32)).sum();
+    let downloaded: u64 = (0..downloads)
+        .map(|i| client_gw.sink_received(1 + i as u32))
+        .sum();
+    let uploaded: u64 = (0..uploads)
+        .map(|i| server_gw.sink_received(100 + i as u32))
+        .sum();
     TunnelRunResult {
         download_mbps: downloaded as f64 * 8.0 / elapsed / 1_000_000.0,
         upload_mbps: uploaded as f64 * 8.0 / elapsed / 1_000_000.0,
@@ -174,14 +194,22 @@ mod tests {
     fn modified_tunnel_beats_original_under_upload_contention() {
         let duration = SimDuration::from_secs(25);
         let original = run_tunnel(
-            TunnelVariant { protocol: Protocol::TcpTlv, prioritize_acks: false, label: "orig" },
+            TunnelVariant {
+                protocol: Protocol::TcpTlv,
+                prioritize_acks: false,
+                label: "orig",
+            },
             1,
             2,
             duration,
             7,
         );
         let modified = run_tunnel(
-            TunnelVariant { protocol: Protocol::Ucobs, prioritize_acks: true, label: "mod" },
+            TunnelVariant {
+                protocol: Protocol::Ucobs,
+                prioritize_acks: true,
+                label: "mod",
+            },
             1,
             2,
             duration,
@@ -201,7 +229,11 @@ mod tests {
     #[test]
     fn download_only_scenario_fills_a_good_share_of_the_link() {
         let result = run_tunnel(
-            TunnelVariant { protocol: Protocol::Ucobs, prioritize_acks: true, label: "mod" },
+            TunnelVariant {
+                protocol: Protocol::Ucobs,
+                prioritize_acks: true,
+                label: "mod",
+            },
             1,
             0,
             SimDuration::from_secs(20),

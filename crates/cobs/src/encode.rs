@@ -114,9 +114,18 @@ mod tests {
         assert_eq!(encode(&[]), vec![0x01]);
         assert_eq!(encode(&[0x00]), vec![0x01, 0x01]);
         assert_eq!(encode(&[0x00, 0x00]), vec![0x01, 0x01, 0x01]);
-        assert_eq!(encode(&[0x11, 0x22, 0x00, 0x33]), vec![0x03, 0x11, 0x22, 0x02, 0x33]);
-        assert_eq!(encode(&[0x11, 0x22, 0x33, 0x44]), vec![0x05, 0x11, 0x22, 0x33, 0x44]);
-        assert_eq!(encode(&[0x11, 0x00, 0x00, 0x00]), vec![0x02, 0x11, 0x01, 0x01, 0x01]);
+        assert_eq!(
+            encode(&[0x11, 0x22, 0x00, 0x33]),
+            vec![0x03, 0x11, 0x22, 0x02, 0x33]
+        );
+        assert_eq!(
+            encode(&[0x11, 0x22, 0x33, 0x44]),
+            vec![0x05, 0x11, 0x22, 0x33, 0x44]
+        );
+        assert_eq!(
+            encode(&[0x11, 0x00, 0x00, 0x00]),
+            vec![0x02, 0x11, 0x01, 0x01, 0x01]
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ pub fn scan_records(fragment: &[u8], is_stream_start: bool) -> Vec<ScannedRecord
                 };
                 if content_start < i {
                     if let Ok(payload) = decode(&fragment[content_start..i]) {
-                        records.push(ScannedRecord { start, end: i + 1, payload });
+                        records.push(ScannedRecord {
+                            start,
+                            end: i + 1,
+                            payload,
+                        });
                     }
                 }
             }
@@ -117,8 +121,12 @@ impl TlvFramer {
         if self.buffer.len() < 4 {
             return None;
         }
-        let len = u32::from_be_bytes([self.buffer[0], self.buffer[1], self.buffer[2], self.buffer[3]])
-            as usize;
+        let len = u32::from_be_bytes([
+            self.buffer[0],
+            self.buffer[1],
+            self.buffer[2],
+            self.buffer[3],
+        ]) as usize;
         if self.buffer.len() < 4 + len {
             return None;
         }

@@ -14,4 +14,6 @@ pub mod encode;
 pub mod frame;
 
 pub use encode::{decode, encode, max_encoded_len, overhead_ratio, CobsError, MARKER};
-pub use frame::{decode_record, frame_datagram, framing_overhead, scan_records, ScannedRecord, TlvFramer};
+pub use frame::{
+    decode_record, frame_datagram, framing_overhead, scan_records, ScannedRecord, TlvFramer,
+};

@@ -92,8 +92,12 @@ impl FragmentStore {
             }
         }
         let mut end = start + buf.len() as u64;
+        // Not a `while let`: the range borrow must end before `remove()`.
+        #[allow(clippy::while_let_loop)]
         loop {
-            let Some((&sstart, sdata)) = self.runs.range(start..).next() else { break };
+            let Some((&sstart, sdata)) = self.runs.range(start..).next() else {
+                break;
+            };
             if sstart > end {
                 break;
             }
@@ -107,7 +111,10 @@ impl FragmentStore {
             self.runs.remove(&sstart);
         }
         self.bytes += buf.len();
-        let frag = Fragment { offset: start, data: buf.clone() };
+        let frag = Fragment {
+            offset: start,
+            data: buf.clone(),
+        };
         self.runs.insert(start, buf);
         Some(frag)
     }
@@ -116,7 +123,10 @@ impl FragmentStore {
     pub fn fragment_at(&self, offset: u64) -> Option<Fragment> {
         let (&start, data) = self.runs.range(..=offset).next_back()?;
         if offset < start + data.len() as u64 {
-            Some(Fragment { offset: start, data: data.clone() })
+            Some(Fragment {
+                offset: start,
+                data: data.clone(),
+            })
         } else {
             None
         }
@@ -145,7 +155,10 @@ impl FragmentStore {
     pub fn fragments(&self) -> Vec<Fragment> {
         self.runs
             .iter()
-            .map(|(&offset, data)| Fragment { offset, data: data.clone() })
+            .map(|(&offset, data)| Fragment {
+                offset,
+                data: data.clone(),
+            })
             .collect()
     }
 

@@ -106,7 +106,11 @@ impl TcpTlvSocket {
 
     /// Listen for baseline connections on `port`.
     pub fn listen(host: &mut Host, port: u16, config: &MinionConfig) -> Result<(), HostError> {
-        host.tcp_listen(port, config.tcp.clone(), minion_tcp::SocketOptions::standard())
+        host.tcp_listen(
+            port,
+            config.tcp.clone(),
+            minion_tcp::SocketOptions::standard(),
+        )
     }
 
     /// Accept a pending connection.
@@ -188,7 +192,11 @@ mod tests {
         let mut sim = Sim::new(21);
         let a = sim.add_host("a");
         let b = sim.add_host("b");
-        sim.link(a, b, LinkConfig::new(10_000_000, SimDuration::from_millis(10)));
+        sim.link(
+            a,
+            b,
+            LinkConfig::new(10_000_000, SimDuration::from_millis(10)),
+        );
         (sim, a, b)
     }
 
@@ -223,7 +231,8 @@ mod tests {
         assert!(tx.is_established(sim.host(a)));
         let sizes = [1usize, 100, 1448, 3000, 0, 9];
         for (i, &s) in sizes.iter().enumerate() {
-            tx.send_datagram(sim.host_mut(a), &vec![i as u8; s]).unwrap();
+            tx.send_datagram(sim.host_mut(a), &vec![i as u8; s])
+                .unwrap();
         }
         sim.run_for(SimDuration::from_secs(1));
         let got = rx.recv(sim.host_mut(b));

@@ -39,9 +39,7 @@ impl MinionTransport {
             Protocol::Utls => {
                 MinionTransport::Utls(Box::new(UtlsSocket::connect(host, remote, config, now)))
             }
-            Protocol::Udp => {
-                MinionTransport::Udp(UdpShim::bind(host, 0, Some(remote))?)
-            }
+            Protocol::Udp => MinionTransport::Udp(UdpShim::bind(host, 0, Some(remote))?),
             Protocol::TcpTlv => {
                 MinionTransport::TcpTlv(TcpTlvSocket::connect(host, remote, config, now))
             }
@@ -166,7 +164,11 @@ mod tests {
         let mut sim = Sim::new(seed);
         let a = sim.add_host("a");
         let b = sim.add_host("b");
-        sim.link(a, b, LinkConfig::new(10_000_000, SimDuration::from_millis(20)));
+        sim.link(
+            a,
+            b,
+            LinkConfig::new(10_000_000, SimDuration::from_millis(20)),
+        );
         (sim, a, b)
     }
 

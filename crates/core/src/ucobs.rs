@@ -154,7 +154,9 @@ impl UcobsSocket {
     pub fn recv(&mut self, host: &mut Host) -> Vec<Datagram> {
         let mut out = Vec::new();
         while let Ok(Some(chunk)) = host.tcp_read(self.handle) {
-            let Some(fragment) = self.store.insert(chunk.offset, &chunk.data) else { continue };
+            let Some(fragment) = self.store.insert(chunk.offset, &chunk.data) else {
+                continue;
+            };
             // Scan the (possibly merged) fragment containing the new data.
             // A fragment at offset 0 needs no leading marker; a fragment at
             // the pruned head floor begins with the previous record's
@@ -301,7 +303,11 @@ mod tests {
         // After recovery everything has arrived exactly once.
         sim.run_for(SimDuration::from_secs(5));
         let late = rx.recv(sim.host_mut(b));
-        let mut all: Vec<u8> = early.iter().chain(late.iter()).map(|d| d.payload[0]).collect();
+        let mut all: Vec<u8> = early
+            .iter()
+            .chain(late.iter())
+            .map(|d| d.payload[0])
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..10u8).collect::<Vec<u8>>());
     }
@@ -322,8 +328,16 @@ mod tests {
         );
         sim.run_for(SimDuration::from_secs(5));
         let late = rx.recv(sim.host_mut(b));
-        let all: Vec<u8> = early.iter().chain(late.iter()).map(|d| d.payload[0]).collect();
-        assert_eq!(all, (0..10u8).collect::<Vec<u8>>(), "in-order delivery preserved");
+        let all: Vec<u8> = early
+            .iter()
+            .chain(late.iter())
+            .map(|d| d.payload[0])
+            .collect();
+        assert_eq!(
+            all,
+            (0..10u8).collect::<Vec<u8>>(),
+            "in-order delivery preserved"
+        );
     }
 
     #[test]

@@ -218,7 +218,10 @@ impl UtlsSocket {
                     if let Ok(records) = self.session.read_datagrams() {
                         for payload in records {
                             self.stats.datagrams_received += 1;
-                            out.push(Datagram { payload, out_of_order: false });
+                            out.push(Datagram {
+                                payload,
+                                out_of_order: false,
+                            });
                         }
                     }
                 }
@@ -255,7 +258,9 @@ impl UtlsSocket {
     }
 
     fn feed_receiver_relative(&mut self, rel_offset: u64, data: &[u8], out: &mut Vec<Datagram>) {
-        let Some(receiver) = self.receiver.as_mut() else { return };
+        let Some(receiver) = self.receiver.as_mut() else {
+            return;
+        };
         for rec in receiver.on_fragment(rel_offset, data) {
             self.stats.datagrams_received += 1;
             if rec.out_of_order {
@@ -356,9 +361,17 @@ mod tests {
         );
         sim.run_for(SimDuration::from_secs(5));
         let late = server.recv(sim.host_mut(b));
-        let mut firsts: Vec<u8> = early.iter().chain(late.iter()).map(|d| d.payload[0]).collect();
+        let mut firsts: Vec<u8> = early
+            .iter()
+            .chain(late.iter())
+            .map(|d| d.payload[0])
+            .collect();
         firsts.sort_unstable();
-        assert_eq!(firsts, (0..12u8).collect::<Vec<u8>>(), "every record exactly once");
+        assert_eq!(
+            firsts,
+            (0..12u8).collect::<Vec<u8>>(),
+            "every record exactly once"
+        );
     }
 
     #[test]

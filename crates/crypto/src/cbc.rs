@@ -81,7 +81,7 @@ pub fn decrypt(
     iv: &[u8; BLOCK_SIZE],
     ciphertext: &[u8],
 ) -> Result<Vec<u8>, CbcError> {
-    if ciphertext.is_empty() || ciphertext.len() % BLOCK_SIZE != 0 {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_SIZE) {
         return Err(CbcError::BadLength);
     }
     let aes = Aes128::new(key);
@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn tampered_ciphertext_usually_fails_padding() {
-        let mut ct = encrypt(KEY, IV, &vec![7u8; 64]);
+        let mut ct = encrypt(KEY, IV, &[7u8; 64]);
         let last = ct.len() - 1;
         ct[last] ^= 0xFF;
         // Either padding fails or the plaintext is corrupted; both are fine

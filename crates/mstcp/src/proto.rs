@@ -73,7 +73,10 @@ mod tests {
         let c = Chunk {
             stream_id: 7,
             sequence: 42,
-            flags: ChunkFlags { end_of_message: true, end_of_stream: false },
+            flags: ChunkFlags {
+                end_of_message: true,
+                end_of_stream: false,
+            },
             payload: b"hello streams".to_vec(),
         };
         let decoded = Chunk::decode(&c.encode()).unwrap();
@@ -85,7 +88,10 @@ mod tests {
         let c = Chunk {
             stream_id: u32::MAX,
             sequence: 0,
-            flags: ChunkFlags { end_of_message: true, end_of_stream: true },
+            flags: ChunkFlags {
+                end_of_message: true,
+                end_of_stream: true,
+            },
             payload: vec![],
         };
         assert_eq!(Chunk::decode(&c.encode()).unwrap(), c);

@@ -140,10 +140,7 @@ impl MsTcpConnection {
         end_of_stream: bool,
         priority: u32,
     ) -> Result<(), HostError> {
-        let send_stream = self
-            .send_streams
-            .entry(stream)
-            .or_default();
+        let send_stream = self.send_streams.entry(stream).or_default();
         let mut offset = 0usize;
         loop {
             let end = (offset + self.chunk_size).min(message.len());
@@ -173,7 +170,9 @@ impl MsTcpConnection {
     pub fn recv(&mut self, host: &mut Host) -> Vec<StreamEvent> {
         let mut events = Vec::new();
         for datagram in self.transport.recv(host) {
-            let Some(chunk) = Chunk::decode(&datagram.payload) else { continue };
+            let Some(chunk) = Chunk::decode(&datagram.payload) else {
+                continue;
+            };
             self.stats.chunks_received += 1;
             let stream = self.recv_streams.entry(chunk.stream_id).or_default();
             if chunk.sequence != stream.next_sequence {
@@ -182,9 +181,6 @@ impl MsTcpConnection {
             if chunk.sequence >= stream.next_sequence {
                 stream.pending.insert(chunk.sequence, chunk);
             }
-            // Release everything now deliverable in order for this stream.
-            let stream_id = datagram.payload.len(); // placeholder to appease borrowck ordering
-            let _ = stream_id;
         }
         // Drain deliverable chunks per stream (done after ingesting all
         // datagrams so a single recv call delivers as much as possible).
@@ -259,7 +255,9 @@ mod tests {
     fn collect(events: &[StreamEvent]) -> HashMap<StreamId, Vec<u8>> {
         let mut map: HashMap<StreamId, Vec<u8>> = HashMap::new();
         for ev in events {
-            map.entry(ev.stream).or_default().extend_from_slice(&ev.data);
+            map.entry(ev.stream)
+                .or_default()
+                .extend_from_slice(&ev.data);
         }
         map
     }
@@ -274,8 +272,12 @@ mod tests {
         assert_ne!(s1, s2);
         let m1: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
         let m2: Vec<u8> = (0..3000u32).map(|i| (i % 13) as u8).collect();
-        client.send_message(sim.host_mut(a), s1, &m1, true, 0).unwrap();
-        client.send_message(sim.host_mut(a), s2, &m2, true, 0).unwrap();
+        client
+            .send_message(sim.host_mut(a), s1, &m1, true, 0)
+            .unwrap();
+        client
+            .send_message(sim.host_mut(a), s2, &m2, true, 0)
+            .unwrap();
         sim.run_for(SimDuration::from_secs(2));
         let events = server.recv(sim.host_mut(b));
         let streams = collect(&events);
@@ -295,10 +297,16 @@ mod tests {
         let messages: Vec<Vec<u8>> = streams
             .iter()
             .enumerate()
-            .map(|(i, _)| (0..20_000u32).map(|j| ((i as u32 * 7 + j) % 251) as u8).collect())
+            .map(|(i, _)| {
+                (0..20_000u32)
+                    .map(|j| ((i as u32 * 7 + j) % 251) as u8)
+                    .collect()
+            })
             .collect();
         for (s, m) in streams.iter().zip(&messages) {
-            client.send_message(sim.host_mut(a), *s, m, true, 0).unwrap();
+            client
+                .send_message(sim.host_mut(a), *s, m, true, 0)
+                .unwrap();
         }
         let mut all_events = Vec::new();
         for _ in 0..60 {
@@ -338,11 +346,8 @@ mod tests {
         );
         sim.run_for(SimDuration::from_secs(5));
         let late = server.recv(sim.host_mut(b));
-        let all: std::collections::BTreeSet<StreamId> = early
-            .iter()
-            .chain(late.iter())
-            .map(|e| e.stream)
-            .collect();
+        let all: std::collections::BTreeSet<StreamId> =
+            early.iter().chain(late.iter()).map(|e| e.stream).collect();
         assert_eq!(all.len(), 6, "every stream eventually completes");
     }
 
@@ -354,8 +359,12 @@ mod tests {
         let cs = client.open_stream();
         let ss = server.open_stream();
         assert_ne!(cs, ss);
-        client.send_message(sim.host_mut(a), cs, b"from client", true, 0).unwrap();
-        server.send_message(sim.host_mut(b), ss, b"from server", true, 0).unwrap();
+        client
+            .send_message(sim.host_mut(a), cs, b"from client", true, 0)
+            .unwrap();
+        server
+            .send_message(sim.host_mut(b), ss, b"from server", true, 0)
+            .unwrap();
         sim.run_for(SimDuration::from_secs(1));
         let at_server = server.recv(sim.host_mut(b));
         let at_client = client.recv(sim.host_mut(a));
@@ -371,7 +380,9 @@ mod tests {
         client.set_chunk_size(512);
         let s = client.open_stream();
         let msg: Vec<u8> = (0..10_000u32).map(|i| (i % 256) as u8).collect();
-        client.send_message(sim.host_mut(a), s, &msg, false, 0).unwrap();
+        client
+            .send_message(sim.host_mut(a), s, &msg, false, 0)
+            .unwrap();
         sim.run_for(SimDuration::from_secs(2));
         let events = server.recv(sim.host_mut(b));
         assert!(events.len() >= 20, "message split into many chunks");

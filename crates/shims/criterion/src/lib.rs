@@ -1,0 +1,163 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The container image has no crates.io access, so the workspace vendors the
+//! subset of the criterion API its benches use: `Criterion`,
+//! `benchmark_group` with `measurement_time` / `warm_up_time` / `throughput`,
+//! `bench_function` with `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple calibrated wall-clock
+//! loop reporting mean ns/iter (and MB/s when a byte throughput is set); no
+//! statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Create a driver with default settings.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            throughput: None,
+        }
+    }
+
+    /// Register a stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            throughput: None,
+        };
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing timing settings and throughput annotation.
+pub struct BenchmarkGroup {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                let extra = match self.throughput {
+                    Some(Throughput::Bytes(b)) => {
+                        let mbps = (b as f64 / 1e6) / (ns / 1e9);
+                        format!("  {mbps:>10.1} MB/s")
+                    }
+                    Some(Throughput::Elements(e)) => {
+                        let eps = e as f64 / (ns / 1e9);
+                        format!("  {eps:>10.0} elem/s")
+                    }
+                    None => String::new(),
+                };
+                println!("{name:<32} {ns:>12.1} ns/iter{extra}");
+            }
+            None => println!("{name:<32} (no measurement)"),
+        }
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly: first until the warm-up time elapses, then for
+    /// the measurement period, recording mean time per iteration.
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(body());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let deadline = start + self.measurement_time;
+        while Instant::now() < deadline {
+            // Batch iterations to amortise the clock reads.
+            for _ in 0..8 {
+                std::hint::black_box(body());
+            }
+            iters += 8;
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// Define a function running a list of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` invoking the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

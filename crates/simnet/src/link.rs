@@ -205,10 +205,7 @@ mod tests {
         let cfg = LinkConfig::new(1_000_000, SimDuration::from_millis(10));
         let mut link = Link::new(cfg, SimRng::new(0));
         let out = link.transmit(SimTime::ZERO, &pkt(1500 - PER_PACKET_OVERHEAD));
-        assert_eq!(
-            out,
-            TransmitOutcome::Delivered(SimTime::from_millis(22))
-        );
+        assert_eq!(out, TransmitOutcome::Delivered(SimTime::from_millis(22)));
     }
 
     #[test]
@@ -232,9 +229,18 @@ mod tests {
         let cfg = LinkConfig::new(1_000_000, SimDuration::ZERO).with_queue_bytes(3000);
         let mut link = Link::new(cfg, SimRng::new(0));
         let p = pkt(1500 - PER_PACKET_OVERHEAD);
-        assert!(matches!(link.transmit(SimTime::ZERO, &p), TransmitOutcome::Delivered(_)));
-        assert!(matches!(link.transmit(SimTime::ZERO, &p), TransmitOutcome::Delivered(_)));
-        assert_eq!(link.transmit(SimTime::ZERO, &p), TransmitOutcome::DroppedQueue);
+        assert!(matches!(
+            link.transmit(SimTime::ZERO, &p),
+            TransmitOutcome::Delivered(_)
+        ));
+        assert!(matches!(
+            link.transmit(SimTime::ZERO, &p),
+            TransmitOutcome::Delivered(_)
+        ));
+        assert_eq!(
+            link.transmit(SimTime::ZERO, &p),
+            TransmitOutcome::DroppedQueue
+        );
         assert_eq!(link.stats().dropped_queue, 1);
     }
 
@@ -260,6 +266,9 @@ mod tests {
         // 8 Mbps => 1000 bytes take 1 ms.
         let p = pkt(1000 - PER_PACKET_OVERHEAD);
         link.transmit(SimTime::ZERO, &p);
-        assert_eq!(link.queueing_delay(SimTime::ZERO), SimDuration::from_millis(1));
+        assert_eq!(
+            link.queueing_delay(SimTime::ZERO),
+            SimDuration::from_millis(1)
+        );
     }
 }

@@ -105,10 +105,14 @@ impl LossModel {
                 if self.rng.chance(p_transition) {
                     self.in_bad_state = !self.in_bad_state;
                 }
-                let loss_p = if self.in_bad_state { *loss_bad } else { loss_here.min(*loss_good) };
+                let loss_p = if self.in_bad_state {
+                    *loss_bad
+                } else {
+                    loss_here.min(*loss_good)
+                };
                 self.rng.chance(loss_p)
             }
-            LossConfig::Periodic { every } => *every != 0 && self.offered % *every == 0,
+            LossConfig::Periodic { every } => *every != 0 && self.offered.is_multiple_of(*every),
             LossConfig::Explicit { indices } => indices.contains(&self.offered),
         }
     }
@@ -162,7 +166,12 @@ mod tests {
 
     #[test]
     fn explicit_drops_exact_indices() {
-        let mut m = LossModel::new(LossConfig::Explicit { indices: vec![2, 5] }, rng());
+        let mut m = LossModel::new(
+            LossConfig::Explicit {
+                indices: vec![2, 5],
+            },
+            rng(),
+        );
         let pattern: Vec<bool> = (0..6).map(|_| m.should_drop()).collect();
         assert_eq!(pattern, vec![false, true, false, false, true, false]);
         assert_eq!(m.offered(), 6);

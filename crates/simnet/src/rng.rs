@@ -6,23 +6,49 @@
 //! [`SimRng::fork`] with distinct labels so that adding randomness consumption
 //! in one component does not perturb another.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A deterministic, seedable random number generator for simulation use.
+///
+/// Implemented as xoshiro256++ seeded via SplitMix64 — self-contained (the
+/// build is offline, so no `rand` dependency) and stable across platforms and
+/// releases, which is what makes simulation runs bit-reproducible.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    rng: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, per the
+        // generator authors' recommendation.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         SimRng {
-            rng: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
             seed,
         }
+    }
+
+    /// Next 64 uniformly random bits (xoshiro256++ step).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// The seed this generator was created with.
@@ -45,19 +71,27 @@ impl SimRng {
 
     /// Uniform floating-point sample in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 uniformly random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[low, high)`. Panics if the range is empty.
     pub fn gen_range_u64(&mut self, low: u64, high: u64) -> u64 {
         assert!(low < high, "empty range");
-        self.rng.gen_range(low..high)
+        let span = high - low;
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return low + v % span;
+            }
+        }
     }
 
     /// Uniform integer in `[low, high)` as usize.
     pub fn gen_range_usize(&mut self, low: usize, high: usize) -> usize {
-        assert!(low < high, "empty range");
-        self.rng.gen_range(low..high)
+        self.gen_range_u64(low as u64, high as u64) as usize
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -91,7 +125,10 @@ impl SimRng {
 
     /// Fill a byte buffer with uniform random bytes.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.rng.fill(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 
     /// A random byte vector of the given length.
@@ -129,7 +166,7 @@ mod tests {
         let parent = SimRng::new(7);
         let mut f1 = parent.fork("loss");
         let mut f2 = parent.fork("loss");
-        let mut f3 = parent.fork("workload");
+        let f3 = parent.fork("workload");
         assert_eq!(f1.next_f64().to_bits(), f2.next_f64().to_bits());
         assert_ne!(f1.seed(), f3.seed());
     }

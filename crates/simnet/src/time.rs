@@ -135,6 +135,7 @@ impl SimDuration {
     }
 
     /// Divide by an integer divisor (divisor must be non-zero).
+    #[allow(clippy::should_implement_trait)] // keeps the seed API; `Div` impls can come later
     pub fn div(self, divisor: u64) -> SimDuration {
         SimDuration(self.0 / divisor)
     }
@@ -279,7 +280,10 @@ mod tests {
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_millis(1));
         assert!(early.checked_since(late).is_none());
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

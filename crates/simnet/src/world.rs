@@ -217,10 +217,7 @@ mod tests {
 
     #[test]
     fn send_and_receive_in_order() {
-        let (mut w, a, b) = two_node_world(LinkConfig::new(
-            8_000_000,
-            SimDuration::from_millis(5),
-        ));
+        let (mut w, a, b) = two_node_world(LinkConfig::new(8_000_000, SimDuration::from_millis(5)));
         for i in 0..3u8 {
             let out = w.send(SimTime::ZERO, Packet::new(a, b, vec![i; 100]));
             assert!(out.is_scheduled());
@@ -252,10 +249,8 @@ mod tests {
 
     #[test]
     fn pop_due_respects_time() {
-        let (mut w, a, b) = two_node_world(LinkConfig::new(
-            1_000_000,
-            SimDuration::from_millis(50),
-        ));
+        let (mut w, a, b) =
+            two_node_world(LinkConfig::new(1_000_000, SimDuration::from_millis(50)));
         w.send(SimTime::ZERO, Packet::new(a, b, vec![0u8; 100]));
         assert!(w.pop_due(SimTime::from_millis(10)).is_none());
         let arrival = w.next_arrival_time().unwrap();
@@ -281,7 +276,7 @@ mod tests {
         w.add_asymmetric_link(
             a,
             b,
-            LinkConfig::new(500_000, SimDuration::ZERO),   // upload
+            LinkConfig::new(500_000, SimDuration::ZERO), // upload
             LinkConfig::new(3_000_000, SimDuration::ZERO), // download
         );
         let up = w.send(SimTime::ZERO, Packet::new(a, b, vec![0u8; 960]));

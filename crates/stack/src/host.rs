@@ -10,7 +10,7 @@ use minion_tcp::{
     ConnStats, DeliveredChunk, SocketOptions, TcpConfig, TcpConnection, TcpError, TcpState,
     WriteMeta,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Errors from the host socket API.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,6 +54,8 @@ struct UdpSocket {
     recv_queue: VecDeque<(SocketAddr, Bytes)>,
 }
 
+// A host holds a handful of sockets; the TCP variant's size is fine.
+#[allow(clippy::large_enum_variant)]
 enum Socket {
     Tcp(TcpSocket),
     Udp(UdpSocket),
@@ -70,11 +72,11 @@ struct Listener {
 pub struct Host {
     node: NodeId,
     name: String,
-    sockets: HashMap<SocketHandle, Socket>,
-    listeners: HashMap<u16, Listener>,
+    sockets: BTreeMap<SocketHandle, Socket>,
+    listeners: BTreeMap<u16, Listener>,
     /// Demux table for established/opening TCP connections.
-    tcp_tuples: HashMap<(u16, NodeId, u16), SocketHandle>,
-    udp_ports: HashMap<u16, SocketHandle>,
+    tcp_tuples: BTreeMap<(u16, NodeId, u16), SocketHandle>,
+    udp_ports: BTreeMap<u16, SocketHandle>,
     next_handle: u32,
     next_ephemeral_port: u16,
     /// Packets waiting to be handed to the simulator.
@@ -87,10 +89,10 @@ impl Host {
         Host {
             node,
             name: name.into(),
-            sockets: HashMap::new(),
-            listeners: HashMap::new(),
-            tcp_tuples: HashMap::new(),
-            udp_ports: HashMap::new(),
+            sockets: BTreeMap::new(),
+            listeners: BTreeMap::new(),
+            tcp_tuples: BTreeMap::new(),
+            udp_ports: BTreeMap::new(),
             next_handle: 1,
             next_ephemeral_port: 40_000,
             outbox: Vec::new(),
@@ -165,8 +167,10 @@ impl Host {
         let mut conn = TcpConnection::new(local_port, remote.port, config, options);
         conn.open(now);
         let handle = self.alloc_handle();
-        self.tcp_tuples.insert((local_port, remote.node, remote.port), handle);
-        self.sockets.insert(handle, Socket::Tcp(TcpSocket { conn, remote }));
+        self.tcp_tuples
+            .insert((local_port, remote.node, remote.port), handle);
+        self.sockets
+            .insert(handle, Socket::Tcp(TcpSocket { conn, remote }));
         handle
     }
 
@@ -204,7 +208,10 @@ impl Host {
         data: &[u8],
         meta: WriteMeta,
     ) -> Result<usize, HostError> {
-        Ok(self.tcp_socket_mut(handle)?.conn.write_with_meta(data, meta)?)
+        Ok(self
+            .tcp_socket_mut(handle)?
+            .conn
+            .write_with_meta(data, meta)?)
     }
 
     /// Read the next delivered chunk from a TCP socket.
@@ -276,7 +283,11 @@ impl Host {
 
     /// Bind a UDP socket to `port` (0 picks an ephemeral port).
     pub fn udp_bind(&mut self, port: u16) -> Result<SocketHandle, HostError> {
-        let port = if port == 0 { self.alloc_ephemeral_port() } else { port };
+        let port = if port == 0 {
+            self.alloc_ephemeral_port()
+        } else {
+            port
+        };
         if self.udp_ports.contains_key(&port) {
             return Err(HostError::PortInUse);
         }
@@ -342,7 +353,11 @@ impl Host {
         };
         match tp {
             TransportPacket::Tcp(seg) => self.on_tcp_segment(seg, packet.origin, now),
-            TransportPacket::Udp { src_port, dst_port, payload } => {
+            TransportPacket::Udp {
+                src_port,
+                dst_port,
+                payload,
+            } => {
                 if let Some(&handle) = self.udp_ports.get(&dst_port) {
                     if let Some(Socket::Udp(u)) = self.sockets.get_mut(&handle) {
                         u.recv_queue
@@ -372,7 +387,8 @@ impl Host {
                 let handle = self.alloc_handle();
                 let remote = SocketAddr::new(from, seg.src_port);
                 self.tcp_tuples.insert(key, handle);
-                self.sockets.insert(handle, Socket::Tcp(TcpSocket { conn, remote }));
+                self.sockets
+                    .insert(handle, Socket::Tcp(TcpSocket { conn, remote }));
                 self.listeners
                     .get_mut(&seg.dst_port)
                     .expect("listener exists")
@@ -471,7 +487,8 @@ mod tests {
     #[test]
     fn tcp_listen_rejects_duplicate_port() {
         let mut h = host();
-        h.tcp_listen(80, TcpConfig::default(), SocketOptions::standard()).unwrap();
+        h.tcp_listen(80, TcpConfig::default(), SocketOptions::standard())
+            .unwrap();
         assert_eq!(
             h.tcp_listen(80, TcpConfig::default(), SocketOptions::standard()),
             Err(HostError::PortInUse)
@@ -511,7 +528,7 @@ mod tests {
             for p in server.poll(t) {
                 client.on_packet(&p, t);
             }
-            t = t + minion_simnet::SimDuration::from_millis(10);
+            t += minion_simnet::SimDuration::from_millis(10);
         }
         let sh = server.accept(80).expect("pending connection");
         assert!(client.tcp_established(ch).unwrap());
@@ -528,7 +545,7 @@ mod tests {
             for p in server.poll(t) {
                 client.on_packet(&p, t);
             }
-            t = t + minion_simnet::SimDuration::from_millis(10);
+            t += minion_simnet::SimDuration::from_millis(10);
         }
         assert_eq!(
             server.tcp_read(sh).unwrap().unwrap().data.as_ref(),

@@ -140,7 +140,10 @@ impl Middlebox {
                 }
                 self.stats.forwarded += 1;
             }
-            MiddleboxBehavior::Coalesce { max_payload, max_hold } => {
+            MiddleboxBehavior::Coalesce {
+                max_payload,
+                max_hold,
+            } => {
                 if let Some((_, held_pkt, held_seg)) = self.held.take() {
                     let contiguous = held_seg.seq_end() == seg.seq
                         && held_seg.src_port == seg.src_port

@@ -90,7 +90,11 @@ pub fn two_hosts(config: &BottleneckConfig) -> TwoHostScenario {
         .with_queue_bytes(config.queue_bytes)
         .with_loss(LossConfig::from_rate(config.loss_rate));
     sim.link(client, server, link);
-    TwoHostScenario { sim, client, server }
+    TwoHostScenario {
+        sim,
+        client,
+        server,
+    }
 }
 
 /// Parameters of the residential (asymmetric) path used by the VPN
@@ -127,12 +131,16 @@ pub fn residential(config: &ResidentialConfig) -> TwoHostScenario {
     let mut sim = Sim::new(config.seed);
     let client = sim.add_host("client");
     let server = sim.add_host("server");
-    let up = LinkConfig::new(config.up_bps, config.one_way_delay)
-        .with_queue_bytes(config.queue_bytes);
-    let down = LinkConfig::new(config.down_bps, config.one_way_delay)
-        .with_queue_bytes(config.queue_bytes);
+    let up =
+        LinkConfig::new(config.up_bps, config.one_way_delay).with_queue_bytes(config.queue_bytes);
+    let down =
+        LinkConfig::new(config.down_bps, config.one_way_delay).with_queue_bytes(config.queue_bytes);
     sim.link_asymmetric(client, server, up, down);
-    TwoHostScenario { sim, client, server }
+    TwoHostScenario {
+        sim,
+        client,
+        server,
+    }
 }
 
 #[cfg(test)]

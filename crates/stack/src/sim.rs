@@ -9,7 +9,7 @@
 use crate::host::Host;
 use crate::middlebox::Middlebox;
 use minion_simnet::{LinkConfig, LinkStats, NodeId, Packet, SimDuration, SimTime, World};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 enum Node {
     Host(Host),
@@ -19,9 +19,9 @@ enum Node {
 /// The top-level simulation object.
 pub struct Sim {
     world: World,
-    nodes: HashMap<NodeId, Node>,
+    nodes: BTreeMap<NodeId, Node>,
     /// Static next-hop routing: (at, final destination) → next hop.
-    routes: HashMap<(NodeId, NodeId), NodeId>,
+    routes: BTreeMap<(NodeId, NodeId), NodeId>,
     now: SimTime,
     /// Guard against event loops that stop advancing time.
     stall_iterations: u32,
@@ -32,8 +32,8 @@ impl Sim {
     pub fn new(seed: u64) -> Self {
         Sim {
             world: World::new(seed),
-            nodes: HashMap::new(),
-            routes: HashMap::new(),
+            nodes: BTreeMap::new(),
+            routes: BTreeMap::new(),
             now: SimTime::ZERO,
             stall_iterations: 0,
         }
@@ -52,10 +52,16 @@ impl Sim {
     }
 
     /// Add a middlebox node.
-    pub fn add_middlebox(&mut self, name: &str, middlebox_behavior: crate::middlebox::MiddleboxBehavior) -> NodeId {
+    pub fn add_middlebox(
+        &mut self,
+        name: &str,
+        middlebox_behavior: crate::middlebox::MiddleboxBehavior,
+    ) -> NodeId {
         let node = self.world.add_node(name);
-        self.nodes
-            .insert(node, Node::Middlebox(Middlebox::new(node, middlebox_behavior)));
+        self.nodes.insert(
+            node,
+            Node::Middlebox(Middlebox::new(node, middlebox_behavior)),
+        );
         node
     }
 
@@ -69,7 +75,13 @@ impl Sim {
 
     /// Connect two nodes with asymmetric characteristics (`a_to_b` and
     /// `b_to_a`), installing direct routes.
-    pub fn link_asymmetric(&mut self, a: NodeId, b: NodeId, a_to_b: LinkConfig, b_to_a: LinkConfig) {
+    pub fn link_asymmetric(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        a_to_b: LinkConfig,
+        b_to_a: LinkConfig,
+    ) {
         self.world.add_asymmetric_link(a, b, a_to_b, b_to_a);
         self.routes.insert((a, b), b);
         self.routes.insert((b, a), a);
@@ -236,7 +248,11 @@ mod tests {
         let mut sim = Sim::new(42);
         let a = sim.add_host("client");
         let b = sim.add_host("server");
-        sim.link(a, b, LinkConfig::new(10_000_000, SimDuration::from_millis(30)));
+        sim.link(
+            a,
+            b,
+            LinkConfig::new(10_000_000, SimDuration::from_millis(30)),
+        );
         (sim, a, b)
     }
 
@@ -346,8 +362,16 @@ mod tests {
         let a = sim.add_host("client");
         let m = sim.add_middlebox("resegmenter", MiddleboxBehavior::Split { max_payload: 500 });
         let b = sim.add_host("server");
-        sim.link(a, m, LinkConfig::new(10_000_000, SimDuration::from_millis(15)));
-        sim.link(m, b, LinkConfig::new(10_000_000, SimDuration::from_millis(15)));
+        sim.link(
+            a,
+            m,
+            LinkConfig::new(10_000_000, SimDuration::from_millis(15)),
+        );
+        sim.link(
+            m,
+            b,
+            LinkConfig::new(10_000_000, SimDuration::from_millis(15)),
+        );
         // Routes through the middlebox.
         sim.add_route(a, b, m);
         sim.add_route(b, a, m);

@@ -39,7 +39,11 @@ impl TransportPacket {
                 out.extend_from_slice(&seg.encode());
                 out
             }
-            TransportPacket::Udp { src_port, dst_port, payload } => {
+            TransportPacket::Udp {
+                src_port,
+                dst_port,
+                payload,
+            } => {
                 let mut out = Vec::with_capacity(5 + payload.len());
                 out.push(PROTO_UDP);
                 out.extend_from_slice(&src_port.to_be_bytes());

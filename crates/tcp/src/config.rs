@@ -182,19 +182,13 @@ impl SocketOptions {
 /// Per-write metadata, the paper's 5-byte `write()` header (§4.2): a priority
 /// tag plus flags. Higher tags pass lower tags in the send queue; the optional
 /// squash flag discards untransmitted data with the same tag.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct WriteMeta {
     /// Priority tag. Larger values are higher priority.
     pub priority: u32,
     /// If set, remove any untransmitted data previously written with exactly
     /// the same tag before enqueueing this write.
     pub squash: bool,
-}
-
-impl Default for WriteMeta {
-    fn default() -> Self {
-        WriteMeta { priority: 0, squash: false }
-    }
 }
 
 impl WriteMeta {
@@ -205,12 +199,18 @@ impl WriteMeta {
 
     /// A write with the given priority tag.
     pub fn with_priority(priority: u32) -> Self {
-        WriteMeta { priority, squash: false }
+        WriteMeta {
+            priority,
+            squash: false,
+        }
     }
 
     /// A squashing write with the given tag.
     pub fn squashing(priority: u32) -> Self {
-        WriteMeta { priority, squash: true }
+        WriteMeta {
+            priority,
+            squash: true,
+        }
     }
 }
 

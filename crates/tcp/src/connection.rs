@@ -180,12 +180,10 @@ pub struct TcpConnection {
 impl TcpConnection {
     /// Create a connection endpoint in the `Closed` state.
     pub fn new(local_port: u16, remote_port: u16, config: TcpConfig, opts: SocketOptions) -> Self {
-        let isn = config
-            .fixed_isn
-            .unwrap_or_else(|| {
-                // Deterministic but port-dependent ISN.
-                (u32::from(local_port) << 16) ^ u32::from(remote_port) ^ 0x5EED_1234
-            });
+        let isn = config.fixed_isn.unwrap_or_else(|| {
+            // Deterministic but port-dependent ISN.
+            (u32::from(local_port) << 16) ^ u32::from(remote_port) ^ 0x5EED_1234
+        });
         let send_buf = SendBuffer::new(config.send_buffer);
         let recv_buf = ReceiveBuffer::new(config.recv_buffer, opts.unordered_receive);
         let cc = CongestionControl::new(config.cc, config.mss, config.initial_cwnd_segments);
@@ -238,7 +236,11 @@ impl TcpConnection {
 
     /// Begin a passive open (server side).
     pub fn listen(&mut self) {
-        assert_eq!(self.state, TcpState::Closed, "listen() on a used connection");
+        assert_eq!(
+            self.state,
+            TcpState::Closed,
+            "listen() on a used connection"
+        );
         self.state = TcpState::Listen;
     }
 
@@ -521,9 +523,8 @@ impl TcpConnection {
 
         // Immediate ACK for out-of-order arrivals, duplicates, and gap fills
         // (RFC 5681 §4.2); only plain in-order progress may be delayed.
-        let out_of_order = offset > before
-            || after == before
-            || after > offset + seg.payload.len() as u64;
+        let out_of_order =
+            offset > before || after == before || after > offset + seg.payload.len() as u64;
         if out_of_order || !self.config.delayed_ack {
             // Out-of-order (or gap-filling) data elicits an immediate ACK so
             // the sender sees duplicate ACKs / SACK promptly.
@@ -531,8 +532,7 @@ impl TcpConnection {
         } else {
             match self.ack_pending {
                 AckPending::None => {
-                    self.ack_pending =
-                        AckPending::Delayed(_now + self.config.delayed_ack_timeout);
+                    self.ack_pending = AckPending::Delayed(_now + self.config.delayed_ack_timeout);
                 }
                 AckPending::Delayed(_) => {
                     // Second in-order segment: ACK now (RFC 1122).
@@ -825,10 +825,17 @@ impl TcpConnection {
             self.remote_port,
             self.iss,
             if is_syn_ack { self.irs + 1 } else { SeqNum(0) },
-            if is_syn_ack { TcpFlags::SYN_ACK } else { TcpFlags::SYN },
+            if is_syn_ack {
+                TcpFlags::SYN_ACK
+            } else {
+                TcpFlags::SYN
+            },
         );
         seg.window = self.recv_buf.window() as u32;
-        seg.options = vec![TcpOption::Mss(self.config.mss as u16), TcpOption::SackPermitted];
+        seg.options = vec![
+            TcpOption::Mss(self.config.mss as u16),
+            TcpOption::SackPermitted,
+        ];
         seg
     }
 
@@ -854,7 +861,10 @@ impl TcpConnection {
             self.remote_port,
             self.seq_of_offset(offset),
             self.ack_to_send(),
-            TcpFlags { psh: true, ..TcpFlags::ACK },
+            TcpFlags {
+                psh: true,
+                ..TcpFlags::ACK
+            },
         );
         seg.window = self.recv_buf.window() as u32;
         let sacks = self.recv_buf.sack_blocks(self.irs, 3);
@@ -961,11 +971,7 @@ impl TcpConnection {
                 break;
             }
             // Nagle: hold back a short segment while data is outstanding.
-            if self.config.nagle
-                && data.len() < mss
-                && flight > 0
-                && !self.close_requested
-            {
+            if self.config.nagle && data.len() < mss && flight > 0 && !self.close_requested {
                 break;
             }
             let end = next + data.len() as u64;
@@ -1198,7 +1204,10 @@ mod tests {
         h.run_until(SimTime::from_millis(500));
         assert_eq!(h.client.state(), TcpState::Established);
         assert_eq!(h.server.state(), TcpState::Established);
-        assert!(h.client.srtt().is_some(), "client sampled RTT from handshake");
+        assert!(
+            h.client.srtt().is_some(),
+            "client sampled RTT from handshake"
+        );
     }
 
     #[test]
@@ -1244,7 +1253,11 @@ mod tests {
         h.run_until_idle(SimTime::from_secs(120));
         let received = h.drain_server_bytes();
         assert_eq!(received, data);
-        assert!(h.client.stats().timeouts >= 1, "stats={:?}", h.client.stats());
+        assert!(
+            h.client.stats().timeouts >= 1,
+            "stats={:?}",
+            h.client.stats()
+        );
     }
 
     #[test]
@@ -1258,7 +1271,10 @@ mod tests {
         // not long enough for loss recovery (RTO is at least 200 ms away).
         h.run_until(h.now + SimDuration::from_millis(150));
         // Standard TCP: nothing readable, the first segment is missing.
-        assert!(!h.server.readable(), "hole blocks all delivery on standard TCP");
+        assert!(
+            !h.server.readable(),
+            "hole blocks all delivery on standard TCP"
+        );
     }
 
     #[test]
@@ -1356,14 +1372,16 @@ mod tests {
         // Ten low-priority bulk writes; the initial congestion window only
         // lets the first three leave immediately.
         for _ in 0..10 {
-            c.write_with_meta(&[0u8; 1448], WriteMeta::with_priority(0)).unwrap();
+            c.write_with_meta(&[0u8; 1448], WriteMeta::with_priority(0))
+                .unwrap();
         }
         let first = c.poll(SimTime::from_millis(2));
         assert_eq!(first.iter().filter(|s| !s.payload.is_empty()).count(), 3);
         // A high-priority message written afterwards must pass the seven bulk
         // writes still waiting in the send queue (but not the three already
         // transmitted).
-        c.write_with_meta(b"URGENT", WriteMeta::with_priority(9)).unwrap();
+        c.write_with_meta(b"URGENT", WriteMeta::with_priority(9))
+            .unwrap();
         let mut ack = TcpSegment::bare(
             2,
             1,
@@ -1389,7 +1407,9 @@ mod tests {
 
     #[test]
     fn cc_disabled_sends_entire_window_at_once() {
-        let cfg = TcpConfig::default().with_fixed_isn(1).with_cc(CcAlgorithm::None);
+        let cfg = TcpConfig::default()
+            .with_fixed_isn(1)
+            .with_cc(CcAlgorithm::None);
         let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::standard());
         c.open(SimTime::ZERO);
         let syn = &c.poll(SimTime::ZERO)[0];
@@ -1401,7 +1421,10 @@ mod tests {
         let segs = c.poll(SimTime::from_millis(2));
         // Without congestion control, the whole backlog goes out (peer window
         // permitting) in a single poll.
-        assert_eq!(segs.iter().map(|s| s.payload.len()).sum::<usize>(), 100 * 1448);
+        assert_eq!(
+            segs.iter().map(|s| s.payload.len()).sum::<usize>(),
+            100 * 1448
+        );
     }
 
     #[test]
@@ -1420,12 +1443,7 @@ mod tests {
 
     #[test]
     fn write_before_connect_fails() {
-        let mut c = TcpConnection::new(
-            1,
-            2,
-            TcpConfig::default(),
-            SocketOptions::standard(),
-        );
+        let mut c = TcpConnection::new(1, 2, TcpConfig::default(), SocketOptions::standard());
         assert_eq!(c.write(b"x"), Err(TcpError::NotConnected));
     }
 
@@ -1439,14 +1457,16 @@ mod tests {
 
     #[test]
     fn send_buffer_backpressure_reports_full() {
-        let cfg = TcpConfig::default().with_buffers(1000, 65536).with_fixed_isn(3);
+        let cfg = TcpConfig::default()
+            .with_buffers(1000, 65536)
+            .with_fixed_isn(3);
         let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::standard());
         c.open(SimTime::ZERO);
         let _ = c.poll(SimTime::ZERO);
         // Can't transmit (no handshake reply), so the buffer fills and then
         // reports backpressure.
         assert!(c.write(&vec![0u8; 900]).is_ok());
-        assert_eq!(c.write(&vec![0u8; 200]), Err(TcpError::BufferFull));
+        assert_eq!(c.write(&[0u8; 200]), Err(TcpError::BufferFull));
     }
 
     #[test]

@@ -186,8 +186,12 @@ impl ReceiveBuffer {
 
         // Merge with any successors covered by or abutting the new run.
         let mut end = start + buf.len() as u64;
+        // Not a `while let`: the range borrow must end before `remove()`.
+        #[allow(clippy::while_let_loop)]
         loop {
-            let Some((&sstart, sdata)) = self.ooo.range(start..).next() else { break };
+            let Some((&sstart, sdata)) = self.ooo.range(start..).next() else {
+                break;
+            };
             if sstart > end {
                 break;
             }
@@ -219,8 +223,7 @@ impl ReceiveBuffer {
             // Run crosses the cumulative point.
             let newly = &run[(self.rcv_nxt - start) as usize..];
             if !self.unordered {
-                let chunk =
-                    DeliveredChunk::new(self.rcv_nxt, true, Bytes::copy_from_slice(newly));
+                let chunk = DeliveredChunk::new(self.rcv_nxt, true, Bytes::copy_from_slice(newly));
                 self.push_ready(chunk);
             }
             self.rcv_nxt = end;

@@ -42,9 +42,8 @@ impl RttEstimator {
             Some(srtt) => {
                 // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
                 let delta = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
-                self.rttvar = SimDuration::from_micros(
-                    (self.rttvar.as_micros() * 3 + delta.as_micros()) / 4,
-                );
+                self.rttvar =
+                    SimDuration::from_micros((self.rttvar.as_micros() * 3 + delta.as_micros()) / 4);
                 // SRTT = 7/8 SRTT + 1/8 R
                 self.srtt = Some(SimDuration::from_micros(
                     (srtt.as_micros() * 7 + rtt.as_micros()) / 8,
@@ -145,7 +144,10 @@ mod tests {
         e.on_sample(SimDuration::from_millis(100));
         let base = e.rto();
         e.backoff();
-        assert_eq!(e.rto(), base.saturating_mul(2).min(SimDuration::from_secs(4)));
+        assert_eq!(
+            e.rto(),
+            base.saturating_mul(2).min(SimDuration::from_secs(4))
+        );
         for _ in 0..10 {
             e.backoff();
         }

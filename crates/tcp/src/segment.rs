@@ -28,15 +28,45 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// A SYN segment.
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// A SYN+ACK segment.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// A bare ACK segment.
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// A FIN+ACK segment.
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
     /// A RST segment.
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
 
     fn to_byte(self) -> u8 {
         (self.fin as u8)
@@ -183,7 +213,9 @@ impl TcpSegment {
 
     /// Whether the SACK-permitted option is present.
     pub fn sack_permitted(&self) -> bool {
-        self.options.iter().any(|o| matches!(o, TcpOption::SackPermitted))
+        self.options
+            .iter()
+            .any(|o| matches!(o, TcpOption::SackPermitted))
     }
 
     /// The SACK blocks carried by this segment (empty if none).
@@ -296,14 +328,18 @@ impl TcpSegment {
                         return None;
                     }
                     let len = buf[i + 1] as usize;
-                    if len < 2 || (len - 2) % 8 != 0 || i + len > opt_end {
+                    if len < 2 || !(len - 2).is_multiple_of(8) || i + len > opt_end {
                         return None;
                     }
                     let mut blocks = Vec::new();
                     let mut j = i + 2;
                     while j + 8 <= i + len {
-                        let start =
-                            SeqNum(u32::from_be_bytes([buf[j], buf[j + 1], buf[j + 2], buf[j + 3]]));
+                        let start = SeqNum(u32::from_be_bytes([
+                            buf[j],
+                            buf[j + 1],
+                            buf[j + 2],
+                            buf[j + 3],
+                        ]));
                         let end = SeqNum(u32::from_be_bytes([
                             buf[j + 4],
                             buf[j + 5],
@@ -378,8 +414,14 @@ mod tests {
                 TcpOption::SackPermitted,
                 TcpOption::WindowScale(7),
                 TcpOption::Sack(vec![
-                    SackBlock { start: SeqNum(1000), end: SeqNum(2000) },
-                    SackBlock { start: SeqNum(3000), end: SeqNum(3500) },
+                    SackBlock {
+                        start: SeqNum(1000),
+                        end: SeqNum(2000),
+                    },
+                    SackBlock {
+                        start: SeqNum(3000),
+                        end: SeqNum(3500),
+                    },
                 ]),
             ],
             payload: Bytes::from_static(b"hello minion"),
@@ -442,7 +484,10 @@ mod tests {
 
     #[test]
     fn sack_block_empty() {
-        let b = SackBlock { start: SeqNum(5), end: SeqNum(5) };
+        let b = SackBlock {
+            start: SeqNum(5),
+            end: SeqNum(5),
+        };
         assert!(b.is_empty());
         assert_eq!(b.len(), 0);
     }

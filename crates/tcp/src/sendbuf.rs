@@ -156,7 +156,10 @@ impl SendBuffer {
             if let Some(last) = self.chunks.back_mut() {
                 last.data.extend_from_slice(data);
             } else {
-                self.chunks.push_back(Chunk { data: data.to_vec(), priority: 0 });
+                self.chunks.push_back(Chunk {
+                    data: data.to_vec(),
+                    priority: 0,
+                });
             }
             self.buffered += data.len();
             return Ok(data.len());
@@ -191,7 +194,13 @@ impl SendBuffer {
 
         if insert_at < self.chunks.len() {
             self.priority_insertions += 1;
-            self.chunks.insert(insert_at, Chunk { data: data.to_vec(), priority });
+            self.chunks.insert(
+                insert_at,
+                Chunk {
+                    data: data.to_vec(),
+                    priority,
+                },
+            );
             self.buffered += data.len();
             return Ok(data.len());
         }
@@ -219,7 +228,10 @@ impl SendBuffer {
             }
         }
 
-        self.chunks.push_back(Chunk { data: data.to_vec(), priority });
+        self.chunks.push_back(Chunk {
+            data: data.to_vec(),
+            priority,
+        });
         self.buffered += data.len();
         Ok(data.len())
     }
@@ -229,7 +241,12 @@ impl SendBuffer {
     /// never crosses a chunk boundary (uTCP's write-boundary preservation).
     ///
     /// Returns `None` if `offset` is outside the buffered range.
-    pub fn data_at(&self, offset: u64, max_len: usize, respect_boundaries: bool) -> Option<Vec<u8>> {
+    pub fn data_at(
+        &self,
+        offset: u64,
+        max_len: usize,
+        respect_boundaries: bool,
+    ) -> Option<Vec<u8>> {
         if offset < self.head_offset || offset >= self.end_offset() || max_len == 0 {
             return None;
         }
@@ -272,7 +289,9 @@ impl SendBuffer {
     pub fn acknowledge(&mut self, offset: u64) {
         let offset = offset.min(self.end_offset());
         while self.head_offset < offset {
-            let Some(front) = self.chunks.front_mut() else { break };
+            let Some(front) = self.chunks.front_mut() else {
+                break;
+            };
             let front_len = front.data.len() as u64;
             let acked_in_front = (offset - self.head_offset).min(front_len) as usize;
             if acked_in_front == front.data.len() {
@@ -311,7 +330,8 @@ impl SendBuffer {
 
     /// Bytes available at or after `offset`.
     pub fn available_from(&self, offset: u64) -> usize {
-        self.end_offset().saturating_sub(offset.max(self.head_offset)) as usize
+        self.end_offset()
+            .saturating_sub(offset.max(self.head_offset)) as usize
     }
 }
 
@@ -359,9 +379,11 @@ mod tests {
     fn priority_write_passes_untransmitted_low_priority_data() {
         let mut b = SendBuffer::new(1 << 16);
         // Low-priority bulk write, none of it transmitted yet.
-        b.write_with_priority(&[0u8; 1000], 0, false, true, MSS, false).unwrap();
+        b.write_with_priority(&[0u8; 1000], 0, false, true, MSS, false)
+            .unwrap();
         // High-priority write should jump ahead of it.
-        b.write_with_priority(&[9u8; 10], 5, false, true, MSS, false).unwrap();
+        b.write_with_priority(&[9u8; 10], 5, false, true, MSS, false)
+            .unwrap();
         assert_eq!(b.priority_insertions(), 1);
         assert_eq!(b.data_at(0, 10, true).unwrap(), vec![9u8; 10]);
         assert_eq!(b.data_at(10, 4, true).unwrap(), vec![0u8; 4]);
@@ -370,10 +392,12 @@ mod tests {
     #[test]
     fn priority_write_never_passes_transmitted_data() {
         let mut b = SendBuffer::new(1 << 16);
-        b.write_with_priority(&[0u8; 1000], 0, false, true, MSS, false).unwrap();
+        b.write_with_priority(&[0u8; 1000], 0, false, true, MSS, false)
+            .unwrap();
         // Part of the low-priority write has hit the wire.
         b.mark_transmitted(100);
-        b.write_with_priority(&[9u8; 10], 5, false, true, MSS, false).unwrap();
+        b.write_with_priority(&[9u8; 10], 5, false, true, MSS, false)
+            .unwrap();
         // The high-priority data must come after the *entire* partially
         // transmitted write, not in the middle of it (§4.2).
         assert_eq!(b.data_at(0, 1000, true).unwrap(), vec![0u8; 1000]);
@@ -384,8 +408,10 @@ mod tests {
     #[test]
     fn equal_priority_writes_stay_fifo() {
         let mut b = SendBuffer::new(1 << 16);
-        b.write_with_priority(b"first", 3, false, true, MSS, false).unwrap();
-        b.write_with_priority(b"second", 3, false, true, MSS, false).unwrap();
+        b.write_with_priority(b"first", 3, false, true, MSS, false)
+            .unwrap();
+        b.write_with_priority(b"second", 3, false, true, MSS, false)
+            .unwrap();
         assert_eq!(b.data_at(0, 5, true).unwrap(), b"first");
         assert_eq!(b.data_at(5, 6, true).unwrap(), b"second");
     }
@@ -393,9 +419,12 @@ mod tests {
     #[test]
     fn squash_discards_untransmitted_same_tag_data() {
         let mut b = SendBuffer::new(1 << 16);
-        b.write_with_priority(b"stale update 1", 7, false, true, MSS, false).unwrap();
-        b.write_with_priority(b"other tag", 3, false, true, MSS, false).unwrap();
-        b.write_with_priority(b"fresh!", 7, true, true, MSS, false).unwrap();
+        b.write_with_priority(b"stale update 1", 7, false, true, MSS, false)
+            .unwrap();
+        b.write_with_priority(b"other tag", 3, false, true, MSS, false)
+            .unwrap();
+        b.write_with_priority(b"fresh!", 7, true, true, MSS, false)
+            .unwrap();
         assert_eq!(b.squashed_chunks(), 1);
         // Tag-7 data now consists only of the fresh write, ordered ahead of
         // the lower-priority tag-3 write.
@@ -407,9 +436,11 @@ mod tests {
     #[test]
     fn squash_does_not_discard_transmitted_data() {
         let mut b = SendBuffer::new(1 << 16);
-        b.write_with_priority(b"already sent", 7, false, true, MSS, false).unwrap();
+        b.write_with_priority(b"already sent", 7, false, true, MSS, false)
+            .unwrap();
         b.mark_transmitted(5);
-        b.write_with_priority(b"new", 7, true, true, MSS, false).unwrap();
+        b.write_with_priority(b"new", 7, true, true, MSS, false)
+            .unwrap();
         assert_eq!(b.squashed_chunks(), 0);
         assert_eq!(b.len(), 15);
     }
@@ -417,8 +448,10 @@ mod tests {
     #[test]
     fn boundary_respecting_reads_stop_at_chunk_end() {
         let mut b = SendBuffer::new(1 << 16);
-        b.write_with_priority(&[1u8; 500], 0, false, true, MSS, false).unwrap();
-        b.write_with_priority(&[2u8; 500], 0, false, true, MSS, false).unwrap();
+        b.write_with_priority(&[1u8; 500], 0, false, true, MSS, false)
+            .unwrap();
+        b.write_with_priority(&[2u8; 500], 0, false, true, MSS, false)
+            .unwrap();
         // With boundaries respected, a read at offset 0 stops at 500 bytes.
         assert_eq!(b.data_at(0, MSS, true).unwrap().len(), 500);
         // Without, it can span both writes.
@@ -433,25 +466,31 @@ mod tests {
         let mut b = SendBuffer::new(1 << 16);
         // Four 362-byte writes fit exactly in one 1448-byte MSS.
         for _ in 0..4 {
-            b.write_with_priority(&[3u8; 362], 0, false, true, MSS, true).unwrap();
+            b.write_with_priority(&[3u8; 362], 0, false, true, MSS, true)
+                .unwrap();
         }
         assert_eq!(b.coalesced_writes(), 3);
         assert_eq!(b.data_at(0, MSS, true).unwrap().len(), MSS);
         // A fifth write no longer fits in the tail skbuff and starts a new one.
-        b.write_with_priority(&[3u8; 362], 0, false, true, MSS, true).unwrap();
+        b.write_with_priority(&[3u8; 362], 0, false, true, MSS, true)
+            .unwrap();
         assert_eq!(b.data_at(MSS as u64, MSS, true).unwrap().len(), 362);
     }
 
     #[test]
     fn coalescing_does_not_merge_across_priorities_or_transmitted_tail() {
         let mut b = SendBuffer::new(1 << 16);
-        b.write_with_priority(&[1u8; 100], 0, false, true, MSS, true).unwrap();
-        b.write_with_priority(&[2u8; 100], 5, false, true, MSS, true).unwrap();
+        b.write_with_priority(&[1u8; 100], 0, false, true, MSS, true)
+            .unwrap();
+        b.write_with_priority(&[2u8; 100], 5, false, true, MSS, true)
+            .unwrap();
         assert_eq!(b.coalesced_writes(), 0);
         let mut b = SendBuffer::new(1 << 16);
-        b.write_with_priority(&[1u8; 100], 0, false, true, MSS, true).unwrap();
+        b.write_with_priority(&[1u8; 100], 0, false, true, MSS, true)
+            .unwrap();
         b.mark_transmitted(100);
-        b.write_with_priority(&[2u8; 100], 0, false, true, MSS, true).unwrap();
+        b.write_with_priority(&[2u8; 100], 0, false, true, MSS, true)
+            .unwrap();
         assert_eq!(b.coalesced_writes(), 0, "tail already transmitted");
     }
 

@@ -1,0 +1,308 @@
+//! The axes of the scenario matrix and the cross-product builder.
+
+use minion_simnet::{LossConfig, SimDuration};
+
+/// The loss process applied to the path toward the receiver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LossAxis {
+    /// No random loss.
+    None,
+    /// Independent per-packet loss at the given rate.
+    Bernoulli(f64),
+    /// Gilbert–Elliott bursty loss (the paper's "real networks lose packets
+    /// in bursts" condition): rare transitions into a bad state that drops
+    /// most packets.
+    Burst,
+    /// Drop exactly one mid-stream data segment (1-indexed transmission index
+    /// on the last-hop link). The deterministic hole makes out-of-order
+    /// delivery *mandatory* for a uTCP receiver.
+    ExplicitHole(u64),
+}
+
+impl LossAxis {
+    /// The simulator loss configuration for this axis value.
+    pub fn to_loss_config(&self) -> LossConfig {
+        match self {
+            LossAxis::None => LossConfig::None,
+            LossAxis::Bernoulli(p) => LossConfig::Bernoulli { probability: *p },
+            LossAxis::Burst => LossConfig::GilbertElliott {
+                p_good_to_bad: 0.01,
+                p_bad_to_good: 0.4,
+                loss_good: 0.0,
+                loss_bad: 0.8,
+            },
+            LossAxis::ExplicitHole(index) => LossConfig::Explicit {
+                indices: vec![*index],
+            },
+        }
+    }
+
+    /// Short label used in cell names.
+    pub fn label(&self) -> String {
+        match self {
+            LossAxis::None => "loss=none".into(),
+            LossAxis::Bernoulli(p) => format!("loss=bern{:.0}pct", p * 100.0),
+            LossAxis::Burst => "loss=burst".into(),
+            LossAxis::ExplicitHole(i) => format!("loss=hole@{i}"),
+        }
+    }
+}
+
+/// What sits between the two hosts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MiddleboxAxis {
+    /// A direct link: no middlebox node at all.
+    PassThrough,
+    /// A transparent middlebox that re-segments TCP data segments down to the
+    /// given maximum payload (Figure 4(b): record boundaries no longer align
+    /// with segment boundaries).
+    Split(usize),
+    /// A transparent middlebox that coalesces contiguous segments up to the
+    /// given maximum payload (Figure 4(c)).
+    Coalesce(usize),
+}
+
+impl MiddleboxAxis {
+    /// Short label used in cell names.
+    pub fn label(&self) -> String {
+        match self {
+            MiddleboxAxis::PassThrough => "mb=none".into(),
+            MiddleboxAxis::Split(n) => format!("mb=split{n}"),
+            MiddleboxAxis::Coalesce(n) => format!("mb=coalesce{n}"),
+        }
+    }
+}
+
+/// Which Minion protocol carries the datagrams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadProtocol {
+    /// uCOBS datagrams over TCP/uTCP.
+    Ucobs,
+    /// uTLS secure datagrams over TCP/uTCP.
+    Utls,
+    /// msTCP multistreaming (messages over uCOBS).
+    MsTcp,
+}
+
+impl PayloadProtocol {
+    /// Short label used in cell names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PayloadProtocol::Ucobs => "ucobs",
+            PayloadProtocol::Utls => "utls",
+            PayloadProtocol::MsTcp => "mstcp",
+        }
+    }
+}
+
+/// Whether the receiving endpoint runs the uTCP socket extensions or an
+/// unmodified TCP stack (the paper's incremental-deployment axis, §3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackMode {
+    /// Unmodified TCP: strictly in-order delivery.
+    Standard,
+    /// uTCP: `SO_UNORDERED` receive is active.
+    Utcp,
+}
+
+impl StackMode {
+    /// Short label used in cell names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StackMode::Standard => "tcp",
+            StackMode::Utcp => "utcp",
+        }
+    }
+}
+
+/// One fully specified cell of the scenario matrix.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// Protocol carrying the datagrams.
+    pub protocol: PayloadProtocol,
+    /// Receiver-side stack (sender always runs uTCP; receive-side behaviour
+    /// is what the paper's out-of-order invariant hinges on).
+    pub receiver_stack: StackMode,
+    /// Loss process on the path toward the receiver.
+    pub loss: LossAxis,
+    /// Round-trip propagation time in milliseconds (10–300 in the paper's
+    /// testbed range; one-way delay is half).
+    pub rtt_ms: u64,
+    /// Bottleneck rate in bits/second (both directions).
+    pub rate_bps: u64,
+    /// Middlebox behaviour between the hosts.
+    pub middlebox: MiddleboxAxis,
+    /// Number of datagrams (uCOBS/uTLS) or messages (msTCP) to send.
+    pub datagrams: usize,
+    /// Nominal datagram/message payload size in bytes (individual payloads
+    /// vary deterministically around this size so records are tellable
+    /// apart).
+    pub datagram_len: usize,
+    /// Simulation seed for this cell.
+    pub seed: u64,
+}
+
+impl CellSpec {
+    /// One-way propagation delay.
+    pub fn one_way_delay(&self) -> SimDuration {
+        SimDuration::from_micros(self.rtt_ms * 1000 / 2)
+    }
+
+    /// Human-readable cell name, unique within a matrix.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/rtt{}ms/{}bps/{}",
+            self.protocol.label(),
+            self.receiver_stack.label(),
+            self.loss.label(),
+            self.rtt_ms,
+            self.rate_bps,
+            self.middlebox.label(),
+        )
+    }
+
+    /// Whether this cell's parameters make out-of-order delivery mandatory:
+    /// a deterministic mid-stream hole with a uTCP receiver guarantees later
+    /// segments arrive while the hole is outstanding.
+    pub fn out_of_order_mandatory(&self) -> bool {
+        self.receiver_stack == StackMode::Utcp && matches!(self.loss, LossAxis::ExplicitHole(_))
+    }
+}
+
+/// A declarative cross product of axis values, expanded by [`MatrixSpec::cells`].
+#[derive(Clone, Debug)]
+pub struct MatrixSpec {
+    /// Protocol axis.
+    pub protocols: Vec<PayloadProtocol>,
+    /// Receiver stack axis.
+    pub receiver_stacks: Vec<StackMode>,
+    /// Loss axis.
+    pub losses: Vec<LossAxis>,
+    /// RTT axis (milliseconds).
+    pub rtts_ms: Vec<u64>,
+    /// Bottleneck-rate axis (bits/second).
+    pub rates_bps: Vec<u64>,
+    /// Middlebox axis.
+    pub middleboxes: Vec<MiddleboxAxis>,
+    /// Datagram/message count per cell.
+    pub datagrams: usize,
+    /// Nominal payload size per datagram/message.
+    pub datagram_len: usize,
+    /// Base seed; each cell derives its own fixed seed from this and its
+    /// position, so adding axis values never reshuffles other cells' seeds
+    /// within a run of the same spec shape.
+    pub base_seed: u64,
+}
+
+impl Default for MatrixSpec {
+    fn default() -> Self {
+        MatrixSpec {
+            protocols: vec![
+                PayloadProtocol::Ucobs,
+                PayloadProtocol::Utls,
+                PayloadProtocol::MsTcp,
+            ],
+            receiver_stacks: vec![StackMode::Standard, StackMode::Utcp],
+            losses: vec![
+                LossAxis::None,
+                LossAxis::Bernoulli(0.02),
+                LossAxis::Burst,
+                LossAxis::ExplicitHole(8),
+            ],
+            rtts_ms: vec![60],
+            rates_bps: vec![10_000_000],
+            middleboxes: vec![MiddleboxAxis::Split(700)],
+            datagrams: 24,
+            datagram_len: 900,
+            base_seed: 0x5eed_0001,
+        }
+    }
+}
+
+impl MatrixSpec {
+    /// Expand the cross product into concrete cells with derived seeds.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::new();
+        for protocol in &self.protocols {
+            for receiver_stack in &self.receiver_stacks {
+                for loss in &self.losses {
+                    for &rtt_ms in &self.rtts_ms {
+                        for &rate_bps in &self.rates_bps {
+                            for middlebox in &self.middleboxes {
+                                let index = out.len() as u64;
+                                out.push(CellSpec {
+                                    protocol: *protocol,
+                                    receiver_stack: *receiver_stack,
+                                    loss: loss.clone(),
+                                    rtt_ms,
+                                    rate_bps,
+                                    middlebox: *middlebox,
+                                    datagrams: self.datagrams,
+                                    datagram_len: self.datagram_len,
+                                    seed: self
+                                        .base_seed
+                                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                        .wrapping_add(index),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matrix_is_a_full_cross_product() {
+        let spec = MatrixSpec::default();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 3 * 2 * 4);
+        // Labels are unique (each cell is distinct).
+        let labels: std::collections::BTreeSet<String> = cells.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), cells.len());
+        // Seeds are fixed and distinct.
+        let seeds: std::collections::BTreeSet<u64> = cells.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), cells.len());
+        assert_eq!(
+            spec.cells()[5].seed,
+            cells[5].seed,
+            "seeds are stable across expansions"
+        );
+    }
+
+    #[test]
+    fn mandatory_out_of_order_requires_utcp_and_a_hole() {
+        let mut cell = MatrixSpec::default().cells().remove(0);
+        cell.loss = LossAxis::ExplicitHole(8);
+        cell.receiver_stack = StackMode::Utcp;
+        assert!(cell.out_of_order_mandatory());
+        cell.receiver_stack = StackMode::Standard;
+        assert!(!cell.out_of_order_mandatory());
+        cell.receiver_stack = StackMode::Utcp;
+        cell.loss = LossAxis::Bernoulli(0.02);
+        assert!(!cell.out_of_order_mandatory());
+    }
+
+    #[test]
+    fn loss_axis_maps_to_simulator_configs() {
+        assert!(matches!(LossAxis::None.to_loss_config(), LossConfig::None));
+        assert!(matches!(
+            LossAxis::Bernoulli(0.01).to_loss_config(),
+            LossConfig::Bernoulli { .. }
+        ));
+        assert!(matches!(
+            LossAxis::Burst.to_loss_config(),
+            LossConfig::GilbertElliott { .. }
+        ));
+        match LossAxis::ExplicitHole(9).to_loss_config() {
+            LossConfig::Explicit { indices } => assert_eq!(indices, vec![9]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

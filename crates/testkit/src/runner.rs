@@ -1,0 +1,462 @@
+//! Cell execution: drive one protocol across one generated world, collect a
+//! [`CellReport`], and assert the paper's invariants.
+
+use crate::axes::{CellSpec, MiddleboxAxis, PayloadProtocol, StackMode};
+use crate::world::build_world;
+use minion_core::{MinionConfig, UcobsSocket, UtlsSocket};
+use minion_mstcp::{MsTcpConnection, StreamId};
+use minion_simnet::SimDuration;
+use minion_stack::SocketAddr;
+use std::collections::BTreeMap;
+
+/// Number of msTCP streams a matrix cell multiplexes messages over.
+pub const MSTCP_STREAMS: u32 = 4;
+
+/// Everything observable about one cell run. Two runs of the same cell under
+/// the same seed must produce equal reports ([`verify_cell`] asserts this).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellReport {
+    /// The cell's label (axes summary).
+    pub label: String,
+    /// Datagrams (or msTCP messages) sent.
+    pub sent: u64,
+    /// Datagrams (or msTCP messages) fully delivered.
+    pub delivered: u64,
+    /// Transport-level out-of-order deliveries observed at the receiver.
+    pub out_of_order: u64,
+    /// Duplicate records suppressed by the receiver (uCOBS path).
+    pub duplicates_suppressed: u64,
+    /// MAC-rejected record candidates (uTLS guess-and-verify; rejected
+    /// guesses are normal, accepted-but-wrong ones are impossible).
+    pub mac_rejected_candidates: u64,
+    /// Wire bytes the sender's endpoint emitted (payload + framing).
+    pub wire_bytes_sent: u64,
+    /// Order-insensitive FNV fingerprint of the delivered payload multiset.
+    pub payload_fingerprint: u64,
+    /// Order-sensitive FNV fingerprint of the delivery sequence.
+    pub delivery_order_fingerprint: u64,
+    /// Virtual time (µs) at which the last payload was delivered.
+    pub completion_time_us: u64,
+    /// Segments split by the middlebox (0 without a splitting middlebox).
+    pub middlebox_splits: u64,
+    /// Segments coalesced by the middlebox.
+    pub middlebox_coalesces: u64,
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Deterministic payload for datagram/message `i` of a cell: the index is
+/// embedded in the first four bytes so every payload is distinct, lengths
+/// vary around the nominal size, and the tail is a position-dependent
+/// pattern so corruption or mis-reassembly cannot cancel out.
+pub fn cell_payload(spec: &CellSpec, i: usize) -> Vec<u8> {
+    let len = spec.datagram_len / 2 + (i * 131) % spec.datagram_len.max(2);
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(i as u32).to_be_bytes());
+    out.extend((0..len).map(|j| ((i * 197 + j * 31) % 251) as u8));
+    out
+}
+
+fn configs(spec: &CellSpec) -> (MinionConfig, MinionConfig) {
+    let sender = MinionConfig::with_utcp()
+        .with_psk(b"matrix-cell-psk")
+        .with_seed(spec.seed ^ 0xa11c_e5ee);
+    let receiver_base = match spec.receiver_stack {
+        StackMode::Standard => MinionConfig::without_utcp(),
+        StackMode::Utcp => MinionConfig::with_utcp(),
+    };
+    let receiver = receiver_base
+        .with_psk(b"matrix-cell-psk")
+        .with_seed(spec.seed ^ 0xb0b5_eed5);
+    (sender, receiver)
+}
+
+struct Delivery {
+    payload: Vec<u8>,
+    time_us: u64,
+}
+
+/// Shared bookkeeping across the three protocol drivers.
+struct Collected {
+    deliveries: Vec<Delivery>,
+    out_of_order: u64,
+    duplicates_suppressed: u64,
+    mac_rejected_candidates: u64,
+    wire_bytes_sent: u64,
+    middlebox_splits: u64,
+    middlebox_coalesces: u64,
+}
+
+/// Read the middlebox counters out of a consumed world.
+fn middlebox_counters(world: &crate::world::CellWorld) -> (u64, u64) {
+    match world.middlebox {
+        Some(mb) => {
+            let stats = world.sim.middlebox(mb).stats();
+            (stats.splits, stats.coalesces)
+        }
+        None => (0, 0),
+    }
+}
+
+const ESTABLISH_DEADLINE: SimDuration = SimDuration::from_secs(20);
+const TRANSFER_DEADLINE: SimDuration = SimDuration::from_secs(120);
+const PUMP_STEP: SimDuration = SimDuration::from_millis(25);
+
+fn run_ucobs(spec: &CellSpec) -> Collected {
+    let mut world = build_world(spec);
+    let (sender_cfg, receiver_cfg) = configs(spec);
+    let port = 9000;
+    UcobsSocket::listen(world.sim.host_mut(world.receiver), port, &receiver_cfg).unwrap();
+    let now = world.sim.now();
+    let mut tx = UcobsSocket::connect(
+        world.sim.host_mut(world.sender),
+        SocketAddr::new(world.receiver, port),
+        &sender_cfg,
+        now,
+    );
+    let establish_deadline = world.sim.now() + ESTABLISH_DEADLINE;
+    let mut rx = loop {
+        world.sim.run_for(PUMP_STEP);
+        if let Some(rx) = UcobsSocket::accept(world.sim.host_mut(world.receiver), port) {
+            break rx;
+        }
+        assert!(
+            world.sim.now() < establish_deadline,
+            "[{}] uCOBS connection never established",
+            spec.label()
+        );
+    };
+    for i in 0..spec.datagrams {
+        tx.send_datagram(world.sim.host_mut(world.sender), &cell_payload(spec, i))
+            .unwrap();
+    }
+    let mut deliveries = Vec::new();
+    let deadline = world.sim.now() + TRANSFER_DEADLINE;
+    while deliveries.len() < spec.datagrams && world.sim.now() < deadline {
+        world.sim.run_for(PUMP_STEP);
+        let now_us = world.sim.now().as_micros();
+        for d in rx.recv(world.sim.host_mut(world.receiver)) {
+            deliveries.push(Delivery {
+                payload: d.payload,
+                time_us: now_us,
+            });
+        }
+    }
+    let stats = rx.stats().clone();
+    let (middlebox_splits, middlebox_coalesces) = middlebox_counters(&world);
+    Collected {
+        deliveries,
+        out_of_order: stats.out_of_order_received,
+        duplicates_suppressed: stats.duplicates_suppressed,
+        mac_rejected_candidates: 0,
+        wire_bytes_sent: tx.stats().wire_bytes_sent,
+        middlebox_splits,
+        middlebox_coalesces,
+    }
+}
+
+fn run_utls(spec: &CellSpec) -> Collected {
+    let mut world = build_world(spec);
+    let (sender_cfg, receiver_cfg) = configs(spec);
+    let port = 443;
+    UtlsSocket::listen(world.sim.host_mut(world.receiver), port, &receiver_cfg).unwrap();
+    let now = world.sim.now();
+    let mut tx = UtlsSocket::connect(
+        world.sim.host_mut(world.sender),
+        SocketAddr::new(world.receiver, port),
+        &sender_cfg,
+        now,
+    );
+    let establish_deadline = world.sim.now() + ESTABLISH_DEADLINE;
+    let mut rx: Option<UtlsSocket> = None;
+    // Pump the handshake: the server consumes the hello and responds, the
+    // client consumes the response.
+    loop {
+        world.sim.run_for(PUMP_STEP);
+        if rx.is_none() {
+            rx = UtlsSocket::accept(world.sim.host_mut(world.receiver), port, &receiver_cfg);
+        }
+        if let Some(rx) = rx.as_mut() {
+            let _ = rx.recv(world.sim.host_mut(world.receiver));
+            let _ = tx.recv(world.sim.host_mut(world.sender));
+            if rx.is_established() && tx.is_established() {
+                break;
+            }
+        }
+        assert!(
+            world.sim.now() < establish_deadline,
+            "[{}] uTLS handshake never completed",
+            spec.label()
+        );
+    }
+    let mut rx = rx.expect("accepted above");
+    assert_eq!(
+        rx.out_of_order_active(),
+        spec.receiver_stack == StackMode::Utcp,
+        "[{}] uTLS out-of-order mode must track the receiver's uTCP support",
+        spec.label()
+    );
+    for i in 0..spec.datagrams {
+        tx.send_datagram(world.sim.host_mut(world.sender), &cell_payload(spec, i))
+            .unwrap();
+    }
+    let mut deliveries = Vec::new();
+    let deadline = world.sim.now() + TRANSFER_DEADLINE;
+    while deliveries.len() < spec.datagrams && world.sim.now() < deadline {
+        world.sim.run_for(PUMP_STEP);
+        let now_us = world.sim.now().as_micros();
+        for d in rx.recv(world.sim.host_mut(world.receiver)) {
+            deliveries.push(Delivery {
+                payload: d.payload,
+                time_us: now_us,
+            });
+        }
+    }
+    let stats = rx.stats().clone();
+    let (middlebox_splits, middlebox_coalesces) = middlebox_counters(&world);
+    Collected {
+        deliveries,
+        out_of_order: stats.out_of_order_received,
+        duplicates_suppressed: 0,
+        mac_rejected_candidates: rx
+            .receiver_stats()
+            .map(|s| s.rejected_candidates)
+            .unwrap_or(0),
+        wire_bytes_sent: tx.stats().wire_bytes_sent,
+        middlebox_splits,
+        middlebox_coalesces,
+    }
+}
+
+fn run_mstcp(spec: &CellSpec) -> Collected {
+    let mut world = build_world(spec);
+    let (sender_cfg, receiver_cfg) = configs(spec);
+    let port = 8080;
+    MsTcpConnection::listen(world.sim.host_mut(world.receiver), port, &receiver_cfg).unwrap();
+    let now = world.sim.now();
+    let mut tx = MsTcpConnection::connect(
+        world.sim.host_mut(world.sender),
+        SocketAddr::new(world.receiver, port),
+        &sender_cfg,
+        now,
+    );
+    let establish_deadline = world.sim.now() + ESTABLISH_DEADLINE;
+    let mut rx = loop {
+        world.sim.run_for(PUMP_STEP);
+        if let Some(rx) = MsTcpConnection::accept(world.sim.host_mut(world.receiver), port) {
+            break rx;
+        }
+        assert!(
+            world.sim.now() < establish_deadline,
+            "[{}] msTCP connection never established",
+            spec.label()
+        );
+    };
+    // Round-robin messages over the streams; per-stream message order is the
+    // send order, which the per-stream ordering invariant checks against.
+    let streams: Vec<StreamId> = (0..MSTCP_STREAMS).map(|_| tx.open_stream()).collect();
+    let mut expected_per_stream: BTreeMap<StreamId, Vec<u8>> = BTreeMap::new();
+    for i in 0..spec.datagrams {
+        let stream = streams[i % streams.len()];
+        let payload = cell_payload(spec, i);
+        expected_per_stream
+            .entry(stream)
+            .or_default()
+            .extend_from_slice(&payload);
+        tx.send_message(world.sim.host_mut(world.sender), stream, &payload, false, 0)
+            .unwrap();
+    }
+    let mut deliveries = Vec::new();
+    let mut received_per_stream: BTreeMap<StreamId, Vec<u8>> = BTreeMap::new();
+    let mut open_message: BTreeMap<StreamId, Vec<u8>> = BTreeMap::new();
+    let deadline = world.sim.now() + TRANSFER_DEADLINE;
+    while deliveries.len() < spec.datagrams && world.sim.now() < deadline {
+        world.sim.run_for(PUMP_STEP);
+        let now_us = world.sim.now().as_micros();
+        for ev in rx.recv(world.sim.host_mut(world.receiver)) {
+            received_per_stream
+                .entry(ev.stream)
+                .or_default()
+                .extend_from_slice(&ev.data);
+            let buf = open_message.entry(ev.stream).or_default();
+            buf.extend_from_slice(&ev.data);
+            if ev.end_of_message {
+                deliveries.push(Delivery {
+                    payload: std::mem::take(buf),
+                    time_us: now_us,
+                });
+            }
+        }
+    }
+    // Per-stream ordering: each stream's bytes are exactly the concatenation
+    // of its messages in send order.
+    for (stream, expected) in &expected_per_stream {
+        let got = received_per_stream
+            .get(stream)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        assert_eq!(
+            got,
+            expected.as_slice(),
+            "[{}] msTCP stream {stream} bytes must arrive complete and in per-stream order",
+            spec.label()
+        );
+    }
+    let transport = tx.transport_stats().clone();
+    let rx_transport = rx.transport_stats().clone();
+    let (middlebox_splits, middlebox_coalesces) = middlebox_counters(&world);
+    Collected {
+        deliveries,
+        out_of_order: rx_transport.out_of_order_received,
+        duplicates_suppressed: rx_transport.duplicates_suppressed,
+        mac_rejected_candidates: 0,
+        wire_bytes_sent: transport.wire_bytes_sent,
+        middlebox_splits,
+        middlebox_coalesces,
+    }
+}
+
+/// Run one cell once and assert the paper's invariants; returns the report.
+///
+/// Panics (with the cell label in the message) on any violation: lost,
+/// duplicated, or corrupted payloads; out-of-order delivery on a standard-TCP
+/// receiver; missing out-of-order delivery when the cell makes it mandatory;
+/// or a middlebox that failed to exercise its behaviour.
+pub fn run_cell(spec: &CellSpec) -> CellReport {
+    let collected = match spec.protocol {
+        PayloadProtocol::Ucobs => run_ucobs(spec),
+        PayloadProtocol::Utls => run_utls(spec),
+        PayloadProtocol::MsTcp => run_mstcp(spec),
+    };
+    let label = spec.label();
+
+    // Invariant 1: exactly-once delivery. The delivered payload multiset
+    // equals the sent multiset — no loss, no duplicates, no corruption (for
+    // uTLS every delivered record also passed its MAC, so equality here is
+    // the MAC-intact check).
+    let mut sent: Vec<Vec<u8>> = (0..spec.datagrams).map(|i| cell_payload(spec, i)).collect();
+    let mut got: Vec<Vec<u8>> = collected
+        .deliveries
+        .iter()
+        .map(|d| d.payload.clone())
+        .collect();
+    sent.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(
+        got.len(),
+        sent.len(),
+        "[{label}] exactly-once delivery: expected {} payloads, got {}",
+        sent.len(),
+        got.len()
+    );
+    assert_eq!(
+        got, sent,
+        "[{label}] delivered payloads must match sent payloads exactly"
+    );
+
+    // Invariant 2: out-of-order delivery happens only under a uTCP receiver,
+    // and *must* happen when the cell drops a segment deterministically.
+    if spec.receiver_stack == StackMode::Standard {
+        assert_eq!(
+            collected.out_of_order, 0,
+            "[{label}] a standard TCP receiver can never deliver out of order"
+        );
+    }
+    if spec.out_of_order_mandatory() {
+        assert!(
+            collected.out_of_order > 0,
+            "[{label}] a deterministic mid-stream drop with a uTCP receiver must \
+             yield out-of-order delivery"
+        );
+    }
+
+    let mut report = CellReport {
+        label,
+        sent: spec.datagrams as u64,
+        delivered: collected.deliveries.len() as u64,
+        out_of_order: collected.out_of_order,
+        duplicates_suppressed: collected.duplicates_suppressed,
+        mac_rejected_candidates: collected.mac_rejected_candidates,
+        wire_bytes_sent: collected.wire_bytes_sent,
+        payload_fingerprint: 0,
+        delivery_order_fingerprint: 0,
+        completion_time_us: collected
+            .deliveries
+            .iter()
+            .map(|d| d.time_us)
+            .max()
+            .unwrap_or(0),
+        middlebox_splits: collected.middlebox_splits,
+        middlebox_coalesces: collected.middlebox_coalesces,
+    };
+
+    // Invariant 3: an adversarial middlebox must actually have exercised its
+    // behaviour — a splitting middlebox facing records larger than its
+    // maximum payload is guaranteed to split at least once.
+    if let MiddleboxAxis::Split(max_payload) = spec.middlebox {
+        if spec.datagram_len > max_payload {
+            assert!(
+                report.middlebox_splits > 0,
+                "[{}] the Split middlebox never re-segmented anything",
+                report.label
+            );
+        }
+    }
+    // Order-insensitive fingerprint: sum of per-payload hashes.
+    let mut order_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in &collected.deliveries {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        fnv1a(&mut h, &d.payload);
+        report.payload_fingerprint = report.payload_fingerprint.wrapping_add(h);
+        fnv1a(&mut order_hash, &h.to_be_bytes());
+    }
+    report.delivery_order_fingerprint = order_hash;
+    report
+}
+
+/// Run one cell **twice** under its fixed seed, assert the two runs produce
+/// identical reports, and return the (verified) report.
+pub fn verify_cell(spec: &CellSpec) -> CellReport {
+    let first = run_cell(spec);
+    let second = run_cell(spec);
+    assert_eq!(
+        first,
+        second,
+        "[{}] same seed must reproduce identical delivery statistics",
+        spec.label()
+    );
+    first
+}
+
+/// Verify every cell of a matrix; returns one report per cell.
+pub fn run_matrix(cells: &[CellSpec]) -> Vec<CellReport> {
+    cells.iter().map(verify_cell).collect()
+}
+
+/// A text table of per-cell results (label, delivered/sent, out-of-order,
+/// completion time).
+pub fn summarize(reports: &[CellReport]) -> String {
+    let mut out = String::new();
+    let width = reports.iter().map(|r| r.label.len()).max().unwrap_or(10);
+    out.push_str(&format!(
+        "{:<width$}  {:>9}  {:>6}  {:>6}  {:>10}\n",
+        "cell", "delivered", "ooo", "dups", "finish_ms"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<width$}  {:>4}/{:<4}  {:>6}  {:>6}  {:>10.1}\n",
+            r.label,
+            r.delivered,
+            r.sent,
+            r.out_of_order,
+            r.duplicates_suppressed,
+            r.completion_time_us as f64 / 1000.0
+        ));
+    }
+    out
+}

@@ -130,7 +130,12 @@ impl std::error::Error for RecordError {}
 
 impl RecordProtection {
     /// Create record protection for one direction.
-    pub fn new(suite: CipherSuite, enc_key: [u8; 16], mac_key: [u8; 32], version: (u8, u8)) -> Self {
+    pub fn new(
+        suite: CipherSuite,
+        enc_key: [u8; 16],
+        mac_key: [u8; 32],
+        version: (u8, u8),
+    ) -> Self {
         RecordProtection {
             suite,
             enc_key,
@@ -251,8 +256,8 @@ impl RecordProtection {
                     return Err(RecordError::TooShort);
                 }
                 let iv = self.chain_iv;
-                let plaintext_mac = cbc::decrypt(&self.enc_key, &iv, body)
-                    .map_err(|_| RecordError::BadRecord)?;
+                let plaintext_mac =
+                    cbc::decrypt(&self.enc_key, &iv, body).map_err(|_| RecordError::BadRecord)?;
                 if plaintext_mac.len() < MAC_LEN {
                     return Err(RecordError::BadRecord);
                 }
@@ -296,9 +301,15 @@ mod tests {
         assert_eq!(RecordHeader::decode(&h.encode()), Some(h));
         assert!(h.is_plausible(VERSION_TLS11));
         assert!(!h.is_plausible(VERSION_TLS10));
-        let bad = RecordHeader { content_type: 99, ..h };
+        let bad = RecordHeader {
+            content_type: 99,
+            ..h
+        };
         assert!(!bad.is_plausible(VERSION_TLS11));
-        let too_long = RecordHeader { length: MAX_RECORD_LEN + 1, ..h };
+        let too_long = RecordHeader {
+            length: MAX_RECORD_LEN + 1,
+            ..h
+        };
         assert!(!too_long.is_plausible(VERSION_TLS11));
         assert!(RecordHeader::decode(&[1, 2, 3]).is_none());
     }

@@ -210,8 +210,18 @@ impl TlsSession {
         let ms = master_secret(&self.psk, &client_random, &server_random);
         let kb = KeyBlock::derive(&ms, &client_random, &server_random);
         let (tx_enc, tx_mac, rx_enc, rx_mac) = match self.role {
-            Role::Client => (kb.client_enc_key, kb.client_mac_key, kb.server_enc_key, kb.server_mac_key),
-            Role::Server => (kb.server_enc_key, kb.server_mac_key, kb.client_enc_key, kb.client_mac_key),
+            Role::Client => (
+                kb.client_enc_key,
+                kb.client_mac_key,
+                kb.server_enc_key,
+                kb.server_mac_key,
+            ),
+            Role::Server => (
+                kb.server_enc_key,
+                kb.server_mac_key,
+                kb.client_enc_key,
+                kb.client_mac_key,
+            ),
         };
         self.tx = Some(RecordProtection::new(
             self.config.suite,
@@ -247,7 +257,9 @@ impl TlsSession {
 
     fn process_handshake(&mut self) -> Result<(), TlsError> {
         while self.state != HandshakeState::Established {
-            let Some(header) = RecordHeader::decode(&self.inbuf) else { return Ok(()) };
+            let Some(header) = RecordHeader::decode(&self.inbuf) else {
+                return Ok(());
+            };
             if self.inbuf.len() < RECORD_HEADER_LEN + header.length {
                 return Ok(());
             }
@@ -315,8 +327,7 @@ impl TlsSession {
             return Ok(vec![]);
         }
         let mut out = Vec::new();
-        loop {
-            let Some(header) = RecordHeader::decode(&self.inbuf) else { break };
+        while let Some(header) = RecordHeader::decode(&self.inbuf) {
             if self.inbuf.len() < RECORD_HEADER_LEN + header.length {
                 break;
             }
@@ -341,7 +352,10 @@ mod tests {
     use super::*;
 
     fn handshake(suite: CipherSuite) -> (TlsSession, TlsSession) {
-        let config = TlsConfig { suite, ..TlsConfig::default() };
+        let config = TlsConfig {
+            suite,
+            ..TlsConfig::default()
+        };
         let mut client = TlsSession::client(b"shared secret", config.clone(), 1);
         let mut server = TlsSession::server(b"shared secret", config, 2);
         let c_hello = client.take_outgoing();
@@ -389,8 +403,14 @@ mod tests {
         assert_ne!(c2s, s2c);
         server.push_incoming(&c2s).unwrap();
         client.push_incoming(&s2c).unwrap();
-        assert_eq!(server.read_datagrams().unwrap(), vec![b"from client".to_vec()]);
-        assert_eq!(client.read_datagrams().unwrap(), vec![b"from server".to_vec()]);
+        assert_eq!(
+            server.read_datagrams().unwrap(),
+            vec![b"from client".to_vec()]
+        );
+        assert_eq!(
+            client.read_datagrams().unwrap(),
+            vec![b"from server".to_vec()]
+        );
     }
 
     #[test]

@@ -162,8 +162,12 @@ impl UtlsReceiver {
             }
         }
         let mut end = start + buf.len() as u64;
+        // Not a `while let`: the range borrow must end before `remove()`.
+        #[allow(clippy::while_let_loop)]
         loop {
-            let Some((&sstart, sdata)) = self.fragments.range(start..).next() else { break };
+            let Some((&sstart, sdata)) = self.fragments.range(start..).next() else {
+                break;
+            };
             if sstart > end {
                 break;
             }
@@ -196,10 +200,14 @@ impl UtlsReceiver {
     /// Process records at the in-order point (standard TLS processing).
     fn process_in_order(&mut self, out: &mut Vec<UtlsRecord>) {
         loop {
-            let Some((run_start, run)) = self.run_at(self.in_order_offset) else { return };
+            let Some((run_start, run)) = self.run_at(self.in_order_offset) else {
+                return;
+            };
             let local = (self.in_order_offset - run_start) as usize;
             let slice = &run[local..];
-            let Some(header) = RecordHeader::decode(slice) else { return };
+            let Some(header) = RecordHeader::decode(slice) else {
+                return;
+            };
             if slice.len() < RECORD_HEADER_LEN + header.length {
                 return;
             }
@@ -262,7 +270,10 @@ impl UtlsReceiver {
         // avoid borrowing issues, then confirm each.
         let mut candidates: Vec<(u64, RecordHeader, Vec<u8>)> = Vec::new();
         let version = self.protection.version();
-        for (&run_start, run) in self.fragments.range((self.in_order_offset + 1).saturating_sub(1)..) {
+        for (&run_start, run) in self
+            .fragments
+            .range((self.in_order_offset + 1).saturating_sub(1)..)
+        {
             // Only runs strictly beyond the in-order point are out of order;
             // the run containing the in-order point was handled above.
             if run_start <= self.in_order_offset {
@@ -278,7 +289,9 @@ impl UtlsReceiver {
                         continue;
                     }
                 }
-                let Some(header) = RecordHeader::decode(&run[i..]) else { break };
+                let Some(header) = RecordHeader::decode(&run[i..]) else {
+                    break;
+                };
                 if header.is_plausible(version)
                     && i + RECORD_HEADER_LEN + header.length <= run.len()
                 {
@@ -377,6 +390,7 @@ mod tests {
 
     /// Build a wire stream of `n` records and return (stream, record byte
     /// ranges, payloads).
+    #[allow(clippy::type_complexity)]
     fn build_stream(
         tx: &mut RecordProtection,
         payload_lens: &[usize],
@@ -502,16 +516,18 @@ mod tests {
             .chain(recs.iter())
             .map(|r| r.record_number)
             .collect();
-        assert_eq!(all_numbers.len(), 9, "records 1..=9 all delivered exactly once");
+        assert_eq!(
+            all_numbers.len(),
+            9,
+            "records 1..=9 all delivered exactly once"
+        );
     }
 
     #[test]
     fn null_suite_disables_out_of_order_recovery() {
         let tx_keys = (*b"utls-enc-key-16b", [9u8; 32]);
-        let mut tx =
-            RecordProtection::new(CipherSuite::Null, tx_keys.0, tx_keys.1, VERSION_TLS11);
-        let rx_prot =
-            RecordProtection::new(CipherSuite::Null, tx_keys.0, tx_keys.1, VERSION_TLS11);
+        let mut tx = RecordProtection::new(CipherSuite::Null, tx_keys.0, tx_keys.1, VERSION_TLS11);
+        let rx_prot = RecordProtection::new(CipherSuite::Null, tx_keys.0, tx_keys.1, VERSION_TLS11);
         let mut rx = UtlsReceiver::new(rx_prot, 4);
         assert!(!rx.out_of_order_enabled());
         let (stream, ranges, _) = build_stream(&mut tx, &[100, 100, 100]);

@@ -14,8 +14,16 @@ fn run(use_utcp: bool) -> (f64, f64) {
     let mut sim = Sim::new(3);
     let a = sim.add_host("sender");
     let b = sim.add_host("receiver");
-    sim.link(a, b, LinkConfig::new(2_000_000, SimDuration::from_millis(30)));
-    let config = if use_utcp { MinionConfig::with_utcp() } else { MinionConfig::without_utcp() };
+    sim.link(
+        a,
+        b,
+        LinkConfig::new(2_000_000, SimDuration::from_millis(30)),
+    );
+    let config = if use_utcp {
+        MinionConfig::with_utcp()
+    } else {
+        MinionConfig::without_utcp()
+    };
     UcobsSocket::listen(sim.host_mut(b), 7000, &config).unwrap();
     let now = sim.now();
     let mut tx = UcobsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 7000), &config, now);
@@ -33,7 +41,8 @@ fn run(use_utcp: bool) -> (f64, f64) {
             let is_urgent = sent % 100 == 99;
             let mut msg = vec![0u8; 1000];
             msg[..8].copy_from_slice(&(sent as u64).to_be_bytes());
-            tx.send(sim.host_mut(a), &msg, if is_urgent { 9 } else { 0 }).unwrap();
+            tx.send(sim.host_mut(a), &msg, if is_urgent { 9 } else { 0 })
+                .unwrap();
             sent_at.push((now, is_urgent));
             sent += 1;
         }
@@ -43,7 +52,11 @@ fn run(use_utcp: bool) -> (f64, f64) {
             let id = u64::from_be_bytes(d.payload[..8].try_into().unwrap()) as usize;
             let (t, is_urgent) = sent_at[id];
             let delay = (now - t).as_millis_f64();
-            if is_urgent { urgent.add(delay) } else { bulk.add(delay) }
+            if is_urgent {
+                urgent.add(delay)
+            } else {
+                bulk.add(delay)
+            }
         }
     }
     (bulk.mean(), urgent.mean())
@@ -52,8 +65,12 @@ fn run(use_utcp: bool) -> (f64, f64) {
 fn main() {
     let (tcp_bulk, tcp_urgent) = run(false);
     let (utcp_bulk, utcp_urgent) = run(true);
-    println!("standard TCP : bulk mean delay {tcp_bulk:7.1} ms, urgent mean delay {tcp_urgent:7.1} ms");
-    println!("uTCP         : bulk mean delay {utcp_bulk:7.1} ms, urgent mean delay {utcp_urgent:7.1} ms");
+    println!(
+        "standard TCP : bulk mean delay {tcp_bulk:7.1} ms, urgent mean delay {tcp_urgent:7.1} ms"
+    );
+    println!(
+        "uTCP         : bulk mean delay {utcp_bulk:7.1} ms, urgent mean delay {utcp_urgent:7.1} ms"
+    );
     println!(
         "urgent messages are {:.1}x faster with uTCP's send-queue prioritization",
         tcp_urgent / utcp_urgent

@@ -26,13 +26,20 @@ fn main() {
     let config = MinionConfig::with_utcp();
     UcobsSocket::listen(sim.host_mut(bob), 9000, &config).expect("listen");
     let now = sim.now();
-    let mut sender = UcobsSocket::connect(sim.host_mut(alice), SocketAddr::new(bob, 9000), &config, now);
+    let mut sender = UcobsSocket::connect(
+        sim.host_mut(alice),
+        SocketAddr::new(bob, 9000),
+        &config,
+        now,
+    );
     sim.run_for(SimDuration::from_millis(200));
     let mut receiver = UcobsSocket::accept(sim.host_mut(bob), 9000).expect("accepted");
 
-    // 3. Send 200 datagrams.
+    // 3. Send 200 datagrams. Each is padded to ~600 bytes so the stream
+    //    spans many segments and the 1% loss reliably leaves a mid-stream
+    //    hole for uTCP to deliver around.
     for i in 0..200u32 {
-        let payload = format!("datagram number {i} with some payload bytes attached");
+        let payload = format!("datagram number {i:<3} {:=<580}", "");
         sender
             .send_datagram(sim.host_mut(alice), payload.as_bytes())
             .expect("send");
@@ -52,7 +59,10 @@ fn main() {
     }
 
     println!("delivered {delivered} datagrams, {out_of_order} of them ahead of a stream hole");
-    println!("sender overhead ratio: {:.4} (COBS + markers)", sender.stats().overhead_ratio());
+    println!(
+        "sender overhead ratio: {:.4} (COBS + markers)",
+        sender.stats().overhead_ratio()
+    );
     println!(
         "receiver stats: {} received, {} out of order, {} duplicates suppressed",
         receiver.stats().datagrams_received,

@@ -23,25 +23,39 @@ fn run_call(protocol: Protocol) -> (f64, f64, f64, f64) {
     let config = MinionConfig::with_utcp();
     let (mut tx, mut rx) = if protocol == Protocol::Udp {
         (
-            MinionTransport::Udp(UdpShim::bind(sim.host_mut(caller), 0, Some(SocketAddr::new(callee, 9999))).unwrap()),
+            MinionTransport::Udp(
+                UdpShim::bind(sim.host_mut(caller), 0, Some(SocketAddr::new(callee, 9999)))
+                    .unwrap(),
+            ),
             MinionTransport::Udp(UdpShim::bind(sim.host_mut(callee), 9999, None).unwrap()),
         )
     } else {
         MinionTransport::listen(protocol, sim.host_mut(callee), 9999, &config).unwrap();
         let now = sim.now();
-        let tx = MinionTransport::connect(protocol, sim.host_mut(caller), SocketAddr::new(callee, 9999), &config, now).unwrap();
+        let tx = MinionTransport::connect(
+            protocol,
+            sim.host_mut(caller),
+            SocketAddr::new(callee, 9999),
+            &config,
+            now,
+        )
+        .unwrap();
         sim.run_for(SimDuration::from_millis(300));
         let rx = MinionTransport::accept(protocol, sim.host_mut(callee), 9999, &config).unwrap();
         (tx, rx)
     };
 
-    let source_config = VoipSourceConfig { duration: SimDuration::from_secs(30), ..Default::default() };
+    let source_config = VoipSourceConfig {
+        duration: SimDuration::from_secs(30),
+        ..Default::default()
+    };
     let start = sim.now();
     let mut source = VoipSource::new(source_config.clone(), start);
     let mut receiver = VoipReceiver::new(source_config, SimDuration::from_millis(200), start);
     // Two competing bulk flows congest the path.
-    let mut flows: Vec<CompetingFlow> =
-        (0..2).map(|i| CompetingFlow::new(caller, callee, 6000 + i, start)).collect();
+    let mut flows: Vec<CompetingFlow> = (0..2)
+        .map(|i| CompetingFlow::new(caller, callee, 6000 + i, start))
+        .collect();
 
     let end = start + SimDuration::from_secs(32);
     while sim.now() < end {
@@ -61,11 +75,19 @@ fn run_call(protocol: Protocol) -> (f64, f64, f64, f64) {
     }
     let report = receiver.report(SimDuration::from_secs(2));
     let mut lat = report.latencies_ms.clone();
-    (lat.median(), lat.quantile(0.95), report.miss_fraction * 100.0, report.overall_mos)
+    (
+        lat.median(),
+        lat.quantile(0.95),
+        report.miss_fraction * 100.0,
+        report.overall_mos,
+    )
 }
 
 fn main() {
-    println!("{:<10} {:>12} {:>12} {:>12} {:>8}", "transport", "median (ms)", "p95 (ms)", "missed (%)", "MOS");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>8}",
+        "transport", "median (ms)", "p95 (ms)", "missed (%)", "MOS"
+    );
     for (name, protocol) in [
         ("uCOBS", Protocol::Ucobs),
         ("TCP", Protocol::TcpTlv),

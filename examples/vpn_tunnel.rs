@@ -24,7 +24,14 @@ fn run(protocol: Protocol, prioritize_acks: bool) -> (f64, f64) {
     let config = MinionConfig::with_utcp();
     MinionTransport::listen(protocol, sim.host_mut(vpn), 1194, &config).unwrap();
     let now = sim.now();
-    let ct = MinionTransport::connect(protocol, sim.host_mut(home), SocketAddr::new(vpn, 1194), &config, now).unwrap();
+    let ct = MinionTransport::connect(
+        protocol,
+        sim.host_mut(home),
+        SocketAddr::new(vpn, 1194),
+        &config,
+        now,
+    )
+    .unwrap();
     sim.run_for(SimDuration::from_millis(300));
     let st = MinionTransport::accept(protocol, sim.host_mut(vpn), 1194, &config).unwrap();
     let mut home_gw = TunnelGateway::new(ct, prioritize_acks);
@@ -53,7 +60,11 @@ fn run(protocol: Protocol, prioritize_acks: bool) -> (f64, f64) {
 fn main() {
     let (orig_down, orig_up) = run(Protocol::TcpTlv, false);
     let (modi_down, modi_up) = run(Protocol::Ucobs, true);
-    println!("original OpenVPN-style tunnel : download {orig_down:5.2} Mbps, upload {orig_up:5.3} Mbps");
-    println!("modified (uCOBS + priACKs)    : download {modi_down:5.2} Mbps, upload {modi_up:5.3} Mbps");
+    println!(
+        "original OpenVPN-style tunnel : download {orig_down:5.2} Mbps, upload {orig_up:5.3} Mbps"
+    );
+    println!(
+        "modified (uCOBS + priACKs)    : download {modi_down:5.2} Mbps, upload {modi_up:5.3} Mbps"
+    );
     println!("download speedup: {:.2}x", modi_down / orig_down.max(1e-9));
 }

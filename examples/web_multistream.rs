@@ -17,13 +17,21 @@ fn main() {
         let mut sim = Sim::new(100 + i as u64);
         let client = sim.add_host("browser");
         let server = sim.add_host("webserver");
-        sim.link(client, server, LinkConfig::new(1_500_000, SimDuration::from_millis(30)));
+        sim.link(
+            client,
+            server,
+            LinkConfig::new(1_500_000, SimDuration::from_millis(30)),
+        );
         let pipelined = load_page_pipelined_tcp(&mut sim, client, server, page, 8000);
 
         let mut sim = Sim::new(200 + i as u64);
         let client = sim.add_host("browser");
         let server = sim.add_host("webserver");
-        sim.link(client, server, LinkConfig::new(1_500_000, SimDuration::from_millis(30)));
+        sim.link(
+            client,
+            server,
+            LinkConfig::new(1_500_000, SimDuration::from_millis(30)),
+        );
         let mstcp = load_page_mstcp(&mut sim, client, server, page, 8000);
 
         println!(

@@ -9,4 +9,5 @@ pub use minion_mstcp as mstcp;
 pub use minion_simnet as simnet;
 pub use minion_stack as stack;
 pub use minion_tcp as tcp;
+pub use minion_testkit as testkit;
 pub use minion_tls as tls;

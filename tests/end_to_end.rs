@@ -49,7 +49,12 @@ fn ucobs_survives_middlebox_resegmentation_and_loss() {
     let config = MinionConfig::with_utcp();
     UcobsSocket::listen(sim.host_mut(receiver), 9000, &config).unwrap();
     let now = sim.now();
-    let mut tx = UcobsSocket::connect(sim.host_mut(sender), SocketAddr::new(receiver, 9000), &config, now);
+    let mut tx = UcobsSocket::connect(
+        sim.host_mut(sender),
+        SocketAddr::new(receiver, 9000),
+        &config,
+        now,
+    );
     sim.run_for(SimDuration::from_millis(200));
     let mut rx = UcobsSocket::accept(sim.host_mut(receiver), 9000).expect("accepted");
 
@@ -67,10 +72,17 @@ fn ucobs_survives_middlebox_resegmentation_and_loss() {
     // Eventually everything arrives exactly once.
     sim.run_for(SimDuration::from_secs(10));
     let late = rx.recv(sim.host_mut(receiver));
-    let mut all: Vec<u8> = early.iter().chain(late.iter()).map(|d| d.payload[0]).collect();
+    let mut all: Vec<u8> = early
+        .iter()
+        .chain(late.iter())
+        .map(|d| d.payload[0])
+        .collect();
     all.sort_unstable();
     assert_eq!(all, (0..40u8).collect::<Vec<u8>>());
-    assert!(sim.middlebox(mb).stats().splits > 0, "the middlebox did re-segment");
+    assert!(
+        sim.middlebox(mb).stats().splits > 0,
+        "the middlebox did re-segment"
+    );
 }
 
 /// Incremental deployment (§3.3): only one endpoint runs uTCP. The connection
@@ -85,14 +97,23 @@ fn mixed_utcp_deployment_interoperates() {
         (SocketOptions::utcp(), SocketOptions::utcp(), true),
     ] {
         let (mut sim, a, b) = lossy_pair(7, LossConfig::Explicit { indices: vec![4] });
-        let mut sender_config = MinionConfig::default();
-        sender_config.socket_options = sender_opts;
-        let mut receiver_config = MinionConfig::default();
-        receiver_config.socket_options = receiver_opts;
+        let sender_config = MinionConfig {
+            socket_options: sender_opts,
+            ..MinionConfig::default()
+        };
+        let receiver_config = MinionConfig {
+            socket_options: receiver_opts,
+            ..MinionConfig::default()
+        };
 
         UcobsSocket::listen(sim.host_mut(b), 9000, &receiver_config).unwrap();
         let now = sim.now();
-        let mut tx = UcobsSocket::connect(sim.host_mut(a), SocketAddr::new(b, 9000), &sender_config, now);
+        let mut tx = UcobsSocket::connect(
+            sim.host_mut(a),
+            SocketAddr::new(b, 9000),
+            &sender_config,
+            now,
+        );
         sim.run_for(SimDuration::from_millis(200));
         let mut rx = UcobsSocket::accept(sim.host_mut(b), 9000).expect("accepted");
 
@@ -108,7 +129,11 @@ fn mixed_utcp_deployment_interoperates() {
         );
         sim.run_for(SimDuration::from_secs(5));
         let late = rx.recv(sim.host_mut(b));
-        assert_eq!(early.len() + late.len(), 10, "all datagrams delivered in every mix");
+        assert_eq!(
+            early.len() + late.len(),
+            10,
+            "all datagrams delivered in every mix"
+        );
     }
 }
 
@@ -131,7 +156,9 @@ fn utls_end_to_end_over_lossy_path() {
     assert!(tx.is_established() && rx.is_established());
     assert!(tx.out_of_order_active());
 
-    let sent: Vec<Vec<u8>> = (0..120u32).map(|i| vec![(i % 251) as u8; 400 + (i as usize * 7) % 800]).collect();
+    let sent: Vec<Vec<u8>> = (0..120u32)
+        .map(|i| vec![(i % 251) as u8; 400 + (i as usize * 7) % 800])
+        .collect();
     let mut received = Vec::new();
     let mut sent_iter = sent.iter();
     for _ in 0..200 {
@@ -146,7 +173,12 @@ fn utls_end_to_end_over_lossy_path() {
             break;
         }
     }
-    assert_eq!(received.len(), sent.len(), "stats: {:?}", rx.receiver_stats());
+    assert_eq!(
+        received.len(),
+        sent.len(),
+        "stats: {:?}",
+        rx.receiver_stats()
+    );
     // Every payload delivered exactly once, contents intact (MAC-checked).
     let mut got: Vec<&Vec<u8>> = received.iter().map(|d| &d.payload).collect();
     let mut expected: Vec<&Vec<u8>> = sent.iter().collect();
@@ -185,13 +217,17 @@ fn negotiated_protocol_carries_traffic() {
     )
     .unwrap();
     sim.run_for(SimDuration::from_millis(200));
-    let mut server = minion_repro::core::MinionTransport::accept(protocol, sim.host_mut(b), 443, &config).unwrap();
+    let mut server =
+        minion_repro::core::MinionTransport::accept(protocol, sim.host_mut(b), 443, &config)
+            .unwrap();
     for _ in 0..5 {
         let _ = server.recv(sim.host_mut(b));
         let _ = client.recv(sim.host_mut(a));
         sim.run_for(SimDuration::from_millis(80));
     }
-    client.send_datagram(sim.host_mut(a), b"negotiated hello").unwrap();
+    client
+        .send_datagram(sim.host_mut(a), b"negotiated hello")
+        .unwrap();
     sim.run_for(SimDuration::from_millis(300));
     let got = server.recv(sim.host_mut(b));
     assert_eq!(got.len(), 1);
