@@ -1,0 +1,115 @@
+//! The engine load benchmark: drive the `flows ∈ {1, 64, 1024}` scenarios
+//! through the `minion-engine` runtime and emit `BENCH_engine.json`, the
+//! artifact the CI bench trajectory tracks per PR.
+//!
+//! Each scenario is run through [`minion_engine::verify_load`], so every
+//! emitted number sits behind the exactly-once and two-run-determinism
+//! gates. Wall-clock events/sec measures the runtime itself (timer wheel +
+//! batched dispatch + readiness polling); goodput and sim-time events/sec
+//! are virtual-time figures and therefore bit-stable across machines.
+//! `allocs_per_flow` tracks the staging buffer pool's recycling
+//! effectiveness (near zero when the pool works), not total process
+//! allocations.
+//!
+//! Output path: `BENCH_engine.json` in the working directory, overridable
+//! with the `BENCH_ENGINE_OUT` environment variable.
+
+use minion_engine::{verify_load, LoadReport, LoadScenario};
+use std::time::Instant;
+
+struct Row {
+    report: LoadReport,
+    wall_seconds: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn row_json(row: &Row) -> String {
+    let r = &row.report;
+    let retransmissions: u64 = r.per_flow.iter().map(|f| f.retransmissions).sum();
+    let rto_fires: u64 = r.per_flow.iter().map(|f| f.rto_fires).sum();
+    let events = r.engine.events();
+    let events_per_wall_sec = if row.wall_seconds > 0.0 {
+        (events as f64 / row.wall_seconds) as u64
+    } else {
+        0
+    };
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"label\": \"{label}\",\n",
+            "      \"flows\": {flows},\n",
+            "      \"records_sent\": {sent},\n",
+            "      \"records_delivered\": {delivered},\n",
+            "      \"total_payload_bytes\": {bytes},\n",
+            "      \"completion_sim_ms\": {completion_ms:.3},\n",
+            "      \"goodput_bps\": {goodput},\n",
+            "      \"events\": {events},\n",
+            "      \"events_per_sim_sec\": {eps_sim},\n",
+            "      \"events_per_wall_sec\": {eps_wall},\n",
+            "      \"wall_ms\": {wall_ms:.3},\n",
+            "      \"allocs_per_flow\": {apf:.3},\n",
+            "      \"pool_reuse_ratio\": {reuse:.4},\n",
+            "      \"packets_sent\": {psent},\n",
+            "      \"packets_delivered\": {pdeliv},\n",
+            "      \"timer_fires\": {tfires},\n",
+            "      \"flow_polls\": {polls},\n",
+            "      \"retransmissions\": {retx},\n",
+            "      \"rto_fires\": {rto},\n",
+            "      \"deterministic\": true\n",
+            "    }}"
+        ),
+        label = json_escape(&r.label),
+        flows = r.flows,
+        sent = r.records_sent,
+        delivered = r.records_delivered,
+        bytes = r.total_bytes,
+        completion_ms = r.completion_us as f64 / 1000.0,
+        goodput = r.goodput_bps,
+        events = events,
+        eps_sim = r.events_per_sim_sec,
+        eps_wall = events_per_wall_sec,
+        wall_ms = row.wall_seconds * 1000.0,
+        apf = r.allocs_per_flow(),
+        reuse = r.pool.reuse_ratio(),
+        psent = r.engine.packets_sent,
+        pdeliv = r.engine.packets_delivered,
+        tfires = r.engine.timer_fires,
+        polls = r.engine.flow_polls,
+        retx = retransmissions,
+        rto = rto_fires,
+    )
+}
+
+fn main() {
+    let scenarios = vec![
+        LoadScenario::with_flows(1),
+        LoadScenario::with_flows(64),
+        LoadScenario::smoke_1k(),
+    ];
+    let mut rows = Vec::new();
+    for scenario in &scenarios {
+        let t0 = Instant::now();
+        // Two verified runs; charge the scenario with the mean wall time so
+        // events/wall-sec reflects one run.
+        let report = verify_load(scenario);
+        let wall_seconds = t0.elapsed().as_secs_f64() / 2.0;
+        println!(
+            "{}  [wall {:.1} ms/run]",
+            report.summary(),
+            wall_seconds * 1000.0
+        );
+        rows.push(Row {
+            report,
+            wall_seconds,
+        });
+    }
+
+    let body = rows.iter().map(row_json).collect::<Vec<_>>().join(",\n");
+    let json = format!("{{\n  \"bench\": \"engine_load\",\n  \"scenarios\": [\n{body}\n  ]\n}}\n");
+    let out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_engine.json");
+    println!("wrote {out}");
+}

@@ -1,0 +1,13 @@
+//! Run the 1024-flow acceptance scenario twice (the determinism gate) and
+//! print its one-line summary.
+//!
+//! ```sh
+//! cargo run --release -p minion-engine --example smoke1k
+//! ```
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let report = minion_engine::verify_load(&minion_engine::LoadScenario::smoke_1k());
+    println!("{}", report.summary());
+    println!("wall: {:?} (two verified runs)", t0.elapsed());
+}

@@ -1,0 +1,169 @@
+//! Per-flow and aggregate metrics of an engine run.
+//!
+//! Everything here is integer-valued and `Eq`-comparable: the determinism
+//! acceptance check is *byte-identical metrics across two runs of the same
+//! seed*, which only works if no floating-point accumulation sneaks in.
+//! Derived rates (goodput in bits/s, events per second) are computed as
+//! integers from the raw counters.
+
+use crate::pool::PoolStats;
+
+/// The FNV-1a offset basis, the seed for [`fnv1a`] fingerprints.
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into an FNV-1a running hash — the single fingerprint
+/// function shared by the load scenarios and the testkit matrix (the
+/// determinism gates compare these values, so there must be exactly one
+/// definition).
+pub fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Aggregate runtime counters kept by [`crate::Engine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Event-loop iterations.
+    pub steps: u64,
+    /// Packets handed to hosts (arrival dispatches).
+    pub packets_delivered: u64,
+    /// Packets offered to the network by flow polls.
+    pub packets_sent: u64,
+    /// Wire bytes (payload + framing) of offered packets.
+    pub bytes_sent: u64,
+    /// Offered packets dropped by loss models or queue overflow.
+    pub packets_dropped: u64,
+    /// Timer-wheel expiries dispatched.
+    pub timer_fires: u64,
+    /// Per-flow polls executed (each may emit several segments).
+    pub flow_polls: u64,
+}
+
+impl EngineMetrics {
+    /// Total dispatched events (arrivals + timer fires).
+    pub fn events(&self) -> u64 {
+        self.packets_delivered + self.timer_fires
+    }
+}
+
+/// What one flow did over a whole load scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowMetrics {
+    /// Flow index within the scenario (0-based).
+    pub flow: u32,
+    /// Application payload bytes fully delivered (after reassembly).
+    pub bytes_delivered: u64,
+    /// Framed records fully delivered.
+    pub records_delivered: u64,
+    /// Delivery chunks that arrived out of order (uTCP receivers only).
+    pub chunks_out_of_order: u64,
+    /// Sender-side data-segment retransmissions.
+    pub retransmissions: u64,
+    /// Sender-side retransmission timeouts.
+    pub rto_fires: u64,
+    /// Virtual time (µs) at which the flow's stream was complete.
+    pub completion_us: u64,
+    /// Order-sensitive FNV-1a fingerprint of the reassembled stream.
+    pub fingerprint: u64,
+}
+
+/// The full, deterministic result of one load scenario run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Scenario label (axes summary).
+    pub label: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Number of concurrent flows.
+    pub flows: u64,
+    /// Records sent across all flows.
+    pub records_sent: u64,
+    /// Records fully delivered across all flows.
+    pub records_delivered: u64,
+    /// Application payload bytes delivered across all flows.
+    pub total_bytes: u64,
+    /// Virtual time (µs) at which the last flow completed.
+    pub completion_us: u64,
+    /// Aggregate goodput in bits per virtual second.
+    pub goodput_bps: u64,
+    /// Dispatched events per virtual second.
+    pub events_per_sim_sec: u64,
+    /// [`crate::BufferPool`] allocations per thousand flows (integer, ×1000
+    /// so the report stays `Eq`-comparable). This measures the pool's
+    /// effectiveness at keeping payload staging off the allocator — near
+    /// zero when recycling works — not a whole-process allocation count
+    /// (segment vectors and delivered chunks are outside it).
+    pub allocs_per_flow_milli: u64,
+    /// Engine runtime counters, snapshotted at the end of the load phase
+    /// (the FIN/TIME-WAIT close-out is excluded so rates describe the load).
+    pub engine: EngineMetrics,
+    /// Buffer-pool counters.
+    pub pool: PoolStats,
+    /// Per-flow metrics, indexed by flow.
+    pub per_flow: Vec<FlowMetrics>,
+}
+
+impl LoadReport {
+    /// Derived: allocations per flow as a float (for display only).
+    pub fn allocs_per_flow(&self) -> f64 {
+        self.allocs_per_flow_milli as f64 / 1000.0
+    }
+
+    /// A compact one-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {}/{} records, {} B in {:.1} ms, goodput {:.2} Mbit/s, \
+             {} events ({}/sim-s), {:.2} allocs/flow",
+            self.label,
+            self.records_delivered,
+            self.records_sent,
+            self.total_bytes,
+            self.completion_us as f64 / 1000.0,
+            self.goodput_bps as f64 / 1e6,
+            self.engine.events(),
+            self.events_per_sim_sec,
+            self.allocs_per_flow(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sums_arrivals_and_timers() {
+        let m = EngineMetrics {
+            packets_delivered: 10,
+            timer_fires: 3,
+            ..Default::default()
+        };
+        assert_eq!(m.events(), 13);
+    }
+
+    #[test]
+    fn report_summary_mentions_key_figures() {
+        let r = LoadReport {
+            label: "x".into(),
+            seed: 1,
+            flows: 2,
+            records_sent: 4,
+            records_delivered: 4,
+            total_bytes: 1000,
+            completion_us: 2_000,
+            goodput_bps: 4_000_000,
+            events_per_sim_sec: 500,
+            allocs_per_flow_milli: 1_500,
+            engine: EngineMetrics::default(),
+            pool: PoolStats::default(),
+            per_flow: vec![],
+        };
+        let s = r.summary();
+        assert!(s.contains("4/4 records"));
+        assert!(s.contains("4.00 Mbit/s"));
+        assert!(s.contains("1.50 allocs/flow"));
+        assert_eq!(r.allocs_per_flow(), 1.5);
+    }
+}

@@ -1,0 +1,549 @@
+//! Multi-flow load scenarios: N concurrent uTCP flows through one engine.
+//!
+//! This is the workload the ROADMAP's "heavy traffic" regime needs and the
+//! single-connection scenario matrix cannot express: hundreds to thousands of
+//! concurrent connections multiplexed over one shared link, driven entirely
+//! by readiness events and the timer wheel. Each flow sends a deterministic
+//! sequence of framed records; the run asserts, per flow:
+//!
+//! * **exactly-once delivery** — the reassembled stream equals the sent
+//!   stream byte for byte (no loss, duplication, or corruption survives);
+//! * **per-stream order** — record framing reassembles in send order;
+//! * **in-order-only for standard receivers** — a non-uTCP receiver never
+//!   sees an out-of-order chunk.
+//!
+//! [`verify_load`] additionally runs the scenario twice and asserts the two
+//! [`LoadReport`]s are identical — the determinism acceptance gate.
+
+use crate::metrics::{fnv1a, FlowMetrics, LoadReport, FNV_OFFSET_BASIS};
+use crate::pool::BufferPool;
+use crate::runtime::{Engine, FlowId};
+use bytes::Bytes;
+use minion_simnet::{LinkConfig, LossConfig, SimDuration};
+use minion_stack::SocketAddr;
+use minion_tcp::{ConnEvent, SocketOptions, TcpConfig};
+use std::collections::BTreeMap;
+
+/// The TCP port load-scenario servers listen on.
+pub const LOAD_PORT: u16 = 7000;
+
+/// Configuration of one load scenario.
+#[derive(Clone, Debug)]
+pub struct LoadScenario {
+    /// Number of concurrent flows.
+    pub flows: usize,
+    /// Framed records each flow sends.
+    pub records_per_flow: usize,
+    /// Nominal record payload size (individual records vary around it).
+    pub record_len: usize,
+    /// Round-trip propagation time in milliseconds.
+    pub rtt_ms: u64,
+    /// Bottleneck rate in bits/second (shared by all flows, each way).
+    pub rate_bps: u64,
+    /// Drop-tail queue of the shared link, in bytes.
+    pub queue_bytes: usize,
+    /// Loss process on the data direction (toward the receiver).
+    pub loss: LossConfig,
+    /// Whether the receiving endpoint runs uTCP's unordered receive.
+    pub receiver_utcp: bool,
+    /// Scenario seed (drives loss models and everything derived).
+    pub seed: u64,
+    /// Virtual-time budget; the run panics if flows are incomplete at it.
+    pub deadline: SimDuration,
+}
+
+impl Default for LoadScenario {
+    fn default() -> Self {
+        LoadScenario {
+            flows: 64,
+            records_per_flow: 12,
+            record_len: 160,
+            rtt_ms: 40,
+            rate_bps: 100_000_000,
+            queue_bytes: 1 << 20,
+            loss: LossConfig::None,
+            receiver_utcp: true,
+            seed: 0x10ad_5eed,
+            deadline: SimDuration::from_secs(300),
+        }
+    }
+}
+
+impl LoadScenario {
+    /// A scenario with the given flow count and defaults otherwise.
+    pub fn with_flows(flows: usize) -> Self {
+        LoadScenario {
+            flows,
+            ..LoadScenario::default()
+        }
+    }
+
+    /// The 1024-flow acceptance scenario (the "1k-flow load scenario").
+    pub fn smoke_1k() -> Self {
+        LoadScenario::with_flows(1024)
+    }
+
+    /// Human-readable label of the scenario's axes.
+    pub fn label(&self) -> String {
+        let loss = match &self.loss {
+            LossConfig::None => "loss=none".to_string(),
+            LossConfig::Bernoulli { probability } => {
+                format!("loss=bern{:.0}pct", probability * 100.0)
+            }
+            LossConfig::GilbertElliott { .. } => "loss=burst".to_string(),
+            LossConfig::Periodic { every } => format!("loss=periodic{every}"),
+            LossConfig::Explicit { indices } => format!("loss=explicit{}", indices.len()),
+        };
+        format!(
+            "flows{}/{}/rtt{}ms/{}bps/{}",
+            self.flows,
+            loss,
+            self.rtt_ms,
+            self.rate_bps,
+            if self.receiver_utcp { "utcp" } else { "tcp" },
+        )
+    }
+
+    /// Total payload bytes one flow sends.
+    fn stream_len(&self, flow: usize) -> u64 {
+        (0..self.records_per_flow)
+            .map(|rec| 12 + self.record_payload_len(flow, rec) as u64)
+            .sum()
+    }
+
+    /// Payload length of one record (varies deterministically around the
+    /// nominal size so flows and records are tellable apart).
+    fn record_payload_len(&self, flow: usize, rec: usize) -> usize {
+        self.record_len / 2 + (flow * 31 + rec * 131) % self.record_len.max(2)
+    }
+
+    /// Append flow `flow`'s whole framed stream to `out`: each record is a
+    /// 12-byte header (flow, record index, payload length — all `u32` BE)
+    /// followed by a position-dependent payload.
+    pub fn build_stream(&self, flow: usize, out: &mut Vec<u8>) {
+        for rec in 0..self.records_per_flow {
+            let len = self.record_payload_len(flow, rec);
+            out.extend_from_slice(&(flow as u32).to_be_bytes());
+            out.extend_from_slice(&(rec as u32).to_be_bytes());
+            out.extend_from_slice(&(len as u32).to_be_bytes());
+            out.extend((0..len).map(|j| ((flow * 197 + rec * 131 + j * 31) % 251) as u8));
+        }
+    }
+
+    /// Run the scenario once, asserting the per-flow invariants.
+    pub fn run(&self) -> LoadReport {
+        let label = self.label();
+        let mut pool = BufferPool::new(self.record_len * self.records_per_flow + 64, 8);
+        let mut engine = Engine::new(self.seed);
+        let client = engine.add_host("client");
+        let server = engine.add_host("server");
+        let delay = SimDuration::from_micros(self.rtt_ms * 1000 / 2);
+        let toward = LinkConfig::new(self.rate_bps, delay)
+            .with_queue_bytes(self.queue_bytes)
+            .with_loss(self.loss.clone());
+        let back = LinkConfig::new(self.rate_bps, delay).with_queue_bytes(self.queue_bytes);
+        engine.link_asymmetric(client, server, toward, back);
+
+        let receiver_opts = if self.receiver_utcp {
+            SocketOptions::unordered_receive_only()
+        } else {
+            SocketOptions::standard()
+        };
+        engine
+            .host_mut(server)
+            .tcp_listen(LOAD_PORT, TcpConfig::default(), receiver_opts)
+            .expect("listen on a fresh host");
+        engine.set_auto_register(server, true);
+
+        // Open every flow and queue its whole stream (streams are small
+        // enough for the default send buffer; the engine trickles them out
+        // under congestion control).
+        let server_addr = SocketAddr::new(engine.node_of(server), LOAD_PORT);
+        let mut states: Vec<FlowState> = Vec::with_capacity(self.flows);
+        for flow in 0..self.flows {
+            let now = engine.now();
+            let handle = engine.host_mut(client).tcp_connect(
+                server_addr,
+                TcpConfig::default(),
+                SocketOptions::standard(),
+                now,
+            );
+            let client_port = engine
+                .host_mut(client)
+                .tcp_local_port(handle)
+                .expect("fresh TCP socket");
+            let id = engine.register_flow(client, handle);
+            let mut stream = pool.take();
+            self.build_stream(flow, &mut stream);
+            let expected_len = stream.len() as u64;
+            assert_eq!(expected_len, self.stream_len(flow));
+            let written = engine
+                .flow_write(id, &stream)
+                .expect("stream fits the send buffer");
+            assert_eq!(written as u64, expected_len);
+            pool.give(stream);
+            let mut state = FlowState::new(id, expected_len);
+            state.client_port = client_port;
+            states.push(state);
+        }
+        // Pairing key for accepted server flows: the client's ephemeral port.
+        let mut flow_of_port: BTreeMap<u16, usize> = BTreeMap::new();
+        for (flow, state) in states.iter().enumerate() {
+            let clash = flow_of_port.insert(state.client_port, flow);
+            assert!(
+                clash.is_none(),
+                "[{label}] duplicate ephemeral port {}",
+                state.client_port
+            );
+        }
+
+        // Event-driven main loop: react to accepts and readability only.
+        let mut server_flow_of: BTreeMap<FlowId, usize> = BTreeMap::new();
+        let deadline = engine.now() + self.deadline;
+        let mut completed = 0usize;
+        while completed < self.flows && engine.now() < deadline {
+            if !engine.step() {
+                break;
+            }
+            for sf in engine.take_accepted() {
+                // Pair the accepted server flow with its client by peer port.
+                let peer = engine.flow_peer(sf);
+                let flow = *flow_of_port
+                    .get(&peer.port)
+                    .unwrap_or_else(|| panic!("[{label}] unknown peer port {}", peer.port));
+                states[flow].server = Some(sf);
+                server_flow_of.insert(sf, flow);
+            }
+            for (f, ev) in engine.take_events() {
+                if ev != ConnEvent::Readable {
+                    continue;
+                }
+                let Some(&flow) = server_flow_of.get(&f) else {
+                    continue;
+                };
+                let now_us = engine.now().as_micros();
+                while let Some(chunk) = engine.flow_read(f) {
+                    let state = &mut states[flow];
+                    if !chunk.in_order {
+                        state.ooo_chunks += 1;
+                    }
+                    state.accept_chunk(chunk.offset, chunk.data);
+                    if state.completion_us.is_none() && state.is_complete() {
+                        state.completion_us = Some(now_us);
+                        completed += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            completed,
+            self.flows,
+            "[{label}] {} of {} flows incomplete at {} (deadline {})",
+            self.flows - completed,
+            self.flows,
+            engine.now(),
+            deadline,
+        );
+        let completion_us = states
+            .iter()
+            .map(|s| s.completion_us.expect("all complete"))
+            .max()
+            .unwrap_or(0);
+
+        // Snapshot the runtime counters now: the report's rates describe the
+        // load phase, not the FIN/TIME-WAIT close-out below.
+        let engine_metrics = *engine.metrics();
+        let events = engine_metrics.events();
+
+        // Orderly close both sides and drive the FIN exchanges.
+        for state in &states {
+            engine.flow_close(state.client);
+            if let Some(sf) = state.server {
+                engine.flow_close(sf);
+            }
+        }
+        engine.run_for(SimDuration::from_secs(8));
+
+        // Verify and assemble the report. Delivered bytes/records are
+        // *measured* from the reassembled streams (coverage ranges + parsed
+        // record framing), not echoed from the configuration.
+        let mut per_flow = Vec::with_capacity(self.flows);
+        let mut total_bytes = 0u64;
+        let mut records_delivered = 0u64;
+        for (flow, state) in states.iter().enumerate() {
+            let mut expected = pool.take();
+            self.build_stream(flow, &mut expected);
+            let mut got = pool.take();
+            got.resize(expected.len(), 0);
+            for (offset, data) in &state.chunks {
+                let off = *offset as usize;
+                assert!(
+                    off + data.len() <= got.len(),
+                    "[{label}] flow {flow}: chunk past stream end"
+                );
+                got[off..off + data.len()].copy_from_slice(data);
+            }
+            assert!(
+                got == expected,
+                "[{label}] flow {flow}: reassembled stream differs from the sent stream"
+            );
+            if !self.receiver_utcp {
+                assert_eq!(
+                    state.ooo_chunks, 0,
+                    "[{label}] flow {flow}: standard receiver saw out-of-order chunks"
+                );
+            }
+            let bytes_covered: u64 = state.covered.iter().map(|(s, e)| e - s).sum();
+            let flow_records = parse_records(&got, flow as u32)
+                .unwrap_or_else(|e| panic!("[{label}] flow {flow}: {e}"));
+            let stats = engine.flow_stats(state.client);
+            let mut fingerprint: u64 = FNV_OFFSET_BASIS;
+            fnv1a(&mut fingerprint, &got);
+            per_flow.push(FlowMetrics {
+                flow: flow as u32,
+                bytes_delivered: bytes_covered,
+                records_delivered: flow_records,
+                chunks_out_of_order: state.ooo_chunks,
+                retransmissions: stats.retransmissions,
+                rto_fires: stats.timeouts,
+                completion_us: state.completion_us.expect("all complete"),
+                fingerprint,
+            });
+            total_bytes += bytes_covered;
+            records_delivered += flow_records;
+            pool.give(got);
+            pool.give(expected);
+        }
+        LoadReport {
+            label,
+            seed: self.seed,
+            flows: self.flows as u64,
+            records_sent: (self.flows * self.records_per_flow) as u64,
+            records_delivered,
+            total_bytes,
+            completion_us,
+            goodput_bps: (total_bytes * 8 * 1_000_000)
+                .checked_div(completion_us)
+                .unwrap_or(0),
+            events_per_sim_sec: (events * 1_000_000).checked_div(completion_us).unwrap_or(0),
+            allocs_per_flow_milli: pool.stats().allocations * 1000 / self.flows.max(1) as u64,
+            engine: engine_metrics,
+            pool: *pool.stats(),
+            per_flow,
+        }
+    }
+}
+
+/// Run a scenario **twice** under its fixed seed, assert byte-identical
+/// reports (the determinism gate), and return the verified report.
+pub fn verify_load(scenario: &LoadScenario) -> LoadReport {
+    let first = scenario.run();
+    let second = scenario.run();
+    assert_eq!(
+        first,
+        second,
+        "[{}] same seed must reproduce identical load metrics",
+        scenario.label()
+    );
+    first
+}
+
+/// Walk a reassembled stream's record framing and return how many complete,
+/// well-formed records it contains: each must carry the owning flow's id and
+/// a sequential record index, and the final record must end exactly at the
+/// stream end. This is the *measured* per-stream-order check the delivery
+/// metrics are derived from.
+fn parse_records(stream: &[u8], flow: u32) -> Result<u64, String> {
+    let mut records = 0u64;
+    let mut pos = 0usize;
+    while pos < stream.len() {
+        if pos + 12 > stream.len() {
+            return Err(format!("truncated record header at offset {pos}"));
+        }
+        let f = u32::from_be_bytes(stream[pos..pos + 4].try_into().expect("4 bytes"));
+        let rec = u32::from_be_bytes(stream[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let len =
+            u32::from_be_bytes(stream[pos + 8..pos + 12].try_into().expect("4 bytes")) as usize;
+        if f != flow {
+            return Err(format!("record at offset {pos} carries flow id {f}"));
+        }
+        if u64::from(rec) != records {
+            return Err(format!(
+                "record at offset {pos} is #{rec}, expected #{records} (order violated)"
+            ));
+        }
+        if pos + 12 + len > stream.len() {
+            return Err(format!("record #{rec} payload runs past the stream end"));
+        }
+        pos += 12 + len;
+        records += 1;
+    }
+    Ok(records)
+}
+
+/// Receiver-side bookkeeping for one flow.
+struct FlowState {
+    client: FlowId,
+    server: Option<FlowId>,
+    /// Client's local (ephemeral) port, the pairing key for accepts.
+    client_port: u16,
+    expected_len: u64,
+    /// Delivered chunks (offset, bytes); duplicates allowed (uTCP delivers
+    /// at-least-once), resolved by the final reassembly check.
+    chunks: Vec<(u64, Bytes)>,
+    /// Merged, sorted coverage ranges of the received stream.
+    covered: Vec<(u64, u64)>,
+    ooo_chunks: u64,
+    completion_us: Option<u64>,
+}
+
+impl FlowState {
+    fn new(client: FlowId, expected_len: u64) -> Self {
+        FlowState {
+            client,
+            server: None,
+            client_port: 0,
+            expected_len,
+            chunks: Vec::new(),
+            covered: Vec::new(),
+            ooo_chunks: 0,
+            completion_us: None,
+        }
+    }
+
+    fn accept_chunk(&mut self, offset: u64, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        let end = offset + data.len() as u64;
+        self.cover(offset, end);
+        self.chunks.push((offset, data));
+    }
+
+    /// Merge `[start, end)` into the coverage set.
+    fn cover(&mut self, start: u64, end: u64) {
+        let idx = self.covered.partition_point(|&(_, e)| e < start);
+        let mut start = start;
+        let mut end = end;
+        let mut remove_until = idx;
+        while remove_until < self.covered.len() && self.covered[remove_until].0 <= end {
+            start = start.min(self.covered[remove_until].0);
+            end = end.max(self.covered[remove_until].1);
+            remove_until += 1;
+        }
+        self.covered.splice(idx..remove_until, [(start, end)]);
+    }
+
+    fn is_complete(&self) -> bool {
+        self.covered == [(0, self.expected_len)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_merging_detects_completion() {
+        let mut s = FlowState::new(FlowId(0), 10);
+        s.accept_chunk(4, Bytes::from(vec![0u8; 3])); // [4,7)
+        assert!(!s.is_complete());
+        s.accept_chunk(0, Bytes::from(vec![0u8; 4])); // [0,4) abuts
+        assert_eq!(s.covered, vec![(0, 7)]);
+        s.accept_chunk(8, Bytes::from(vec![0u8; 2])); // [8,10) gap at 7
+        assert_eq!(s.covered, vec![(0, 7), (8, 10)]);
+        s.accept_chunk(5, Bytes::from(vec![0u8; 4])); // [5,9) bridges
+        assert!(s.is_complete());
+        // Duplicates change nothing.
+        s.accept_chunk(0, Bytes::from(vec![0u8; 10]));
+        assert_eq!(s.covered, vec![(0, 10)]);
+    }
+
+    #[test]
+    fn streams_are_distinct_per_flow_and_framed() {
+        let sc = LoadScenario::with_flows(2);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        sc.build_stream(0, &mut a);
+        sc.build_stream(1, &mut b);
+        assert_ne!(a, b);
+        assert_eq!(a.len() as u64, sc.stream_len(0));
+        // First record header parses back.
+        assert_eq!(u32::from_be_bytes(a[0..4].try_into().unwrap()), 0);
+        assert_eq!(u32::from_be_bytes(a[4..8].try_into().unwrap()), 0);
+        let len = u32::from_be_bytes(a[8..12].try_into().unwrap()) as usize;
+        assert_eq!(len, sc.record_payload_len(0, 0));
+    }
+
+    #[test]
+    fn record_parsing_measures_order_and_completeness() {
+        let sc = LoadScenario::with_flows(1);
+        let mut stream = Vec::new();
+        sc.build_stream(0, &mut stream);
+        assert_eq!(
+            parse_records(&stream, 0).unwrap(),
+            sc.records_per_flow as u64
+        );
+        // Wrong flow id, truncation, and a swapped record all fail.
+        assert!(parse_records(&stream, 1).is_err());
+        assert!(parse_records(&stream[..stream.len() - 1], 0).is_err());
+        let mut two = Vec::new();
+        LoadScenario {
+            records_per_flow: 1,
+            ..sc.clone()
+        }
+        .build_stream(0, &mut two);
+        let second_start = two.len();
+        let mut swapped = Vec::new();
+        // Build records #0 and #1, then present #1 first.
+        LoadScenario {
+            records_per_flow: 2,
+            ..sc.clone()
+        }
+        .build_stream(0, &mut swapped);
+        let mut reordered = swapped[second_start..].to_vec();
+        reordered.extend_from_slice(&swapped[..second_start]);
+        assert!(parse_records(&reordered, 0).is_err(), "order is checked");
+    }
+
+    #[test]
+    fn single_flow_scenario_completes_without_loss() {
+        let report = LoadScenario::with_flows(1).run();
+        assert_eq!(report.records_delivered, report.records_sent);
+        assert_eq!(report.per_flow.len(), 1);
+        assert_eq!(report.per_flow[0].retransmissions, 0);
+        assert!(report.goodput_bps > 0);
+        assert!(report.engine.events() > 0);
+    }
+
+    #[test]
+    fn lossy_multi_flow_scenario_is_exactly_once_and_deterministic() {
+        let scenario = LoadScenario {
+            flows: 16,
+            loss: LossConfig::Bernoulli { probability: 0.02 },
+            ..LoadScenario::default()
+        };
+        let report = verify_load(&scenario);
+        assert_eq!(report.records_delivered, report.records_sent);
+        assert!(
+            report.per_flow.iter().any(|f| f.retransmissions > 0),
+            "2% loss across 16 flows must force at least one retransmission"
+        );
+        // uTCP receivers may deliver out of order; with random loss across 16
+        // flows at least one early delivery is overwhelmingly likely.
+        assert!(report.per_flow.iter().any(|f| f.chunks_out_of_order > 0));
+    }
+
+    #[test]
+    fn standard_receiver_never_sees_out_of_order_chunks() {
+        let scenario = LoadScenario {
+            flows: 8,
+            receiver_utcp: false,
+            loss: LossConfig::Bernoulli { probability: 0.02 },
+            ..LoadScenario::default()
+        };
+        let report = scenario.run();
+        assert!(report.per_flow.iter().all(|f| f.chunks_out_of_order == 0));
+        assert_eq!(report.records_delivered, report.records_sent);
+    }
+}

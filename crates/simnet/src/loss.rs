@@ -52,6 +52,22 @@ impl LossConfig {
             LossConfig::Bernoulli { probability: rate }
         }
     }
+
+    /// The canonical bursty-loss profile used across the harnesses (the
+    /// paper's "real networks lose packets in bursts" condition): rare
+    /// transitions into a bad state that drops most packets.
+    ///
+    /// This is the single definition of the burst parameters; scenario axes
+    /// (`minion-testkit`) and load scenarios (`minion-engine`) reference it
+    /// rather than re-implementing the model.
+    pub fn bursty() -> LossConfig {
+        LossConfig::GilbertElliott {
+            p_good_to_bad: 0.01,
+            p_bad_to_good: 0.4,
+            loss_good: 0.0,
+            loss_bad: 0.8,
+        }
+    }
 }
 
 /// Runtime state of a loss model instance.
@@ -143,6 +159,23 @@ mod tests {
         let drops = (0..100_000).filter(|_| m.should_drop()).count();
         let rate = drops as f64 / 100_000.0;
         assert!((rate - 0.02).abs() < 0.005, "rate={rate}");
+    }
+
+    #[test]
+    fn bursty_profile_is_gilbert_elliott() {
+        match LossConfig::bursty() {
+            LossConfig::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                assert!(p_good_to_bad > 0.0 && p_good_to_bad < p_bad_to_good);
+                assert_eq!(loss_good, 0.0);
+                assert!(loss_bad > 0.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

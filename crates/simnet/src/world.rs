@@ -190,6 +190,29 @@ impl World {
         })
     }
 
+    /// Batched dispatch: drain **every** packet whose arrival time is `<= now`
+    /// into `out` (appending, in arrival order) and return how many were
+    /// drained.
+    ///
+    /// Event-driven callers (the `minion-engine` runtime, [`pop_due`] loops)
+    /// deliver all arrivals for one instant in a single call instead of
+    /// re-peeking the heap per packet; the caller keeps `out` as a reusable
+    /// scratch buffer so the hot path does not allocate per event.
+    ///
+    /// [`pop_due`]: Self::pop_due
+    pub fn drain_due_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, Packet)>) -> usize {
+        let before = out.len();
+        while let Some(Reverse(a)) = self.in_flight.peek() {
+            if a.at > now {
+                break;
+            }
+            let Reverse(a) = self.in_flight.pop().expect("peeked");
+            self.delivered += 1;
+            out.push((a.at, a.packet));
+        }
+        out.len() - before
+    }
+
     /// Number of packets currently in flight.
     pub fn in_flight_count(&self) -> usize {
         self.in_flight.len()
@@ -245,6 +268,35 @@ mod tests {
         assert_eq!(out, SendOutcome::NoRoute);
         assert!(w.has_link(a, b));
         assert!(!w.has_link(a, c));
+    }
+
+    #[test]
+    fn drain_due_into_batches_all_due_arrivals() {
+        let (mut w, a, b) = two_node_world(LinkConfig::new(8_000_000, SimDuration::from_millis(5)));
+        for i in 0..4u8 {
+            w.send(SimTime::ZERO, Packet::new(a, b, vec![i; 100]));
+        }
+        let mut out = Vec::new();
+        assert_eq!(w.drain_due_into(SimTime::ZERO, &mut out), 0);
+        assert!(out.is_empty());
+        let last = w.next_arrival_time().unwrap() + SimDuration::from_secs(1);
+        let n = w.drain_due_into(last, &mut out);
+        assert_eq!(n, 4);
+        assert_eq!(out.len(), 4);
+        // Arrival order is time-ordered and matches the one-at-a-time API.
+        assert!(out.windows(2).all(|p| p[0].0 <= p[1].0));
+        assert_eq!(
+            out.iter().map(|(_, p)| p.payload[0]).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(w.delivered_count(), 4);
+        assert_eq!(w.in_flight_count(), 0);
+        // Appending into a non-empty scratch buffer preserves the prefix.
+        w.send(last, Packet::new(a, b, vec![9; 10]));
+        let at = w.next_arrival_time().unwrap();
+        assert_eq!(w.drain_due_into(at, &mut out), 1);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[4].1.payload[0], 9);
     }
 
     #[test]

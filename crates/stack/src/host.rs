@@ -7,8 +7,8 @@ use crate::wire::TransportPacket;
 use bytes::Bytes;
 use minion_simnet::{NodeId, Packet, SimTime};
 use minion_tcp::{
-    ConnStats, DeliveredChunk, SocketOptions, TcpConfig, TcpConnection, TcpError, TcpState,
-    WriteMeta,
+    ConnEvent, ConnStats, DeliveredChunk, Readiness, SocketOptions, TcpConfig, TcpConnection,
+    TcpError, TcpState, WriteMeta,
 };
 use std::collections::{BTreeMap, VecDeque};
 
@@ -271,6 +271,11 @@ impl Host {
         Ok(self.tcp_socket(handle)?.remote)
     }
 
+    /// The local port of a TCP socket.
+    pub fn tcp_local_port(&self, handle: SocketHandle) -> Result<u16, HostError> {
+        Ok(self.tcp_socket(handle)?.conn.local_port())
+    }
+
     /// Direct access to the underlying connection (used by experiment
     /// instrumentation; not part of the portable API).
     pub fn tcp_connection(&self, handle: SocketHandle) -> Result<&TcpConnection, HostError> {
@@ -348,9 +353,18 @@ impl Host {
 
     /// Process a packet delivered to this host.
     pub fn on_packet(&mut self, packet: &Packet, now: SimTime) {
-        let Some(tp) = TransportPacket::decode(&packet.payload) else {
-            return;
-        };
+        let _ = self.on_packet_demux(packet, now);
+    }
+
+    /// Process a packet delivered to this host, reporting which socket
+    /// consumed it (the demultiplexing result).
+    ///
+    /// Event-driven drivers (the `minion-engine` runtime) use the returned
+    /// handle to mark exactly one flow ready instead of rescanning every
+    /// socket. A newly created connection (a SYN hitting a listener) returns
+    /// its fresh handle; undeliverable packets return `None`.
+    pub fn on_packet_demux(&mut self, packet: &Packet, now: SimTime) -> Option<SocketHandle> {
+        let tp = TransportPacket::decode(&packet.payload)?;
         match tp {
             TransportPacket::Tcp(seg) => self.on_tcp_segment(seg, packet.origin, now),
             TransportPacket::Udp {
@@ -358,23 +372,31 @@ impl Host {
                 dst_port,
                 payload,
             } => {
-                if let Some(&handle) = self.udp_ports.get(&dst_port) {
-                    if let Some(Socket::Udp(u)) = self.sockets.get_mut(&handle) {
-                        u.recv_queue
-                            .push_back((SocketAddr::new(packet.origin, src_port), payload));
-                    }
+                let &handle = self.udp_ports.get(&dst_port)?;
+                if let Some(Socket::Udp(u)) = self.sockets.get_mut(&handle) {
+                    u.recv_queue
+                        .push_back((SocketAddr::new(packet.origin, src_port), payload));
+                    Some(handle)
+                } else {
+                    None
                 }
             }
         }
     }
 
-    fn on_tcp_segment(&mut self, seg: minion_tcp::TcpSegment, from: NodeId, now: SimTime) {
+    fn on_tcp_segment(
+        &mut self,
+        seg: minion_tcp::TcpSegment,
+        from: NodeId,
+        now: SimTime,
+    ) -> Option<SocketHandle> {
         let key = (seg.dst_port, from, seg.src_port);
         if let Some(&handle) = self.tcp_tuples.get(&key) {
             if let Some(Socket::Tcp(t)) = self.sockets.get_mut(&handle) {
                 t.conn.on_segment(&seg, now);
+                return Some(handle);
             }
-            return;
+            return None;
         }
         // No existing connection: maybe a SYN for a listening port.
         if seg.flags.syn && !seg.flags.ack {
@@ -394,8 +416,10 @@ impl Host {
                     .expect("listener exists")
                     .pending
                     .push_back(handle);
+                return Some(handle);
             }
         }
+        None
     }
 
     /// Poll all sockets for outgoing packets and timer work.
@@ -417,6 +441,69 @@ impl Host {
             }
         }
         out
+    }
+
+    /// Poll a single TCP socket for outgoing packets and timer work,
+    /// appending the resulting packets to `out`.
+    ///
+    /// This is the per-flow half of [`Host::poll`]: an event-driven driver
+    /// that knows which flows are ready (from readiness events and its timer
+    /// wheel) polls exactly those, instead of sweeping every socket on the
+    /// host. The caller supplies a reusable buffer so the hot path does not
+    /// allocate per poll. Returns the number of packets produced.
+    ///
+    /// TCP sockets only: unlike [`Host::poll`], this does **not** drain the
+    /// host's UDP outbox — a host driven exclusively through per-handle
+    /// polls must not also be used for UDP sends (check
+    /// [`Host::has_pending_output`] if in doubt).
+    pub fn poll_handle_into(
+        &mut self,
+        handle: SocketHandle,
+        now: SimTime,
+        out: &mut Vec<Packet>,
+    ) -> Result<usize, HostError> {
+        let node = self.node;
+        let t = self.tcp_socket_mut(handle)?;
+        let before = out.len();
+        for seg in t.conn.poll(now) {
+            let tp = TransportPacket::Tcp(seg);
+            out.push(Packet::routed(
+                node,
+                t.remote.node,
+                node,
+                t.remote.node,
+                tp.encode(),
+            ));
+        }
+        Ok(out.len() - before)
+    }
+
+    /// The earliest timer of a single TCP socket (engine wheel re-arming).
+    pub fn next_timer_of(&self, handle: SocketHandle) -> Result<Option<SimTime>, HostError> {
+        Ok(self.tcp_socket(handle)?.conn.next_timer())
+    }
+
+    /// Enable or disable edge-event recording on one connection (see
+    /// [`minion_tcp::TcpConnection::set_event_interest`]).
+    pub fn tcp_set_event_interest(
+        &mut self,
+        handle: SocketHandle,
+        enabled: bool,
+    ) -> Result<(), HostError> {
+        self.tcp_socket_mut(handle)?
+            .conn
+            .set_event_interest(enabled);
+        Ok(())
+    }
+
+    /// Drain the queued readiness events of one connection.
+    pub fn tcp_take_events(&mut self, handle: SocketHandle) -> Result<Vec<ConnEvent>, HostError> {
+        Ok(self.tcp_socket_mut(handle)?.conn.take_events())
+    }
+
+    /// Level-triggered readiness snapshot of one connection.
+    pub fn tcp_readiness(&self, handle: SocketHandle) -> Result<Readiness, HostError> {
+        Ok(self.tcp_socket(handle)?.conn.readiness())
     }
 
     /// The earliest timer across all sockets.
@@ -504,6 +591,63 @@ mod tests {
         assert_eq!(h.udp_recv(bogus), Err(HostError::BadHandle));
         let udp = h.udp_bind(0).unwrap();
         assert_eq!(h.tcp_write(udp, b"x"), Err(HostError::WrongSocketType));
+    }
+
+    #[test]
+    fn demux_reports_consuming_socket_and_per_handle_poll_drives_handshake() {
+        let mut client = Host::new(NodeId(0), "client");
+        let mut server = Host::new(NodeId(1), "server");
+        server
+            .tcp_listen(80, TcpConfig::default(), SocketOptions::standard())
+            .unwrap();
+        let ch = client.tcp_connect(
+            SocketAddr::new(NodeId(1), 80),
+            TcpConfig::default(),
+            SocketOptions::standard(),
+            SimTime::ZERO,
+        );
+        client.tcp_set_event_interest(ch, true).unwrap();
+
+        // Drive the handshake purely through the per-handle APIs.
+        let mut t = SimTime::ZERO;
+        let mut sh = None;
+        let mut wire: Vec<Packet> = Vec::new();
+        for _ in 0..6 {
+            wire.clear();
+            client.poll_handle_into(ch, t, &mut wire).unwrap();
+            for p in &wire {
+                let consumed = server.on_packet_demux(p, t);
+                assert!(consumed.is_some(), "server must demux every segment");
+                sh = consumed;
+            }
+            if let Some(sh) = sh {
+                wire.clear();
+                server.poll_handle_into(sh, t, &mut wire).unwrap();
+                for p in &wire {
+                    assert_eq!(client.on_packet_demux(p, t), Some(ch));
+                }
+            }
+            t += minion_simnet::SimDuration::from_millis(10);
+        }
+        let sh = sh.expect("SYN created a server-side socket");
+        assert_eq!(server.accept(80), Some(sh));
+        assert!(client.tcp_established(ch).unwrap());
+        assert!(server.tcp_established(sh).unwrap());
+        assert!(client
+            .tcp_take_events(ch)
+            .unwrap()
+            .contains(&minion_tcp::ConnEvent::Established));
+        assert!(client.tcp_readiness(ch).unwrap().writable);
+        assert!(client.next_timer_of(ch).is_ok());
+        // Bad handles are rejected across the new APIs.
+        let bogus = SocketHandle(999);
+        let mut sink = Vec::new();
+        assert_eq!(
+            client.poll_handle_into(bogus, t, &mut sink),
+            Err(HostError::BadHandle)
+        );
+        assert_eq!(client.next_timer_of(bogus), Err(HostError::BadHandle));
+        assert_eq!(client.tcp_take_events(bogus), Err(HostError::BadHandle));
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub struct Sim {
     now: SimTime,
     /// Guard against event loops that stop advancing time.
     stall_iterations: u32,
+    /// Reusable scratch buffer for batched arrival dispatch.
+    arrivals: Vec<(SimTime, Packet)>,
 }
 
 impl Sim {
@@ -36,6 +38,7 @@ impl Sim {
             routes: BTreeMap::new(),
             now: SimTime::ZERO,
             stall_iterations: 0,
+            arrivals: Vec::new(),
         }
     }
 
@@ -148,17 +151,17 @@ impl Sim {
     }
 
     fn deliver_due(&mut self) {
-        while let Some((_, pkt)) = self.world.pop_due(self.now) {
-            if pkt.dst != pkt.final_dst && !self.nodes.contains_key(&pkt.dst) {
-                // Unknown transit node: drop.
-                continue;
-            }
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        arrivals.clear();
+        self.world.drain_due_into(self.now, &mut arrivals);
+        for (_, pkt) in &arrivals {
             match self.nodes.get_mut(&pkt.dst) {
-                Some(Node::Host(h)) => h.on_packet(&pkt, self.now),
-                Some(Node::Middlebox(m)) => m.on_packet(&pkt, self.now),
-                None => {}
+                Some(Node::Host(h)) => h.on_packet(pkt, self.now),
+                Some(Node::Middlebox(m)) => m.on_packet(pkt, self.now),
+                None => {} // Unknown transit node: drop.
             }
         }
+        self.arrivals = arrivals;
     }
 
     /// The time of the next scheduled event (packet arrival or socket timer).
@@ -215,7 +218,9 @@ impl Sim {
                     return;
                 }
                 Some(t) if t > deadline => {
-                    self.now = deadline;
+                    // max(): a deadline already in the past must not move
+                    // virtual time backwards.
+                    self.now = self.now.max(deadline);
                     return;
                 }
                 Some(_) => {

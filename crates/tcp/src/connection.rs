@@ -16,6 +16,7 @@
 use crate::cc::CongestionControl;
 use crate::config::{SocketOptions, TcpConfig, WriteMeta};
 use crate::delivered::DeliveredChunk;
+use crate::event::{ConnEvent, EventQueue, Readiness};
 use crate::recvbuf::ReceiveBuffer;
 use crate::rtt::RttEstimator;
 use crate::segment::{SackBlock, TcpFlags, TcpOption, TcpSegment};
@@ -174,6 +175,8 @@ pub struct TcpConnection {
     /// Set when the connection should emit a SYN or SYN-ACK on the next poll.
     handshake_pending: bool,
 
+    /// Edge events for poll-driven drivers (gated; see [`crate::ConnEvent`]).
+    events: EventQueue,
     stats: ConnStats,
 }
 
@@ -220,6 +223,7 @@ impl TcpConnection {
             recv_buf,
             ack_pending: AckPending::None,
             handshake_pending: false,
+            events: EventQueue::default(),
             stats: ConnStats::default(),
         }
     }
@@ -294,9 +298,75 @@ impl TcpConnection {
         &self.stats
     }
 
+    // ------------------------------------------------------------------
+    // Readiness (poll-driven driver API)
+    // ------------------------------------------------------------------
+
+    /// A level-triggered snapshot of what the connection can currently do.
+    pub fn readiness(&self) -> Readiness {
+        Readiness {
+            readable: self.recv_buf.readable(),
+            writable: self.is_established()
+                && !self.close_requested
+                && self.send_buf.free_space() > 0,
+            established: self.is_established(),
+            closed: self.is_closed(),
+        }
+    }
+
+    /// Enable or disable edge-event recording ([`ConnEvent`]). Off by
+    /// default; a poll-driven driver (the `minion-engine` runtime) enables it
+    /// and drains [`take_events`](Self::take_events) after each dispatch so
+    /// the queue stays small. Disabling clears any queued events.
+    pub fn set_event_interest(&mut self, enabled: bool) {
+        self.events.set_enabled(enabled);
+    }
+
+    /// Whether edge-event recording is enabled.
+    pub fn event_interest(&self) -> bool {
+        self.events.enabled()
+    }
+
+    /// Drain the queued edge events in arrival order.
+    pub fn take_events(&mut self) -> Vec<ConnEvent> {
+        self.events.drain()
+    }
+
+    /// Whether any edge events are queued.
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Record readiness edges relative to a snapshot taken before a state
+    /// transition (segment input or poll).
+    fn record_edges(&mut self, before: Readiness) {
+        if !self.events.enabled() {
+            return;
+        }
+        let after = self.readiness();
+        if !before.established && after.established {
+            self.events.push(ConnEvent::Established);
+        }
+        if !before.readable && after.readable {
+            self.events.push(ConnEvent::Readable);
+        }
+        if !before.writable && after.writable && before.established {
+            self.events.push(ConnEvent::Writable);
+        }
+        if !before.closed && after.closed {
+            self.events.push(ConnEvent::Closed);
+        }
+    }
+
     /// Smoothed RTT estimate, if one exists.
     pub fn srtt(&self) -> Option<SimDuration> {
         self.rtt.srtt()
+    }
+
+    /// Number of RTT samples incorporated (Karn's rule: retransmitted
+    /// segments never contribute one).
+    pub fn rtt_samples(&self) -> u64 {
+        self.rtt.sample_count()
     }
 
     /// Current congestion window in bytes.
@@ -419,12 +489,14 @@ impl TcpConnection {
     /// Process an arriving segment.
     pub fn on_segment(&mut self, seg: &TcpSegment, now: SimTime) {
         self.stats.segments_received += 1;
+        let before = self.readiness();
         match self.state {
             TcpState::Closed => {}
             TcpState::Listen => self.on_segment_listen(seg, now),
             TcpState::SynSent => self.on_segment_syn_sent(seg, now),
             _ => self.on_segment_synchronized(seg, now),
         }
+        self.record_edges(before);
     }
 
     fn on_segment_listen(&mut self, seg: &TcpSegment, now: SimTime) {
@@ -731,6 +803,7 @@ impl TcpConnection {
 
     fn on_rto(&mut self, now: SimTime) {
         self.stats.timeouts += 1;
+        self.events.push(ConnEvent::RtoFired);
         let flight = self.flight_charge();
         self.cc.on_rto(flight);
         self.rtt.backoff();
@@ -753,6 +826,7 @@ impl TcpConnection {
     /// Advance timers and produce any segments that should be transmitted now.
     pub fn poll(&mut self, now: SimTime) -> Vec<TcpSegment> {
         let mut out = Vec::new();
+        let before = self.readiness();
 
         // Nothing is ever retransmitted once the connection has terminated;
         // dropping the timer also lets callers' event loops go idle.
@@ -816,6 +890,7 @@ impl TcpConnection {
         }
 
         self.stats.segments_sent += out.len() as u64;
+        self.record_edges(before);
         out
     }
 
@@ -1075,7 +1150,11 @@ mod tests {
 
     impl Harness {
         fn new(client_opts: SocketOptions, server_opts: SocketOptions) -> Self {
-            let cfg = TcpConfig::default().with_fixed_isn(1000);
+            Harness::with_isn(client_opts, server_opts, 1000)
+        }
+
+        fn with_isn(client_opts: SocketOptions, server_opts: SocketOptions, isn: u32) -> Self {
+            let cfg = TcpConfig::default().with_fixed_isn(isn);
             let mut client = TcpConnection::new(10000, 80, cfg.clone(), client_opts);
             let mut server = TcpConnection::new(80, 10000, cfg, server_opts);
             client.open(SimTime::ZERO);
@@ -1479,6 +1558,199 @@ mod tests {
         h.run_until_idle(SimTime::from_secs(60));
         assert!(h.client.stats().dup_acks >= 3);
         assert_eq!(h.drain_server_bytes(), data);
+    }
+
+    #[test]
+    fn transfer_across_the_sequence_wrap_is_exact() {
+        // Both endpoints' ISNs sit just below 2^32, so data sequence numbers
+        // (and the ACK stream back) wrap mid-transfer. 60 kB cross the wrap
+        // regardless of where inside the first segment it lands.
+        for isn in [u32::MAX, u32::MAX - 1, u32::MAX - 1448, u32::MAX - 30_000] {
+            let mut h =
+                Harness::with_isn(SocketOptions::standard(), SocketOptions::standard(), isn);
+            h.run_until(SimTime::from_millis(200));
+            assert_eq!(h.client.state(), TcpState::Established, "isn={isn}");
+            let data: Vec<u8> = (0..60_000u32).map(|i| (i % 249) as u8).collect();
+            h.client.write(&data).unwrap();
+            h.run_until_idle(SimTime::from_secs(30));
+            assert_eq!(h.drain_server_bytes(), data, "isn={isn}");
+            assert_eq!(h.client.stats().retransmissions, 0, "isn={isn}");
+        }
+    }
+
+    #[test]
+    fn loss_recovery_works_across_the_sequence_wrap() {
+        // Drop a mid-stream segment whose retransmission lands on the other
+        // side of the 2^32 boundary: SACK blocks and the fast-retransmit
+        // cursor must all survive the wrap.
+        let mut h = Harness::with_isn(
+            SocketOptions::standard(),
+            SocketOptions::standard(),
+            u32::MAX - 4000,
+        );
+        h.run_until(SimTime::from_millis(200));
+        let data: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
+        h.client.write(&data).unwrap();
+        h.drop_client_data = vec![3];
+        h.run_until_idle(SimTime::from_secs(60));
+        assert_eq!(h.drain_server_bytes(), data);
+        assert!(h.client.stats().retransmissions >= 1);
+    }
+
+    #[test]
+    fn unordered_delivery_offsets_are_correct_across_the_wrap() {
+        // A uTCP receiver tags chunks with 64-bit stream offsets derived from
+        // wrapped 32-bit sequence numbers; a hole right at the boundary must
+        // not corrupt them.
+        let mut h = Harness::with_isn(
+            SocketOptions::standard(),
+            SocketOptions::utcp(),
+            u32::MAX - 2000,
+        );
+        h.run_until(SimTime::from_millis(200));
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 247) as u8).collect();
+        h.client.write(&data).unwrap();
+        h.drop_client_data = vec![2];
+        h.run_until_idle(SimTime::from_secs(60));
+        assert_eq!(h.drain_server_bytes(), data, "offset-keyed reassembly");
+        assert!(h.server.stats().segments_received > 0);
+    }
+
+    #[test]
+    fn karns_rule_skips_samples_from_retransmitted_segments() {
+        let cfg = TcpConfig::default()
+            .with_fixed_isn(42)
+            .with_delayed_ack(false);
+        let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::standard());
+        c.open(SimTime::ZERO);
+        let syn = &c.poll(SimTime::ZERO)[0];
+        let mut synack = TcpSegment::bare(2, 1, SeqNum(9000), syn.seq + 1, TcpFlags::SYN_ACK);
+        synack.options = vec![TcpOption::Mss(1448), TcpOption::SackPermitted];
+        synack.window = 1 << 20;
+        c.on_segment(&synack, SimTime::from_millis(50));
+        assert_eq!(c.rtt_samples(), 1, "handshake RTT sampled");
+        let srtt_after_handshake = c.srtt().unwrap();
+
+        // One data segment, never acknowledged: the RTO fires and the
+        // retransmission eventually gets ACKed. Karn's rule forbids sampling
+        // that ACK (the send time is ambiguous).
+        c.write(&[1u8; 500]).unwrap();
+        let segs = c.poll(SimTime::from_millis(50));
+        assert_eq!(segs.iter().filter(|s| !s.payload.is_empty()).count(), 1);
+        let rto_at = c.next_timer().expect("RTO armed");
+        let resent = c.poll(rto_at);
+        assert!(
+            resent.iter().any(|s| !s.payload.is_empty()),
+            "RTO must retransmit"
+        );
+        assert_eq!(c.stats().timeouts, 1);
+        let mut ack = TcpSegment::bare(2, 1, SeqNum(9001), segs[0].seq_end(), TcpFlags::ACK);
+        ack.window = 1 << 20;
+        c.on_segment(&ack, rto_at + SimDuration::from_millis(400));
+        assert_eq!(
+            c.rtt_samples(),
+            1,
+            "the retransmitted segment's ACK must not be sampled (Karn)"
+        );
+        assert_eq!(c.srtt(), Some(srtt_after_handshake), "estimate untouched");
+
+        // A fresh, cleanly acknowledged segment samples again.
+        let now = rto_at + SimDuration::from_millis(500);
+        c.write(&[2u8; 500]).unwrap();
+        let segs = c.poll(now);
+        let data_seg = segs.iter().find(|s| !s.payload.is_empty()).unwrap();
+        let mut ack2 = TcpSegment::bare(2, 1, SeqNum(9001), data_seg.seq_end(), TcpFlags::ACK);
+        ack2.window = 1 << 20;
+        c.on_segment(&ack2, now + SimDuration::from_millis(80));
+        assert_eq!(c.rtt_samples(), 2, "clean transmission samples normally");
+    }
+
+    #[test]
+    fn rto_backoff_is_exponential_and_resets_on_progress() {
+        let cfg = TcpConfig::default().with_fixed_isn(7);
+        let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::standard());
+        c.open(SimTime::ZERO);
+        let _syn = c.poll(SimTime::ZERO);
+        // No SYN-ACK ever arrives: consecutive handshake RTOs must double.
+        let t1 = c.next_timer().expect("first RTO");
+        let _ = c.poll(t1);
+        let t2 = c.next_timer().expect("second RTO");
+        let _ = c.poll(t2);
+        let t3 = c.next_timer().expect("third RTO");
+        let gap1 = t2.saturating_since(t1);
+        let gap2 = t3.saturating_since(t2);
+        assert_eq!(
+            gap2,
+            gap1.saturating_mul(2),
+            "RTO doubles per expiry: {gap1} then {gap2}"
+        );
+        assert_eq!(c.stats().timeouts, 2);
+    }
+
+    #[test]
+    fn readiness_events_fire_on_edges() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.client.set_event_interest(true);
+        h.server.set_event_interest(true);
+        assert_eq!(h.client.readiness(), Readiness::default());
+        h.run_until(SimTime::from_millis(200));
+        let client_events = h.client.take_events();
+        assert!(
+            client_events.contains(&ConnEvent::Established),
+            "events={client_events:?}"
+        );
+        assert!(h.client.readiness().writable);
+        assert!(!h.client.readiness().readable);
+
+        h.client.write(b"ping").unwrap();
+        h.run_until(h.now + SimDuration::from_millis(200));
+        assert!(h.server.readiness().readable);
+        assert!(h.server.take_events().contains(&ConnEvent::Readable));
+
+        h.client.close();
+        h.server.close();
+        h.run_until_idle(SimTime::from_secs(20));
+        assert!(h.client.take_events().contains(&ConnEvent::Closed));
+        assert!(h.client.readiness().closed);
+    }
+
+    #[test]
+    fn rto_event_fires_on_timeout() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.client.set_event_interest(true);
+        h.run_until(SimTime::from_millis(200));
+        h.client.write(&[7u8; 2000]).unwrap();
+        h.drop_client_data = vec![2];
+        h.run_until_idle(SimTime::from_secs(120));
+        assert!(h.client.take_events().contains(&ConnEvent::RtoFired));
+    }
+
+    #[test]
+    fn events_are_not_recorded_without_interest() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(200));
+        h.client.write(b"data").unwrap();
+        h.run_until(h.now + SimDuration::from_millis(200));
+        assert!(!h.client.has_events());
+        assert!(!h.server.has_events());
+        assert!(h.server.take_events().is_empty());
+    }
+
+    #[test]
+    fn writable_event_fires_when_a_full_buffer_drains() {
+        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
+        h.run_until(SimTime::from_millis(200));
+        h.client.set_event_interest(true);
+        let _ = h.client.take_events();
+        // Fill the send buffer completely, then let ACKs drain it.
+        let free = h.client.send_buffer_free();
+        h.client.write(&vec![0u8; free]).unwrap();
+        assert!(!h.client.readiness().writable);
+        h.run_until_idle(SimTime::from_secs(60));
+        assert!(
+            h.client.take_events().contains(&ConnEvent::Writable),
+            "ACKs freeing a full buffer must surface a Writable edge"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod cc;
 pub mod config;
 pub mod connection;
 pub mod delivered;
+pub mod event;
 pub mod recvbuf;
 pub mod rtt;
 pub mod segment;
@@ -41,6 +42,7 @@ pub use cc::{CcStats, CongestionControl};
 pub use config::{CcAlgorithm, SocketOptions, TcpConfig, WriteMeta};
 pub use connection::{ConnStats, TcpConnection, TcpError, TcpState};
 pub use delivered::DeliveredChunk;
+pub use event::{ConnEvent, Readiness};
 pub use recvbuf::{ReceiveBuffer, RecvStats};
 pub use rtt::RttEstimator;
 pub use segment::{SackBlock, TcpFlags, TcpOption, TcpSegment};

@@ -428,6 +428,44 @@ mod tests {
     }
 
     #[test]
+    fn sack_blocks_wrap_correctly_with_a_high_isn() {
+        // With an ISN a few bytes below 2^32, SACK block sequence numbers
+        // wrap while the 64-bit stream offsets do not.
+        let mut rb = ordered();
+        let isn = SeqNum(u32::MAX - 2);
+        rb.on_data(0, &[0u8; 100]);
+        rb.on_data(200, &[0u8; 100]);
+        let blocks = rb.sack_blocks(isn, 3);
+        assert_eq!(blocks.len(), 1);
+        // Offset 200 maps to ISN+1+200, which wraps past 2^32.
+        assert_eq!(blocks[0].start, isn + 1 + 200);
+        assert_eq!(blocks[0].end, isn + 1 + 300);
+        assert_eq!(blocks[0].start, SeqNum(198), "wrapped raw value");
+        assert!(blocks[0].start.gt(isn), "modular order is preserved");
+        // The block covers exactly 100 bytes in modular arithmetic.
+        assert_eq!(blocks[0].end.distance_from(blocks[0].start), 100);
+    }
+
+    #[test]
+    fn large_offsets_near_the_32_bit_boundary_are_plain_u64s() {
+        // The reassembly store is offset-keyed (u64): runs just below and
+        // above 2^32 must neither collide nor merge across the boundary gap.
+        let mut rb = unordered();
+        let below = u64::from(u32::MAX) - 99; // [2^32-100, 2^32)
+        let above = u64::from(u32::MAX) + 1; // [2^32, 2^32+100) abuts
+        rb.on_data(below, &[1u8; 100]);
+        rb.on_data(above, &[2u8; 100]);
+        assert_eq!(rb.ooo_bytes(), 200, "abutting runs merge into one");
+        let far = 2 * u64::from(u32::MAX);
+        rb.on_data(far, &[3u8; 10]);
+        assert_eq!(rb.ooo_bytes(), 210, "distinct runs stay distinct");
+        // Early (uTCP) deliveries carry the exact 64-bit offsets.
+        let offsets: Vec<u64> = drain(&mut rb).iter().map(|c| c.offset).collect();
+        assert_eq!(offsets, vec![below, above, far]);
+        assert_eq!(rb.rcv_nxt(), 0, "nothing in order yet");
+    }
+
+    #[test]
     fn empty_data_is_ignored() {
         let mut rb = unordered();
         rb.on_data(0, &[]);

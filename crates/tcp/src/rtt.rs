@@ -139,6 +139,44 @@ mod tests {
     }
 
     #[test]
+    fn rto_is_clamped_to_the_configured_floor_and_ceiling() {
+        // A tiny RTT cannot push the RTO below min_rto...
+        let mut e = RttEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(60));
+        for _ in 0..50 {
+            e.on_sample(SimDuration::from_micros(300));
+        }
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+        // ...and a huge RTT cannot push it above max_rto.
+        let mut e = RttEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(2));
+        e.on_sample(SimDuration::from_secs(30));
+        assert_eq!(e.rto(), SimDuration::from_secs(2));
+        // The pre-sample initial RTO respects the clamp too.
+        let e = RttEstimator::new(SimDuration::from_secs(3), SimDuration::from_secs(60));
+        assert_eq!(e.rto(), SimDuration::from_secs(3), "min above 1 s wins");
+        let e = RttEstimator::new(SimDuration::from_millis(1), SimDuration::from_millis(500));
+        assert_eq!(e.rto(), SimDuration::from_millis(500), "max below 1 s wins");
+    }
+
+    #[test]
+    fn a_fresh_sample_recovers_from_backoff() {
+        // RFC 6298 §5.7: after backed-off timeouts, the next valid sample
+        // recomputes the RTO from SRTT/RTTVAR instead of staying inflated.
+        let mut e = RttEstimator::default();
+        e.on_sample(SimDuration::from_millis(60));
+        let base = e.rto();
+        for _ in 0..4 {
+            e.backoff();
+        }
+        assert!(e.rto() >= base.saturating_mul(8));
+        e.on_sample(SimDuration::from_millis(60));
+        assert!(
+            e.rto() <= SimDuration::from_millis(250),
+            "sampling after backoff restores a tight RTO, got {}",
+            e.rto()
+        );
+    }
+
+    #[test]
     fn backoff_doubles_and_saturates() {
         let mut e = RttEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(4));
         e.on_sample(SimDuration::from_millis(100));

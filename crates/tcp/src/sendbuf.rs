@@ -507,6 +507,53 @@ mod tests {
     }
 
     #[test]
+    fn offsets_are_stable_past_the_32_bit_boundary() {
+        // Stream offsets are 64-bit; only the wire mapping wraps at 2^32.
+        // Simulate a long-lived connection by acknowledging in large strides
+        // until the head offset crosses 2^32, with a live tail each time.
+        let mut b = SendBuffer::new(1 << 16);
+        let stride: u64 = 40_000;
+        let target = u64::from(u32::MAX) + 2 * stride;
+        let mut wrote: u64 = 0;
+        while b.head_offset() < target {
+            let n = b.write(&[7u8; 40_000]).unwrap();
+            wrote += n as u64;
+            b.mark_transmitted(wrote);
+            b.acknowledge(wrote);
+        }
+        assert!(b.head_offset() > u64::from(u32::MAX));
+        assert!(b.is_empty());
+        // Data written past the boundary reads back at its 64-bit offset.
+        let head = b.head_offset();
+        b.write(b"post-wrap").unwrap();
+        assert_eq!(b.data_at(head, 100, false).unwrap(), b"post-wrap");
+        assert_eq!(b.end_offset(), head + 9);
+        assert_eq!(b.available_from(head + 4), 5);
+        assert_eq!(b.chunk_end_at(head + 1), Some(head + 9));
+        // Reads below the (post-2^32) head are cleanly rejected.
+        assert!(b.data_at(head - 1, 10, false).is_none());
+        assert!(b.data_at(u64::from(u32::MAX), 10, false).is_none());
+    }
+
+    #[test]
+    fn transmit_and_ack_marks_clamp_at_the_buffered_range() {
+        let mut b = SendBuffer::new(1 << 10);
+        b.write(&[1u8; 100]).unwrap();
+        // Marking far beyond the end clamps to the end.
+        b.mark_transmitted(u64::from(u32::MAX));
+        assert_eq!(b.transmitted_offset(), 100);
+        // Acknowledging backwards is a no-op.
+        b.acknowledge(40);
+        b.acknowledge(10);
+        assert_eq!(b.head_offset(), 40);
+        assert_eq!(b.len(), 60);
+        // Boundary read at exactly the end offset is rejected, one before is
+        // the final byte.
+        assert!(b.data_at(100, 1, false).is_none());
+        assert_eq!(b.data_at(99, 1, false).unwrap().len(), 1);
+    }
+
+    #[test]
     fn empty_write_is_noop() {
         let mut b = SendBuffer::new(16);
         assert_eq!(b.write(&[]), Ok(0));

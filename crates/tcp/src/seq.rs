@@ -144,6 +144,58 @@ mod tests {
     }
 
     #[test]
+    fn comparison_at_the_half_range_boundary() {
+        // RFC 793 modular comparison: `a < b` iff the forward distance from a
+        // to b is in (0, 2^31). Exactly 2^31 apart is the ambiguous point; the
+        // wrapping-sub-as-i32 rule resolves it as "not less" both ways.
+        let a = SeqNum(0);
+        let b = SeqNum(1 << 31);
+        assert!(!a.lt(b), "distance of exactly 2^31 is not 'less'");
+        assert!(!b.lt(a));
+        assert!(!a.le(b) && !b.le(a), "2^31 apart: ordered neither way");
+        // One below the boundary is unambiguous...
+        assert!(a.lt(SeqNum((1 << 31) - 1)));
+        // ...and one above flips the direction.
+        assert!(SeqNum((1u32 << 31) + 1).lt(a));
+    }
+
+    #[test]
+    fn comparisons_are_translation_invariant_across_wrap() {
+        // Shifting both operands by any offset (including ones that wrap)
+        // must not change the comparison.
+        let pairs = [(0u32, 1u32), (5, 100), (1000, 1001)];
+        let offsets = [0u32, u32::MAX - 2, u32::MAX, 1 << 31, (1 << 31) - 1];
+        for &(a, b) in &pairs {
+            for &off in &offsets {
+                let (sa, sb) = (SeqNum(a) + off, SeqNum(b) + off);
+                assert!(sa.lt(sb), "{a}+{off} < {b}+{off}");
+                assert!(sb.gt(sa));
+                assert_eq!(sb.distance_from(sa), b - a);
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_and_range_across_the_wrap_point() {
+        let before = SeqNum(u32::MAX - 1);
+        let after = SeqNum(3); // 5 bytes later, wrapped
+        assert_eq!(before.min(after), before);
+        assert_eq!(before.max(after), after);
+        assert_eq!(after.min(before), before);
+        // Half-open interval semantics survive the wrap.
+        assert!(before.in_range(before, after));
+        assert!(!after.in_range(before, after), "end is exclusive");
+        assert!(SeqNum(0).in_range(before, after));
+        // Empty interval contains nothing, wrapped or not.
+        assert!(!before.in_range(before, before));
+        assert!(!SeqNum(0).in_range(after, after));
+        // Arithmetic identities at the wrap.
+        assert_eq!(SeqNum(u32::MAX) + 1, SeqNum(0));
+        assert_eq!(SeqNum(0) - 1u32, SeqNum(u32::MAX));
+        assert_eq!(SeqNum(0) - SeqNum(u32::MAX), 1);
+    }
+
+    #[test]
     fn arithmetic() {
         let mut s = SeqNum(100);
         s += 50;

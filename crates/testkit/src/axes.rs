@@ -21,16 +21,15 @@ pub enum LossAxis {
 
 impl LossAxis {
     /// The simulator loss configuration for this axis value.
+    ///
+    /// The axis is a thin selector over [`LossConfig`], the single canonical
+    /// loss-model type (`minion_simnet::loss`); the burst profile in
+    /// particular is defined once, in [`LossConfig::bursty`].
     pub fn to_loss_config(&self) -> LossConfig {
         match self {
             LossAxis::None => LossConfig::None,
             LossAxis::Bernoulli(p) => LossConfig::Bernoulli { probability: *p },
-            LossAxis::Burst => LossConfig::GilbertElliott {
-                p_good_to_bad: 0.01,
-                p_bad_to_good: 0.4,
-                loss_good: 0.0,
-                loss_bad: 0.8,
-            },
+            LossAxis::Burst => LossConfig::bursty(),
             LossAxis::ExplicitHole(index) => LossConfig::Explicit {
                 indices: vec![*index],
             },
@@ -138,6 +137,12 @@ pub struct CellSpec {
     /// vary deterministically around this size so records are tellable
     /// apart).
     pub datagram_len: usize,
+    /// Number of concurrent flows. `1` runs the classic per-protocol driver;
+    /// larger counts run `datagrams` framed records on each of `flows`
+    /// concurrent connections through the `minion-engine` event runtime
+    /// (pass-through path only), asserting exactly-once delivery and
+    /// per-stream order per flow.
+    pub flows: usize,
     /// Simulation seed for this cell.
     pub seed: u64,
 }
@@ -148,9 +153,11 @@ impl CellSpec {
         SimDuration::from_micros(self.rtt_ms * 1000 / 2)
     }
 
-    /// Human-readable cell name, unique within a matrix.
+    /// Human-readable cell name, unique within a matrix. Single-flow cells
+    /// keep the historical label shape; multi-flow cells append the flow
+    /// count.
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}/rtt{}ms/{}bps/{}",
             self.protocol.label(),
             self.receiver_stack.label(),
@@ -158,14 +165,23 @@ impl CellSpec {
             self.rtt_ms,
             self.rate_bps,
             self.middlebox.label(),
-        )
+        );
+        if self.flows > 1 {
+            format!("{base}/flows{}", self.flows)
+        } else {
+            base
+        }
     }
 
     /// Whether this cell's parameters make out-of-order delivery mandatory:
     /// a deterministic mid-stream hole with a uTCP receiver guarantees later
-    /// segments arrive while the hole is outstanding.
+    /// segments arrive while the hole is outstanding. (Only single-flow
+    /// cells: with concurrent flows the dropped transmission index lands on
+    /// an arbitrary flow, so no individual flow is guaranteed a hole.)
     pub fn out_of_order_mandatory(&self) -> bool {
-        self.receiver_stack == StackMode::Utcp && matches!(self.loss, LossAxis::ExplicitHole(_))
+        self.flows == 1
+            && self.receiver_stack == StackMode::Utcp
+            && matches!(self.loss, LossAxis::ExplicitHole(_))
     }
 }
 
@@ -188,6 +204,8 @@ pub struct MatrixSpec {
     pub datagrams: usize,
     /// Nominal payload size per datagram/message.
     pub datagram_len: usize,
+    /// Concurrent-flow axis (see [`CellSpec::flows`]).
+    pub flows: Vec<usize>,
     /// Base seed; each cell derives its own fixed seed from this and its
     /// position, so adding axis values never reshuffles other cells' seeds
     /// within a run of the same spec shape.
@@ -214,12 +232,31 @@ impl Default for MatrixSpec {
             middleboxes: vec![MiddleboxAxis::Split(700)],
             datagrams: 24,
             datagram_len: 900,
+            flows: vec![1],
             base_seed: 0x5eed_0001,
         }
     }
 }
 
 impl MatrixSpec {
+    /// A load-oriented matrix: the concurrent-flow axis `{1, 64, 1024}`
+    /// against loss models, on a pass-through path (multi-flow cells run on
+    /// the `minion-engine` runtime, which models flat topologies only).
+    pub fn load() -> Self {
+        MatrixSpec {
+            protocols: vec![PayloadProtocol::Ucobs],
+            receiver_stacks: vec![StackMode::Standard, StackMode::Utcp],
+            losses: vec![LossAxis::None, LossAxis::Bernoulli(0.01)],
+            rtts_ms: vec![40],
+            rates_bps: vec![100_000_000],
+            middleboxes: vec![MiddleboxAxis::PassThrough],
+            datagrams: 12,
+            datagram_len: 160,
+            flows: vec![1, 64, 1024],
+            base_seed: 0x5eed_10ad,
+        }
+    }
+
     /// Expand the cross product into concrete cells with derived seeds.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
@@ -229,21 +266,24 @@ impl MatrixSpec {
                     for &rtt_ms in &self.rtts_ms {
                         for &rate_bps in &self.rates_bps {
                             for middlebox in &self.middleboxes {
-                                let index = out.len() as u64;
-                                out.push(CellSpec {
-                                    protocol: *protocol,
-                                    receiver_stack: *receiver_stack,
-                                    loss: loss.clone(),
-                                    rtt_ms,
-                                    rate_bps,
-                                    middlebox: *middlebox,
-                                    datagrams: self.datagrams,
-                                    datagram_len: self.datagram_len,
-                                    seed: self
-                                        .base_seed
-                                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                                        .wrapping_add(index),
-                                });
+                                for &flows in &self.flows {
+                                    let index = out.len() as u64;
+                                    out.push(CellSpec {
+                                        protocol: *protocol,
+                                        receiver_stack: *receiver_stack,
+                                        loss: loss.clone(),
+                                        rtt_ms,
+                                        rate_bps,
+                                        middlebox: *middlebox,
+                                        datagrams: self.datagrams,
+                                        datagram_len: self.datagram_len,
+                                        flows,
+                                        seed: self
+                                            .base_seed
+                                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                            .wrapping_add(index),
+                                    });
+                                }
                             }
                         }
                     }

@@ -15,7 +15,10 @@
 //! * **middlebox behaviour** — pass-through, re-segmenting `Split`, or
 //!   `Coalesce` ([`MiddleboxAxis`]);
 //! * **protocol** — uCOBS, uTLS, or msTCP, each over a standard-TCP or a
-//!   uTCP receiver ([`PayloadProtocol`], [`StackMode`]).
+//!   uTCP receiver ([`PayloadProtocol`], [`StackMode`]);
+//! * **concurrent flows** — 1, 64, or 1024 connections multiplexed through
+//!   the `minion-engine` event runtime ([`CellSpec::flows`]; multi-flow
+//!   cells assert exactly-once delivery and per-stream order *per flow*).
 //!
 //! Each cell runs under a fixed seed and [`verify_cell`] asserts the paper's
 //! invariants in *every* cell:
@@ -42,9 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod axes;
+pub mod load;
 pub mod runner;
 pub mod world;
 
 pub use axes::{CellSpec, LossAxis, MatrixSpec, MiddleboxAxis, PayloadProtocol, StackMode};
+pub use load::{load_scenario_of, run_load_cell};
 pub use runner::{run_cell, run_matrix, summarize, verify_cell, CellReport};
 pub use world::{build_world, CellWorld};
+// The canonical loss-model types: `LossAxis` is a selector over these, not a
+// re-implementation — consumers needing a loss model use the simnet type.
+pub use minion_simnet::{LossConfig, LossModel};

@@ -1,0 +1,130 @@
+//! Multi-flow cells: the `flows ∈ {1, 64, 1024}` axis, executed on the
+//! `minion-engine` event runtime.
+//!
+//! A single-flow cell exercises one protocol driver in lockstep; a multi-flow
+//! cell instead multiplexes `CellSpec::flows` concurrent connections — each
+//! carrying `datagrams` framed records — through the engine's timer wheel and
+//! readiness events, over the same loss/RTT/rate axes. The engine's scenario
+//! layer asserts exactly-once delivery and per-stream order **per flow**, and
+//! the usual [`crate::verify_cell`] two-run determinism check applies
+//! unchanged because the mapped [`CellReport`] is a pure function of the
+//! deterministic [`minion_engine::LoadReport`].
+//!
+//! Multi-flow cells run on a pass-through path: the engine models flat
+//! host-to-host topologies, and middlebox adversaries remain the single-flow
+//! matrix's job.
+
+use crate::axes::{CellSpec, MiddleboxAxis, PayloadProtocol, StackMode};
+use crate::runner::CellReport;
+use minion_engine::LoadScenario;
+use minion_simnet::SimDuration;
+
+/// Translate a multi-flow cell into an engine load scenario.
+pub fn load_scenario_of(spec: &CellSpec) -> LoadScenario {
+    assert_eq!(
+        spec.middlebox,
+        MiddleboxAxis::PassThrough,
+        "[{}] multi-flow cells run on the engine, which models pass-through paths only",
+        spec.label()
+    );
+    // The engine's load driver sends framed records over raw uTCP streams
+    // (the uCOBS role); uTLS/msTCP drivers are not engine-hosted yet (see
+    // ROADMAP), so a multi-flow cell claiming them would report protocol
+    // machinery that never ran.
+    assert_eq!(
+        spec.protocol,
+        PayloadProtocol::Ucobs,
+        "[{}] multi-flow cells support only the uCOBS (framed record) protocol axis",
+        spec.label()
+    );
+    LoadScenario {
+        flows: spec.flows,
+        records_per_flow: spec.datagrams,
+        record_len: spec.datagram_len,
+        rtt_ms: spec.rtt_ms,
+        rate_bps: spec.rate_bps,
+        queue_bytes: 1 << 20,
+        loss: spec.loss.to_loss_config(),
+        receiver_utcp: spec.receiver_stack == StackMode::Utcp,
+        seed: spec.seed,
+        deadline: SimDuration::from_secs(300),
+    }
+}
+
+/// Run one multi-flow cell through the engine and map its load report onto
+/// the matrix's [`CellReport`] shape.
+///
+/// The per-flow invariants (exactly-once, per-stream order, in-order-only on
+/// a standard receiver) are asserted inside [`LoadScenario::run`]; a
+/// violation panics with the scenario label.
+pub fn run_load_cell(spec: &CellSpec) -> CellReport {
+    let report = load_scenario_of(spec).run();
+    let payload_fingerprint = report
+        .per_flow
+        .iter()
+        .fold(0u64, |acc, f| acc.wrapping_add(f.fingerprint));
+    let mut order_hash: u64 = minion_engine::FNV_OFFSET_BASIS;
+    for f in &report.per_flow {
+        minion_engine::fnv1a(&mut order_hash, &f.fingerprint.to_be_bytes());
+        minion_engine::fnv1a(&mut order_hash, &f.completion_us.to_be_bytes());
+    }
+    CellReport {
+        label: spec.label(),
+        sent: report.records_sent,
+        delivered: report.records_delivered,
+        out_of_order: report.per_flow.iter().map(|f| f.chunks_out_of_order).sum(),
+        duplicates_suppressed: 0,
+        mac_rejected_candidates: 0,
+        wire_bytes_sent: report.engine.bytes_sent,
+        payload_fingerprint,
+        delivery_order_fingerprint: order_hash,
+        completion_time_us: report.completion_us,
+        middlebox_splits: 0,
+        middlebox_coalesces: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axes::{LossAxis, MatrixSpec};
+
+    fn multi_flow_cell(flows: usize) -> CellSpec {
+        let mut cell = MatrixSpec::load().cells().remove(0);
+        cell.flows = flows;
+        cell.middlebox = MiddleboxAxis::PassThrough;
+        cell
+    }
+
+    #[test]
+    fn cell_maps_onto_a_load_scenario() {
+        let mut cell = multi_flow_cell(64);
+        cell.receiver_stack = StackMode::Utcp;
+        cell.loss = LossAxis::Bernoulli(0.01);
+        let sc = load_scenario_of(&cell);
+        assert_eq!(sc.flows, 64);
+        assert_eq!(sc.records_per_flow, cell.datagrams);
+        assert!(sc.receiver_utcp);
+        assert_eq!(sc.seed, cell.seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "pass-through")]
+    fn middlebox_cells_are_rejected() {
+        let mut cell = multi_flow_cell(64);
+        cell.middlebox = MiddleboxAxis::Split(700);
+        let _ = load_scenario_of(&cell);
+    }
+
+    #[test]
+    fn a_small_multi_flow_cell_delivers_exactly_once() {
+        let mut cell = multi_flow_cell(8);
+        cell.receiver_stack = StackMode::Utcp;
+        let report = run_load_cell(&cell);
+        assert_eq!(report.sent, (cell.flows * cell.datagrams) as u64);
+        assert_eq!(report.delivered, report.sent);
+        assert!(report.wire_bytes_sent > 0);
+        assert!(report.completion_time_us > 0);
+        assert!(report.label.ends_with("/flows8"));
+    }
+}

@@ -43,12 +43,9 @@ pub struct CellReport {
     pub middlebox_coalesces: u64,
 }
 
-fn fnv1a(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-}
+// The shared fingerprint function (single definition — the determinism gates
+// compare these hashes across crates).
+use minion_engine::{fnv1a, FNV_OFFSET_BASIS};
 
 /// Deterministic payload for datagram/message `i` of a cell: the index is
 /// embedded in the first four bytes so every payload is distinct, lengths
@@ -328,6 +325,11 @@ fn run_mstcp(spec: &CellSpec) -> Collected {
 /// receiver; missing out-of-order delivery when the cell makes it mandatory;
 /// or a middlebox that failed to exercise its behaviour.
 pub fn run_cell(spec: &CellSpec) -> CellReport {
+    if spec.flows > 1 {
+        // Multi-flow cells run on the `minion-engine` event runtime, which
+        // asserts the per-flow invariants itself.
+        return crate::load::run_load_cell(spec);
+    }
     let collected = match spec.protocol {
         PayloadProtocol::Ucobs => run_ucobs(spec),
         PayloadProtocol::Utls => run_utls(spec),
@@ -408,9 +410,9 @@ pub fn run_cell(spec: &CellSpec) -> CellReport {
         }
     }
     // Order-insensitive fingerprint: sum of per-payload hashes.
-    let mut order_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut order_hash: u64 = FNV_OFFSET_BASIS;
     for d in &collected.deliveries {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h: u64 = FNV_OFFSET_BASIS;
         fnv1a(&mut h, &d.payload);
         report.payload_fingerprint = report.payload_fingerprint.wrapping_add(h);
         fnv1a(&mut order_hash, &h.to_be_bytes());

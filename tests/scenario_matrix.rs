@@ -65,6 +65,7 @@ fn rtt_and_middlebox_sweep_under_deterministic_loss() {
         ],
         datagrams: 24,
         datagram_len: 900,
+        flows: vec![1],
         base_seed: 0x5eed_0002,
     };
     let cells = spec.cells();
@@ -94,6 +95,7 @@ fn bottleneck_rate_sweep_under_bursty_loss() {
         middleboxes: vec![MiddleboxAxis::PassThrough],
         datagrams: 24,
         datagram_len: 900,
+        flows: vec![1],
         base_seed: 0x5eed_0003,
     };
     let cells = spec.cells();
