@@ -1,24 +1,39 @@
-//! The engine load benchmark: drive the `flows ∈ {1, 64, 1024}` scenarios
-//! through the `minion-engine` runtime and emit `BENCH_engine.json`, the
-//! artifact the CI bench trajectory tracks per PR.
+//! The engine load benchmark: drive multi-flow load scenarios through the
+//! `minion-engine` runtime (sharded across the `minion-exec` executor) and
+//! emit `BENCH_engine.json`, the artifact the CI bench trajectory tracks
+//! per PR.
 //!
-//! Each scenario is run through [`minion_engine::verify_load`], so every
-//! emitted number sits behind the exactly-once and two-run-determinism
-//! gates. Wall-clock events/sec measures the runtime itself (timer wheel +
-//! batched dispatch + readiness polling); goodput and sim-time events/sec
-//! are virtual-time figures and therefore bit-stable across machines.
-//! `allocs_per_flow` tracks the staging buffer pool's recycling
-//! effectiveness (near zero when the pool works), not total process
-//! allocations.
+//! Each scenario runs through [`minion_engine::verify_load_sharded`], so
+//! every emitted number sits behind the exactly-once and two-run
+//! determinism gates; the shard decomposition is fixed by the flow count,
+//! so `--threads` changes wall time only, never a metric. Wall-clock
+//! events/sec measures the runtime itself (timer wheel + batched dispatch +
+//! readiness polling); goodput and sim-time events/sec are virtual-time
+//! figures and therefore bit-stable across machines. `allocs_per_flow`
+//! tracks the staging buffer pools' recycling effectiveness (near zero when
+//! the pools work), not total process allocations.
 //!
-//! Output path: `BENCH_engine.json` in the working directory, overridable
-//! with the `BENCH_ENGINE_OUT` environment variable.
+//! The report also carries a `"demux"` section: the measured per-lookup
+//! cost of the host connection-demux table before (`BTreeMap`) and after
+//! (open-addressed `stack::TupleTable`) the sharded-hosts change.
+//!
+//! Usage (one binary for CI and local runs):
+//!
+//! ```text
+//! load_engine [--flows 1,64,1024] [--threads N] [--out BENCH_engine.json]
+//! ```
 
-use minion_engine::{verify_load, LoadReport, LoadScenario};
+use minion_bench::cli;
+use minion_engine::{verify_load_sharded, LoadReport, LoadScenario};
+use minion_simnet::NodeId;
+use minion_stack::{SocketHandle, TupleTable};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 struct Row {
     report: LoadReport,
+    threads: usize,
+    shards: usize,
     wall_seconds: f64,
 }
 
@@ -41,6 +56,8 @@ fn row_json(row: &Row) -> String {
             "    {{\n",
             "      \"label\": \"{label}\",\n",
             "      \"flows\": {flows},\n",
+            "      \"shards\": {shards},\n",
+            "      \"threads\": {threads},\n",
             "      \"records_sent\": {sent},\n",
             "      \"records_delivered\": {delivered},\n",
             "      \"total_payload_bytes\": {bytes},\n",
@@ -63,6 +80,8 @@ fn row_json(row: &Row) -> String {
         ),
         label = json_escape(&r.label),
         flows = r.flows,
+        shards = row.shards,
+        threads = row.threads,
         sent = r.records_sent,
         delivered = r.records_delivered,
         bytes = r.total_bytes,
@@ -83,33 +102,119 @@ fn row_json(row: &Row) -> String {
     )
 }
 
+/// Measure the connection-demux lookup cost before (`BTreeMap`, the pre-
+/// sharded-hosts structure) and after (open-addressed [`TupleTable`]) under
+/// a load-scenario-shaped key population.
+fn demux_bench_json() -> String {
+    const ENTRIES: u32 = 4096;
+    const PASSES: u32 = 256;
+    let keys: Vec<(u16, NodeId, u16)> = (0..ENTRIES)
+        .map(|i| (40_000u16.wrapping_add(i as u16), NodeId(i / 1024), 7000))
+        .collect();
+    let mut btree: BTreeMap<(u16, NodeId, u16), SocketHandle> = BTreeMap::new();
+    let mut table = TupleTable::new();
+    for (i, k) in keys.iter().enumerate() {
+        btree.insert(*k, SocketHandle(i as u32));
+        table.insert(*k, SocketHandle(i as u32));
+    }
+    // Probe in a shuffled-but-deterministic order so neither structure gets
+    // a sequential-access advantage.
+    let order: Vec<usize> = (0..ENTRIES as u64)
+        .map(|i| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % ENTRIES as u64) as usize)
+        .collect();
+
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..PASSES {
+        for &i in &order {
+            if std::hint::black_box(btree.get(&keys[i])).is_some() {
+                hits += 1;
+            }
+        }
+    }
+    let btree_ns = t0.elapsed().as_nanos() as f64 / (PASSES as u64 * ENTRIES as u64) as f64;
+
+    let t1 = Instant::now();
+    for _ in 0..PASSES {
+        for &i in &order {
+            if std::hint::black_box(table.get(&keys[i])).is_some() {
+                hits += 1;
+            }
+        }
+    }
+    let table_ns = t1.elapsed().as_nanos() as f64 / (PASSES as u64 * ENTRIES as u64) as f64;
+    assert_eq!(hits, 2 * PASSES as u64 * ENTRIES as u64, "every probe hits");
+
+    println!(
+        "demux lookup ({ENTRIES} entries): BTreeMap {btree_ns:.1} ns -> \
+         open-addressed {table_ns:.1} ns ({:.2}x)",
+        btree_ns / table_ns.max(0.001)
+    );
+    format!(
+        concat!(
+            "  \"demux\": {{\n",
+            "    \"entries\": {entries},\n",
+            "    \"lookups_each\": {lookups},\n",
+            "    \"btreemap_ns_per_lookup\": {before:.2},\n",
+            "    \"open_addressed_ns_per_lookup\": {after:.2},\n",
+            "    \"speedup\": {speedup:.2}\n",
+            "  }}"
+        ),
+        entries = ENTRIES,
+        lookups = PASSES as u64 * ENTRIES as u64,
+        before = btree_ns,
+        after = table_ns,
+        speedup = btree_ns / table_ns.max(0.001),
+    )
+}
+
+fn parse_args() -> (Vec<usize>, usize, String) {
+    let mut flows: Vec<usize> = vec![1, 64, 1024];
+    let mut threads = 1usize;
+    let mut out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    let mut args = cli::CliArgs::new("load_engine [--flows 1,64,1024] [--threads N] [--out FILE]");
+    while let Some(arg) = args.next_flag() {
+        match arg.as_str() {
+            "--flows" => flows = cli::parse_count_list(&args.value("--flows"), "--flows"),
+            "--threads" => threads = cli::parse_count(&args.value("--threads"), "--threads"),
+            "--out" => out = args.value("--out"),
+            other => args.unknown(other),
+        }
+    }
+    (flows, threads, out)
+}
+
 fn main() {
-    let scenarios = vec![
-        LoadScenario::with_flows(1),
-        LoadScenario::with_flows(64),
-        LoadScenario::smoke_1k(),
-    ];
+    let (flows, threads, out) = parse_args();
     let mut rows = Vec::new();
-    for scenario in &scenarios {
+    for &f in &flows {
+        let scenario = LoadScenario::with_flows(f);
+        let shards = scenario.shard_count();
         let t0 = Instant::now();
         // Two verified runs; charge the scenario with the mean wall time so
         // events/wall-sec reflects one run.
-        let report = verify_load(scenario);
+        let report = verify_load_sharded(&scenario, threads);
         let wall_seconds = t0.elapsed().as_secs_f64() / 2.0;
         println!(
-            "{}  [wall {:.1} ms/run]",
+            "{}  [{} shard(s) on {} thread(s), wall {:.1} ms/run]",
             report.summary(),
+            shards,
+            threads,
             wall_seconds * 1000.0
         );
         rows.push(Row {
             report,
+            threads,
+            shards,
             wall_seconds,
         });
     }
 
     let body = rows.iter().map(row_json).collect::<Vec<_>>().join(",\n");
-    let json = format!("{{\n  \"bench\": \"engine_load\",\n  \"scenarios\": [\n{body}\n  ]\n}}\n");
-    let out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    let demux = demux_bench_json();
+    let json = format!(
+        "{{\n  \"bench\": \"engine_load\",\n{demux},\n  \"scenarios\": [\n{body}\n  ]\n}}\n"
+    );
     std::fs::write(&out, &json).expect("write BENCH_engine.json");
     println!("wrote {out}");
 }

@@ -1,0 +1,163 @@
+//! The parallel matrix-sweep benchmark: run the full scenario matrix (the
+//! tier-1 protocol×stack×loss matrix plus the `flows ∈ {1, 64, 1024}` load
+//! matrix) once per requested thread count on the `minion-exec`
+//! work-stealing executor, assert every sweep's reports are byte-identical,
+//! and emit `BENCH_sweep.json` with cells/sec per thread count and speedup
+//! versus 1 thread.
+//!
+//! CI runs this as the report-diff gate: `--report-prefix` writes one
+//! canonical report file per thread count (full `Debug` dump of every cell
+//! report, in cell order), and the job `diff`s the `threads=1` file against
+//! the `threads=4` file — any byte of divergence fails the build. The
+//! binary additionally asserts the equality in-process.
+//!
+//! ```text
+//! sweep_matrix [--threads 1,4] [--report-prefix PREFIX] [--out BENCH_sweep.json]
+//! ```
+
+use minion_bench::cli;
+use minion_testkit::{run_matrix_once, summarize, CellReport, CellSpec, MatrixSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The sweep's cell set: the tier-1 default matrix plus the load matrix —
+/// "the full matrix" CI diffs across thread counts.
+fn full_matrix() -> Vec<CellSpec> {
+    let mut cells = MatrixSpec::default().cells();
+    cells.extend(MatrixSpec::load().cells());
+    cells
+}
+
+/// The canonical sweep report: the human summary table followed by the
+/// complete `Debug` dump of every cell report, in cell order. Every counter
+/// and fingerprint a cell produces lands in this text, so two sweeps are
+/// byte-identical iff this text is.
+fn canonical_report(cells: &[CellSpec], reports: &[CellReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&summarize(reports));
+    out.push('\n');
+    for (cell, report) in cells.iter().zip(reports) {
+        writeln!(out, "seed={:#018x} {report:?}", cell.seed).expect("write to String");
+    }
+    out
+}
+
+struct Run {
+    threads: usize,
+    wall_seconds: f64,
+}
+
+fn parse_args() -> (Vec<usize>, Option<String>, String) {
+    let mut threads: Vec<usize> = vec![1, 4];
+    let mut report_prefix: Option<String> = None;
+    let mut out = std::env::var("BENCH_SWEEP_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
+    let mut args =
+        cli::CliArgs::new("sweep_matrix [--threads 1,4] [--report-prefix PREFIX] [--out FILE]");
+    while let Some(arg) = args.next_flag() {
+        match arg.as_str() {
+            "--threads" => threads = cli::parse_count_list(&args.value("--threads"), "--threads"),
+            "--report-prefix" => report_prefix = Some(args.value("--report-prefix")),
+            "--out" => out = args.value("--out"),
+            other => args.unknown(other),
+        }
+    }
+    (threads, report_prefix, out)
+}
+
+fn main() {
+    let (thread_counts, report_prefix, out) = parse_args();
+    let cells = full_matrix();
+    println!(
+        "sweeping {} cells at threads {:?} (host parallelism: {})",
+        cells.len(),
+        thread_counts,
+        minion_exec::available_threads()
+    );
+
+    let mut runs: Vec<Run> = Vec::new();
+    let mut reference: Option<String> = None;
+    for &threads in &thread_counts {
+        let t0 = Instant::now();
+        let reports = run_matrix_once(&cells, threads);
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let text = canonical_report(&cells, &reports);
+        // Write the report file *before* asserting equality: on divergence
+        // CI's `diff -u` step then shows the exact divergent bytes instead
+        // of a missing-file error.
+        if let Some(prefix) = &report_prefix {
+            let path = format!("{prefix}-t{threads}.txt");
+            std::fs::write(&path, &text).expect("write sweep report");
+            println!("wrote {path}");
+        }
+        match &reference {
+            None => reference = Some(text),
+            Some(reference) => {
+                if &text != reference {
+                    let hint = match &report_prefix {
+                        Some(prefix) => format!("diff the {prefix}-t*.txt files"),
+                        None => "re-run with --report-prefix to capture both reports".into(),
+                    };
+                    panic!(
+                        "threads={threads} produced a different sweep report than \
+                         threads={} — parallelism must not perturb results ({hint})",
+                        thread_counts[0]
+                    );
+                }
+            }
+        }
+        println!(
+            "threads={threads}: {} cells in {:.1} ms ({:.2} cells/sec)",
+            cells.len(),
+            wall_seconds * 1000.0,
+            cells.len() as f64 / wall_seconds.max(1e-9)
+        );
+        runs.push(Run {
+            threads,
+            wall_seconds,
+        });
+    }
+
+    // Speedups are measured against the threads=1 run when the list has one
+    // (CI's does), else against the first run.
+    let baseline = runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .unwrap_or(&runs[0])
+        .wall_seconds;
+    let rows = runs
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"threads\": {threads},\n",
+                    "      \"wall_ms\": {wall_ms:.3},\n",
+                    "      \"cells_per_sec\": {cps:.3},\n",
+                    "      \"speedup_vs_1thread\": {speedup:.3}\n",
+                    "    }}"
+                ),
+                threads = r.threads,
+                wall_ms = r.wall_seconds * 1000.0,
+                cps = cells.len() as f64 / r.wall_seconds.max(1e-9),
+                speedup = baseline / r.wall_seconds.max(1e-9),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sweep_matrix\",\n",
+            "  \"cells\": {cells},\n",
+            "  \"available_parallelism\": {avail},\n",
+            "  \"reports_identical\": true,\n",
+            "  \"runs\": [\n{rows}\n  ]\n",
+            "}}\n"
+        ),
+        cells = cells.len(),
+        avail = minion_exec::available_threads(),
+        rows = rows,
+    );
+    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
+    println!("wrote {out}");
+}

@@ -1,0 +1,76 @@
+//! Minimal shared flag parsing for the bench binaries (`load_engine`,
+//! `sweep_matrix`): `--flag value` pairs with count / count-list values.
+//! One definition so the binaries validate identically and cannot drift.
+
+/// The process's flag arguments (everything after the binary name).
+pub struct CliArgs {
+    iter: std::vec::IntoIter<String>,
+    usage: &'static str,
+}
+
+impl CliArgs {
+    /// Capture `std::env::args()`, remembering `usage` for error messages.
+    pub fn new(usage: &'static str) -> Self {
+        CliArgs {
+            iter: std::env::args().skip(1).collect::<Vec<_>>().into_iter(),
+            usage,
+        }
+    }
+
+    /// The next flag, if any.
+    pub fn next_flag(&mut self) -> Option<String> {
+        self.iter.next()
+    }
+
+    /// The value following `flag`; panics (with usage) if it is missing.
+    pub fn value(&mut self, flag: &str) -> String {
+        self.iter
+            .next()
+            .unwrap_or_else(|| panic!("{flag} requires a value\nusage: {}", self.usage))
+    }
+
+    /// Panic (with usage) over an unrecognised flag.
+    pub fn unknown(&self, flag: &str) -> ! {
+        panic!("unknown argument {flag:?}\nusage: {}", self.usage)
+    }
+}
+
+/// Parse a positive integer flag value.
+pub fn parse_count(raw: &str, flag: &str) -> usize {
+    let n = raw
+        .trim()
+        .parse::<usize>()
+        .unwrap_or_else(|_| panic!("{flag} takes positive integers, got {raw:?}"));
+    assert!(n >= 1, "{flag} takes positive integers, got {raw:?}");
+    n
+}
+
+/// Parse a non-empty comma-separated list of positive integers.
+pub fn parse_count_list(raw: &str, flag: &str) -> Vec<usize> {
+    let list: Vec<usize> = raw.split(',').map(|s| parse_count(s, flag)).collect();
+    assert!(!list.is_empty(), "{flag} needs at least one entry");
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_lists_parse_and_validate() {
+        assert_eq!(parse_count_list("1,64, 1024", "--flows"), vec![1, 64, 1024]);
+        assert_eq!(parse_count("8", "--threads"), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads takes positive integers")]
+    fn zero_counts_are_rejected() {
+        parse_count("0", "--threads");
+    }
+
+    #[test]
+    #[should_panic(expected = "--flows takes positive integers")]
+    fn junk_entries_are_rejected() {
+        parse_count_list("1,banana", "--flows");
+    }
+}

@@ -36,5 +36,5 @@ pub mod wheel;
 pub use metrics::{fnv1a, EngineMetrics, FlowMetrics, LoadReport, FNV_OFFSET_BASIS};
 pub use pool::{BufferPool, PoolStats};
 pub use runtime::{Engine, EngineHostId, FlowId};
-pub use scenario::{verify_load, LoadScenario, LOAD_PORT};
+pub use scenario::{verify_load, verify_load_sharded, LoadScenario, LOAD_PORT, SHARD_FLOWS};
 pub use wheel::TimerWheel;

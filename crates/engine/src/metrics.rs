@@ -8,19 +8,11 @@
 
 use crate::pool::PoolStats;
 
-/// The FNV-1a offset basis, the seed for [`fnv1a`] fingerprints.
-pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
-
-/// Fold `bytes` into an FNV-1a running hash — the single fingerprint
-/// function shared by the load scenarios and the testkit matrix (the
-/// determinism gates compare these values, so there must be exactly one
-/// definition).
-pub fn fnv1a(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-}
+// The single canonical fingerprint function (the determinism gates compare
+// these values across crates, so there must be exactly one definition — it
+// lives in `minion_simnet::hash`, below every consumer; re-exported here
+// under the names the engine's consumers have always used).
+pub use minion_simnet::{fnv1a, FNV_OFFSET_BASIS};
 
 /// Aggregate runtime counters kept by [`crate::Engine`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -45,6 +37,18 @@ impl EngineMetrics {
     /// Total dispatched events (arrivals + timer fires).
     pub fn events(&self) -> u64 {
         self.packets_delivered + self.timer_fires
+    }
+
+    /// Fold another engine's counters into this one (sharded runs merge the
+    /// per-shard engines' counters by shard index).
+    pub fn absorb(&mut self, other: &EngineMetrics) {
+        self.steps += other.steps;
+        self.packets_delivered += other.packets_delivered;
+        self.packets_sent += other.packets_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.packets_dropped += other.packets_dropped;
+        self.timer_fires += other.timer_fires;
+        self.flow_polls += other.flow_polls;
     }
 }
 

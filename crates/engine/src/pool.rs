@@ -26,6 +26,17 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
+    /// Fold another pool's counters into this one (sharded runs merge their
+    /// per-shard pools' counters; `high_water` sums because the pools are
+    /// disjoint and may be live concurrently).
+    pub fn absorb(&mut self, other: &PoolStats) {
+        self.allocations += other.allocations;
+        self.reuses += other.reuses;
+        self.returns += other.returns;
+        self.discarded += other.discarded;
+        self.high_water += other.high_water;
+    }
+
     /// Fraction of checkouts served without allocating, in `[0, 1]`.
     pub fn reuse_ratio(&self) -> f64 {
         let total = self.allocations + self.reuses;

@@ -14,11 +14,23 @@
 //!
 //! [`verify_load`] additionally runs the scenario twice and asserts the two
 //! [`LoadReport`]s are identical — the determinism acceptance gate.
+//!
+//! ## Sharded execution
+//!
+//! [`LoadScenario::run_sharded`] decomposes the `flows` axis into fixed
+//! [`SHARD_FLOWS`]-flow shards — each an independent [`Engine`] with its own
+//! link and a seed derived from `(seed, shard index)` — and executes them on
+//! the `minion-exec` work-stealing executor, merging the per-shard
+//! [`LoadReport`]s **by shard index**. The decomposition is a property of
+//! the scenario (flow count), never of the thread count, so the merged
+//! report is byte-identical at any `threads` value; threads only decide how
+//! many shards run concurrently.
 
-use crate::metrics::{fnv1a, FlowMetrics, LoadReport, FNV_OFFSET_BASIS};
-use crate::pool::BufferPool;
+use crate::metrics::{fnv1a, EngineMetrics, FlowMetrics, LoadReport, FNV_OFFSET_BASIS};
+use crate::pool::{BufferPool, PoolStats};
 use crate::runtime::{Engine, FlowId};
 use bytes::Bytes;
+use minion_exec::Executor;
 use minion_simnet::{LinkConfig, LossConfig, SimDuration};
 use minion_stack::SocketAddr;
 use minion_tcp::{ConnEvent, SocketOptions, TcpConfig};
@@ -26,6 +38,11 @@ use std::collections::BTreeMap;
 
 /// The TCP port load-scenario servers listen on.
 pub const LOAD_PORT: u16 = 7000;
+
+/// Flows per shard of a sharded load run. Fixed (never derived from the
+/// thread count) so the shard decomposition — and therefore the merged
+/// report — is identical however many workers execute the shards.
+pub const SHARD_FLOWS: usize = 128;
 
 /// Configuration of one load scenario.
 #[derive(Clone, Debug)]
@@ -50,6 +67,10 @@ pub struct LoadScenario {
     pub seed: u64,
     /// Virtual-time budget; the run panics if flows are incomplete at it.
     pub deadline: SimDuration,
+    /// Global index of this scenario's first flow. `0` for a whole scenario;
+    /// a shard produced by [`LoadScenario::shard`] carries its offset here so
+    /// stream contents and per-flow metrics keep their global flow indices.
+    pub first_flow: usize,
 }
 
 impl Default for LoadScenario {
@@ -65,6 +86,7 @@ impl Default for LoadScenario {
             receiver_utcp: true,
             seed: 0x10ad_5eed,
             deadline: SimDuration::from_secs(300),
+            first_flow: 0,
         }
     }
 }
@@ -94,17 +116,22 @@ impl LoadScenario {
             LossConfig::Periodic { every } => format!("loss=periodic{every}"),
             LossConfig::Explicit { indices } => format!("loss=explicit{}", indices.len()),
         };
-        format!(
+        let base = format!(
             "flows{}/{}/rtt{}ms/{}bps/{}",
             self.flows,
             loss,
             self.rtt_ms,
             self.rate_bps,
             if self.receiver_utcp { "utcp" } else { "tcp" },
-        )
+        );
+        if self.first_flow > 0 {
+            format!("{base}@{}", self.first_flow)
+        } else {
+            base
+        }
     }
 
-    /// Total payload bytes one flow sends.
+    /// Total payload bytes one flow sends (`flow` is the **global** index).
     fn stream_len(&self, flow: usize) -> u64 {
         (0..self.records_per_flow)
             .map(|rec| 12 + self.record_payload_len(flow, rec) as u64)
@@ -112,14 +139,16 @@ impl LoadScenario {
     }
 
     /// Payload length of one record (varies deterministically around the
-    /// nominal size so flows and records are tellable apart).
+    /// nominal size so flows and records are tellable apart; `flow` is the
+    /// **global** index, so shard streams match the unsharded scenario's).
     fn record_payload_len(&self, flow: usize, rec: usize) -> usize {
         self.record_len / 2 + (flow * 31 + rec * 131) % self.record_len.max(2)
     }
 
     /// Append flow `flow`'s whole framed stream to `out`: each record is a
     /// 12-byte header (flow, record index, payload length — all `u32` BE)
-    /// followed by a position-dependent payload.
+    /// followed by a position-dependent payload. `flow` is the **global**
+    /// flow index ([`LoadScenario::first_flow`] + local index).
     pub fn build_stream(&self, flow: usize, out: &mut Vec<u8>) {
         for rec in 0..self.records_per_flow {
             let len = self.record_payload_len(flow, rec);
@@ -174,9 +203,9 @@ impl LoadScenario {
                 .expect("fresh TCP socket");
             let id = engine.register_flow(client, handle);
             let mut stream = pool.take();
-            self.build_stream(flow, &mut stream);
+            self.build_stream(self.first_flow + flow, &mut stream);
             let expected_len = stream.len() as u64;
-            assert_eq!(expected_len, self.stream_len(flow));
+            assert_eq!(expected_len, self.stream_len(self.first_flow + flow));
             let written = engine
                 .flow_write(id, &stream)
                 .expect("stream fits the send buffer");
@@ -271,8 +300,9 @@ impl LoadScenario {
         let mut total_bytes = 0u64;
         let mut records_delivered = 0u64;
         for (flow, state) in states.iter().enumerate() {
+            let global_flow = self.first_flow + flow;
             let mut expected = pool.take();
-            self.build_stream(flow, &mut expected);
+            self.build_stream(global_flow, &mut expected);
             let mut got = pool.take();
             got.resize(expected.len(), 0);
             for (offset, data) in &state.chunks {
@@ -294,13 +324,13 @@ impl LoadScenario {
                 );
             }
             let bytes_covered: u64 = state.covered.iter().map(|(s, e)| e - s).sum();
-            let flow_records = parse_records(&got, flow as u32)
-                .unwrap_or_else(|e| panic!("[{label}] flow {flow}: {e}"));
+            let flow_records = parse_records(&got, global_flow as u32)
+                .unwrap_or_else(|e| panic!("[{label}] flow {global_flow}: {e}"));
             let stats = engine.flow_stats(state.client);
             let mut fingerprint: u64 = FNV_OFFSET_BASIS;
             fnv1a(&mut fingerprint, &got);
             per_flow.push(FlowMetrics {
-                flow: flow as u32,
+                flow: global_flow as u32,
                 bytes_delivered: bytes_covered,
                 records_delivered: flow_records,
                 chunks_out_of_order: state.ooo_chunks,
@@ -332,6 +362,99 @@ impl LoadScenario {
             per_flow,
         }
     }
+
+    // ------------------------------------------------------------------
+    // Sharded execution (the parallel sweep substrate)
+    // ------------------------------------------------------------------
+
+    /// Number of [`SHARD_FLOWS`]-flow shards this scenario decomposes into.
+    /// A property of the flow count only — never of the thread count.
+    pub fn shard_count(&self) -> usize {
+        self.flows.div_ceil(SHARD_FLOWS).max(1)
+    }
+
+    /// Shard `s` of the decomposition: flows
+    /// `[s · SHARD_FLOWS, (s+1) · SHARD_FLOWS)` of this scenario as an
+    /// independent sub-scenario — its own engine, its own link, and a seed
+    /// derived from `(seed, s)` so shards' loss processes are independent
+    /// but fixed.
+    pub fn shard(&self, s: usize) -> LoadScenario {
+        assert!(s < self.shard_count(), "shard {s} out of range");
+        let start = s * SHARD_FLOWS;
+        LoadScenario {
+            flows: SHARD_FLOWS.min(self.flows - start),
+            first_flow: self.first_flow + start,
+            seed: shard_seed(self.seed, s as u64),
+            ..self.clone()
+        }
+    }
+
+    /// Run the scenario sharded across `threads` executor workers and merge
+    /// the per-shard reports **by shard index**.
+    ///
+    /// Byte-identical at any `threads` value: the shard decomposition and
+    /// every shard's seed are fixed by the scenario, each shard runs in its
+    /// own deterministic [`Engine`], and the executor's ordered collection
+    /// commits shard reports in shard order. Note the sharded model gives
+    /// each shard its own bottleneck link — cross-shard congestion coupling
+    /// is deliberately out of scope (each shard is the unit of fidelity),
+    /// so a sharded report is not comparable to an unsharded
+    /// [`LoadScenario::run`] of the same flow count.
+    pub fn run_sharded(&self, threads: usize) -> LoadReport {
+        let shards: Vec<LoadScenario> = (0..self.shard_count()).map(|s| self.shard(s)).collect();
+        let reports = Executor::new(threads).run(shards, |_, shard| shard.run());
+        self.merge_shard_reports(&reports)
+    }
+
+    /// Merge per-shard reports (in shard order) into one scenario report:
+    /// counters sum, completion is the latest shard's, rates are recomputed
+    /// from the merged totals, and `per_flow` concatenates in shard order —
+    /// which is global flow order, since shards partition the flow range
+    /// contiguously.
+    fn merge_shard_reports(&self, reports: &[LoadReport]) -> LoadReport {
+        assert_eq!(reports.len(), self.shard_count());
+        let mut engine = EngineMetrics::default();
+        let mut pool = PoolStats::default();
+        let mut per_flow = Vec::with_capacity(self.flows);
+        let (mut records_sent, mut records_delivered, mut total_bytes) = (0u64, 0u64, 0u64);
+        let mut completion_us = 0u64;
+        for report in reports {
+            engine.absorb(&report.engine);
+            pool.absorb(&report.pool);
+            records_sent += report.records_sent;
+            records_delivered += report.records_delivered;
+            total_bytes += report.total_bytes;
+            completion_us = completion_us.max(report.completion_us);
+            per_flow.extend(report.per_flow.iter().cloned());
+        }
+        let events = engine.events();
+        LoadReport {
+            label: format!("{}/shards{}", self.label(), reports.len()),
+            seed: self.seed,
+            flows: self.flows as u64,
+            records_sent,
+            records_delivered,
+            total_bytes,
+            completion_us,
+            goodput_bps: (total_bytes * 8 * 1_000_000)
+                .checked_div(completion_us)
+                .unwrap_or(0),
+            events_per_sim_sec: (events * 1_000_000).checked_div(completion_us).unwrap_or(0),
+            allocs_per_flow_milli: pool.allocations * 1000 / self.flows.max(1) as u64,
+            engine,
+            pool,
+            per_flow,
+        }
+    }
+}
+
+/// Derive shard `s`'s seed from the scenario seed (splitmix64-style mixing:
+/// nearby shard indices get statistically unrelated seeds).
+fn shard_seed(seed: u64, s: u64) -> u64 {
+    let mut z = seed ^ s.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Run a scenario **twice** under its fixed seed, assert byte-identical
@@ -343,6 +466,21 @@ pub fn verify_load(scenario: &LoadScenario) -> LoadReport {
         first,
         second,
         "[{}] same seed must reproduce identical load metrics",
+        scenario.label()
+    );
+    first
+}
+
+/// Run a scenario sharded, **twice**, assert byte-identical merged reports,
+/// and return the verified report. The two passes may use different worker
+/// counts without affecting the result ([`LoadScenario::run_sharded`]).
+pub fn verify_load_sharded(scenario: &LoadScenario, threads: usize) -> LoadReport {
+    let first = scenario.run_sharded(threads);
+    let second = scenario.run_sharded(threads);
+    assert_eq!(
+        first,
+        second,
+        "[{}] same seed must reproduce identical sharded load metrics",
         scenario.label()
     );
     first
@@ -532,6 +670,62 @@ mod tests {
         // uTCP receivers may deliver out of order; with random loss across 16
         // flows at least one early delivery is overwhelmingly likely.
         assert!(report.per_flow.iter().any(|f| f.chunks_out_of_order > 0));
+    }
+
+    #[test]
+    fn shard_decomposition_partitions_the_flow_range() {
+        let sc = LoadScenario::with_flows(300);
+        assert_eq!(sc.shard_count(), 3);
+        let shards: Vec<LoadScenario> = (0..3).map(|s| sc.shard(s)).collect();
+        assert_eq!(shards[0].flows, 128);
+        assert_eq!(shards[1].flows, 128);
+        assert_eq!(shards[2].flows, 44);
+        assert_eq!(shards[0].first_flow, 0);
+        assert_eq!(shards[1].first_flow, 128);
+        assert_eq!(shards[2].first_flow, 256);
+        assert_eq!(shards.iter().map(|s| s.flows).sum::<usize>(), 300);
+        // Shard seeds are fixed, distinct, and derived from the scenario's.
+        let seeds: std::collections::BTreeSet<u64> = shards.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(sc.shard(1).seed, shards[1].seed);
+        // Labels carry the shard offset, so per-shard assertion messages
+        // identify the shard.
+        assert!(shards[1].label().ends_with("@128"));
+        // A shard's streams are the global scenario's streams.
+        let mut from_shard = Vec::new();
+        shards[1].build_stream(130, &mut from_shard);
+        let mut from_whole = Vec::new();
+        sc.build_stream(130, &mut from_whole);
+        assert_eq!(from_shard, from_whole);
+        // Sub-SHARD_FLOWS scenarios are a single shard.
+        assert_eq!(LoadScenario::with_flows(1).shard_count(), 1);
+        assert_eq!(LoadScenario::with_flows(128).shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_run_is_identical_at_any_thread_count() {
+        let sc = LoadScenario {
+            flows: 256,
+            loss: LossConfig::Bernoulli { probability: 0.01 },
+            ..LoadScenario::default()
+        };
+        let serial = sc.run_sharded(1);
+        assert_eq!(serial.flows, 256);
+        assert_eq!(serial.records_delivered, serial.records_sent);
+        assert_eq!(serial.per_flow.len(), 256);
+        // per_flow concatenates in shard order == global flow order.
+        for (i, f) in serial.per_flow.iter().enumerate() {
+            assert_eq!(f.flow as usize, i);
+        }
+        assert!(serial.label.ends_with("/shards2"));
+        let parallel = sc.run_sharded(4);
+        assert_eq!(
+            serial, parallel,
+            "sharded reports must be byte-identical across thread counts"
+        );
+        // And the two-run determinism gate holds for the sharded path too.
+        let verified = verify_load_sharded(&sc, 2);
+        assert_eq!(verified, serial);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Ordered collection: commit results strictly in submission order.
+//!
+//! Workers finish jobs in whatever order stealing produces; the determinism
+//! gates need output that is a pure function of the *submission* order. The
+//! [`OrderedCollector`] is a reorder buffer: results arrive keyed by their
+//! stable job index, and are committed to the output sequence only when every
+//! earlier index has already been committed. The final output is therefore
+//! byte-identical at any worker count — parallelism changes completion order,
+//! never commit order.
+
+use std::collections::BTreeMap;
+
+/// A reorder buffer that commits results in submission (index) order.
+#[derive(Debug)]
+pub struct OrderedCollector<T> {
+    total: usize,
+    /// Results committed so far; `committed[i]` is the result of job `i`.
+    committed: Vec<T>,
+    /// Out-of-order arrivals waiting for their predecessors.
+    pending: BTreeMap<usize, T>,
+}
+
+impl<T> OrderedCollector<T> {
+    /// A collector expecting results for job indices `0..total`.
+    pub fn new(total: usize) -> Self {
+        OrderedCollector {
+            total,
+            committed: Vec::with_capacity(total),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Record the result of job `index`. Commits it — and any directly
+    /// following pending results — if `index` is the next expected one;
+    /// otherwise parks it until its predecessors arrive. Returns how many
+    /// results were committed by this call.
+    ///
+    /// Panics if `index` is out of range or already recorded (job indices
+    /// are stable and unique).
+    pub fn record(&mut self, index: usize, value: T) -> usize {
+        assert!(index < self.total, "job index {index} out of range");
+        assert!(
+            index >= self.committed.len() && !self.pending.contains_key(&index),
+            "job index {index} recorded twice"
+        );
+        let before = self.committed.len();
+        if index == self.committed.len() {
+            self.committed.push(value);
+            // Drain the run of now-ready successors.
+            while let Some(v) = self.pending.remove(&self.committed.len()) {
+                self.committed.push(v);
+            }
+        } else {
+            self.pending.insert(index, value);
+        }
+        self.committed.len() - before
+    }
+
+    /// Number of results committed (a prefix of the submission order).
+    pub fn committed_len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Whether every expected result has been committed.
+    pub fn is_complete(&self) -> bool {
+        self.committed.len() == self.total
+    }
+
+    /// The results in submission order. Panics unless complete.
+    pub fn into_ordered(self) -> Vec<T> {
+        assert!(
+            self.is_complete(),
+            "collector incomplete: {}/{} committed ({} parked out of order)",
+            self.committed.len(),
+            self.total,
+            self.pending.len()
+        );
+        self.committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_commits_immediately() {
+        let mut c = OrderedCollector::new(3);
+        assert_eq!(c.record(0, "a"), 1);
+        assert_eq!(c.record(1, "b"), 1);
+        assert_eq!(c.record(2, "c"), 1);
+        assert!(c.is_complete());
+        assert_eq!(c.into_ordered(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn out_of_order_results_park_until_the_gap_fills() {
+        let mut c = OrderedCollector::new(4);
+        assert_eq!(c.record(2, 20), 0);
+        assert_eq!(c.record(1, 10), 0);
+        assert_eq!(c.committed_len(), 0);
+        // Index 0 unblocks the whole parked run.
+        assert_eq!(c.record(0, 0), 3);
+        assert_eq!(c.record(3, 30), 1);
+        assert_eq!(c.into_ordered(), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn reverse_order_commits_everything_at_the_end() {
+        let mut c = OrderedCollector::new(8);
+        for i in (1..8).rev() {
+            assert_eq!(c.record(i, i), 0);
+        }
+        assert_eq!(c.record(0, 0), 8);
+        assert_eq!(c.into_ordered(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded twice")]
+    fn duplicate_indices_are_rejected() {
+        let mut c = OrderedCollector::new(2);
+        c.record(1, ());
+        c.record(1, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn incomplete_collection_cannot_be_taken() {
+        let mut c = OrderedCollector::new(2);
+        c.record(1, ());
+        let _ = c.into_ordered();
+    }
+}

@@ -1,0 +1,336 @@
+//! The work-stealing executor: a fixed batch of indexed jobs, N workers,
+//! deterministic ordered output.
+//!
+//! ## Execution model
+//!
+//! [`Executor::run`] takes a `Vec` of job inputs and a pure-per-job function
+//! `f(index, input)`. Jobs are seeded round-robin across per-worker
+//! [`JobDeque`]s (or all onto one worker under [`Partition::Pinned`], the
+//! steal-heavy configuration the tests use). Each worker pops its own deque
+//! LIFO; when empty it sweeps the other deques in ring order and steals FIFO.
+//! Workers exit once every job has been executed (or immediately on abort
+//! after a sibling's panic).
+//!
+//! ## Determinism
+//!
+//! The output is **byte-identical at any worker count** because every job is
+//! a pure function of its stable index and input, and results pass through
+//! the [`OrderedCollector`], which commits strictly in submission order.
+//! Scheduling (who runs what when, who steals from whom) is racy and *may*
+//! differ run to run — nothing observable depends on it.
+//!
+//! ## Panics
+//!
+//! A panicking job aborts the batch: remaining workers stop picking up work,
+//! and the first panic payload is re-raised on the submitting thread, so
+//! assertion messages from scenario cells surface exactly as they would
+//! serially.
+
+use crate::collector::OrderedCollector;
+use crate::deque::{Job, JobDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How the job batch is seeded onto the per-worker deques.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partition {
+    /// Job `i` starts on worker `i % workers` (the default: balanced seeding,
+    /// stealing only corrects duration skew).
+    RoundRobin,
+    /// Every job starts on the given worker; all other workers begin idle
+    /// and obtain work exclusively by stealing (the 1-producer/N-stealers
+    /// stress configuration).
+    Pinned(usize),
+}
+
+/// Scheduling counters from one [`Executor::run_with_stats`] batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Workers the batch actually used.
+    pub workers: usize,
+    /// Jobs executed by each worker (sums to the batch size).
+    pub executed: Vec<u64>,
+    /// Successful steals (a job migrated between workers).
+    pub steals: u64,
+    /// Steal sweeps that probed a victim deque (successful or not).
+    pub steal_attempts: u64,
+    /// Deque lock acquisitions that went through without blocking.
+    pub locks_uncontended: u64,
+    /// Deque lock acquisitions that had to wait for another thread — the
+    /// contention profile justifying the Mutex-backed deques.
+    pub locks_contended: u64,
+}
+
+impl ExecStats {
+    /// Fraction of deque lock acquisitions that contended, in `[0, 1]`.
+    pub fn contention_ratio(&self) -> f64 {
+        let total = self.locks_uncontended + self.locks_contended;
+        if total == 0 {
+            0.0
+        } else {
+            self.locks_contended as f64 / total as f64
+        }
+    }
+}
+
+/// A work-stealing executor over a fixed worker count.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    threads: usize,
+    partition: Partition,
+}
+
+impl Executor {
+    /// An executor with `threads` workers (0 is treated as 1) and round-robin
+    /// seeding.
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+            partition: Partition::RoundRobin,
+        }
+    }
+
+    /// Override how jobs are seeded onto workers.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` over every input, returning results in submission order.
+    ///
+    /// Equivalent to `inputs.into_iter().enumerate().map(f).collect()` — the
+    /// parallel schedule is unobservable in the output.
+    pub fn run<I, T, F>(&self, inputs: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        self.run_with_stats(inputs, f).0
+    }
+
+    /// [`Executor::run`], also returning the batch's scheduling counters.
+    pub fn run_with_stats<I, T, F>(&self, inputs: Vec<I>, f: F) -> (Vec<T>, ExecStats)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let total = inputs.len();
+        // Never spin up more workers than jobs; a 1-worker batch runs inline
+        // on the submitting thread (no spawn, no locking).
+        let workers = self.threads.min(total.max(1));
+        if workers == 1 {
+            let mut collector = OrderedCollector::new(total);
+            for (index, input) in inputs.into_iter().enumerate() {
+                collector.record(index, f(index, input));
+            }
+            return (
+                collector.into_ordered(),
+                ExecStats {
+                    workers: 1,
+                    executed: vec![total as u64],
+                    ..ExecStats::default()
+                },
+            );
+        }
+
+        let deques: Vec<JobDeque<I>> = (0..workers).map(|_| JobDeque::default()).collect();
+        for (index, input) in inputs.into_iter().enumerate() {
+            let home = match self.partition {
+                Partition::RoundRobin => index % workers,
+                Partition::Pinned(w) => w.min(workers - 1),
+            };
+            deques[home].push(Job { index, input });
+        }
+
+        let collector = Mutex::new(OrderedCollector::new(total));
+        let executed_total = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        // Parking for workers that found no work: jobs are never added after
+        // seeding, so an empty steal sweep means the only event left to wait
+        // for is an in-flight job completing (or the batch aborting) —
+        // signalled here, instead of busy-spinning on `yield_now` and
+        // stealing cycles from the workers still computing.
+        let idle = (Mutex::new(()), Condvar::new());
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let steals = AtomicU64::new(0);
+        let steal_attempts = AtomicU64::new(0);
+        let executed_per: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let deques = &deques;
+                let collector = &collector;
+                let executed_total = &executed_total;
+                let executed_per = &executed_per;
+                let abort = &abort;
+                let first_panic = &first_panic;
+                let idle = &idle;
+                let steals = &steals;
+                let steal_attempts = &steal_attempts;
+                let f = &f;
+                scope.spawn(move || loop {
+                    if abort.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let job = deques[me].pop().or_else(|| {
+                        for k in 1..workers {
+                            steal_attempts.fetch_add(1, Ordering::Relaxed);
+                            if let Some(job) = deques[(me + k) % workers].steal() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                return Some(job);
+                            }
+                        }
+                        None
+                    });
+                    let Some(Job { index, input }) = job else {
+                        let seen = executed_total.load(Ordering::Acquire);
+                        if seen == total {
+                            return;
+                        }
+                        // Another worker still holds a claimed job; park
+                        // until its completion (or a panic) is signalled.
+                        // Re-checking the counter under the lock closes the
+                        // missed-wakeup window; the timeout is insurance.
+                        let guard = idle.0.lock().expect("idle lock poisoned");
+                        if executed_total.load(Ordering::Acquire) == seen
+                            && !abort.load(Ordering::Acquire)
+                        {
+                            let _ = idle
+                                .1
+                                .wait_timeout(guard, Duration::from_millis(5))
+                                .expect("idle lock poisoned");
+                        }
+                        continue;
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| f(index, input))) {
+                        Ok(value) => {
+                            collector
+                                .lock()
+                                .expect("collector lock poisoned")
+                                .record(index, value);
+                            executed_per[me].fetch_add(1, Ordering::Relaxed);
+                            executed_total.fetch_add(1, Ordering::AcqRel);
+                            drop(idle.0.lock().expect("idle lock poisoned"));
+                            idle.1.notify_all();
+                        }
+                        Err(payload) => {
+                            let mut slot = first_panic.lock().expect("panic slot poisoned");
+                            slot.get_or_insert(payload);
+                            drop(slot);
+                            abort.store(true, Ordering::Release);
+                            drop(idle.0.lock().expect("idle lock poisoned"));
+                            idle.1.notify_all();
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(payload) = first_panic.into_inner().expect("panic slot poisoned") {
+            resume_unwind(payload);
+        }
+        let (mut uncontended, mut contended) = (0, 0);
+        for d in &deques {
+            let (u, c) = d.lock_counts();
+            uncontended += u;
+            contended += c;
+        }
+        let stats = ExecStats {
+            workers,
+            executed: executed_per
+                .iter()
+                .map(|n| n.load(Ordering::Relaxed))
+                .collect(),
+            steals: steals.load(Ordering::Relaxed),
+            steal_attempts: steal_attempts.load(Ordering::Relaxed),
+            locks_uncontended: uncontended,
+            locks_contended: contended,
+        };
+        (
+            collector
+                .into_inner()
+                .expect("collector lock poisoned")
+                .into_ordered(),
+            stats,
+        )
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined) — the
+/// natural default for a `threads` knob left unset.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_returns_empty_output() {
+        let out: Vec<u32> = Executor::new(4).run(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline_in_order() {
+        let (out, stats) = Executor::new(1).run_with_stats((0..10).collect(), |i, x: usize| {
+            assert_eq!(i, x);
+            x * x
+        });
+        assert_eq!(out, (0..10).map(|x| x * x).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_output() {
+        let inputs: Vec<u64> = (0..257).collect();
+        let serial = Executor::new(1).run(inputs.clone(), |i, x| x.wrapping_mul(31) ^ i as u64);
+        for threads in [2, 3, 8] {
+            let parallel =
+                Executor::new(threads).run(inputs.clone(), |i, x| x.wrapping_mul(31) ^ i as u64);
+            assert_eq!(parallel, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_job_count() {
+        let (out, stats) = Executor::new(64).run_with_stats(vec![1, 2, 3], |_, x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(stats.workers <= 3);
+        assert_eq!(stats.executed.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn job_panics_propagate_with_their_message() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Executor::new(4).run((0..32).collect(), |_, x: usize| {
+                assert!(x != 17, "cell 17 violated an invariant");
+                x
+            })
+        }));
+        let payload = result.expect_err("the batch must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("cell 17 violated an invariant"),
+            "panic payload must be the job's own: {msg}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # minion-exec
+//!
+//! A hand-rolled **work-stealing executor** for the Minion reproduction's
+//! embarrassingly parallel sweeps: scenario-matrix cells and engine load
+//! shards, every one independently seeded, executed across worker threads
+//! **without perturbing results** — output is byte-identical at any thread
+//! count.
+//!
+//! Built on `std` only (threads, `Mutex`, atomics), matching the workspace's
+//! offline `shims` policy: no rayon, no crossbeam. Three layers:
+//!
+//! * [`JobDeque`] — per-worker deques; owners pop LIFO, thieves steal FIFO,
+//!   with lock-contention counters so the Mutex backing stays justified
+//!   ([`ExecStats::contention_ratio`]).
+//! * [`OrderedCollector`] — the reorder buffer that commits results strictly
+//!   in submission order, which is what makes parallel sweeps
+//!   report-identical to serial ones.
+//! * [`Executor`] — seeds an indexed job batch across the deques
+//!   ([`Partition`]), runs it, propagates the first job panic verbatim, and
+//!   returns results in submission order (plus [`ExecStats`]).
+//!
+//! Consumers: `minion_testkit::run_matrix_threads` (cells across workers),
+//! `minion_engine::LoadScenario::run_sharded` (flow shards across workers),
+//! and the `sweep_matrix` bench binary behind `BENCH_sweep.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod deque;
+pub mod executor;
+
+pub use collector::OrderedCollector;
+pub use deque::{Job, JobDeque};
+pub use executor::{available_threads, ExecStats, Executor, Partition};

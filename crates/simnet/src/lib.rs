@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hash;
 pub mod link;
 pub mod loss;
 pub mod packet;
@@ -32,6 +33,7 @@ pub mod stats;
 pub mod time;
 pub mod world;
 
+pub use hash::{fnv1a, FNV_OFFSET_BASIS};
 pub use link::{Link, LinkConfig, LinkStats, TransmitOutcome};
 pub use loss::{LossConfig, LossModel};
 pub use packet::{NodeId, Packet, PER_PACKET_OVERHEAD};

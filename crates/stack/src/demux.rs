@@ -1,0 +1,242 @@
+//! Open-addressed TCP connection demux: `(local port, peer) → socket`.
+//!
+//! Every arriving TCP segment resolves its connection through this table, so
+//! at engine load (thousands of flows × tens of packets each) the lookup is
+//! a hot path. The previous `BTreeMap<(u16, NodeId, u16), SocketHandle>`
+//! pays a pointer-chasing tree walk with `Ord` comparisons per node; this
+//! table is a hand-rolled open-addressed hash map — one FNV-1a hash of the
+//! packed 8-byte key, then a linear probe over a flat, power-of-two slot
+//! array. Deterministic by construction: probing depends only on the keys
+//! inserted and their order, both of which the simulation fixes.
+//!
+//! Sized for the workload: connections are never *removed* from a host's
+//! demux today (hosts live for one scenario), so the table supports insert,
+//! lookup, and scan — no tombstones. The `load_engine` bench records the
+//! before/after lookup cost (`BTreeMap` vs this table) in
+//! `BENCH_engine.json` under `"demux"`.
+
+use crate::addr::SocketHandle;
+use minion_simnet::NodeId;
+
+/// A demux key: `(local port, peer node, peer port)`.
+pub type TupleKey = (u16, NodeId, u16);
+
+/// Probe-length accounting (insert-time), for contention/quality checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Keys inserted (excluding replacements).
+    pub inserts: u64,
+    /// Slots examined across all inserts (1 per insert is a perfect hash).
+    pub insert_probes: u64,
+    /// Times the table grew (rehashed into a doubled slot array).
+    pub grows: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    key: TupleKey,
+    value: SocketHandle,
+}
+
+/// An open-addressed `(port, peer) → SocketHandle` table with linear
+/// probing over a power-of-two slot array.
+#[derive(Clone, Debug, Default)]
+pub struct TupleTable {
+    slots: Vec<Option<Entry>>,
+    len: usize,
+    stats: TableStats,
+}
+
+/// Pack a key into the 8 bytes the canonical FNV-1a
+/// ([`minion_simnet::fnv1a`]) hashes (ports and node index are disjoint
+/// fields, so distinct keys pack distinctly).
+fn hash(key: &TupleKey) -> u64 {
+    let (local_port, peer_node, peer_port) = *key;
+    let mut packed = [0u8; 8];
+    packed[0..2].copy_from_slice(&local_port.to_be_bytes());
+    packed[2..4].copy_from_slice(&peer_port.to_be_bytes());
+    packed[4..8].copy_from_slice(&(peer_node.index() as u32).to_be_bytes());
+    let mut h = minion_simnet::FNV_OFFSET_BASIS;
+    minion_simnet::fnv1a(&mut h, &packed);
+    h
+}
+
+impl TupleTable {
+    /// An empty table (no slots until the first insert).
+    pub fn new() -> Self {
+        TupleTable::default()
+    }
+
+    /// Number of connections in the table.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert-time probe statistics.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// The socket owning `key`, if any.
+    #[inline]
+    pub fn get(&self, key: &TupleKey) -> Option<SocketHandle> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash(key) as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some(e) if e.key == *key => return Some(e.value),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Map `key` to `value`, returning the previous value if the key was
+    /// already present. Replacements touch neither the slot array nor the
+    /// probe statistics.
+    pub fn insert(&mut self, key: TupleKey, value: SocketHandle) -> Option<SocketHandle> {
+        if self.slots.is_empty() {
+            self.grow();
+        }
+        // Probe first: find the key (replacement) or its insertion point.
+        let mask = self.slots.len() - 1;
+        let mut i = (hash(&key) as usize) & mask;
+        let mut probes = 1u64;
+        loop {
+            match &mut self.slots[i] {
+                None => break,
+                Some(e) if e.key == key => {
+                    return Some(std::mem::replace(&mut e.value, value));
+                }
+                Some(_) => {
+                    i = (i + 1) & mask;
+                    probes += 1;
+                }
+            }
+        }
+        // A genuinely new key: grow at 3/4 load so probe runs stay short
+        // (`+1` accounts for the key about to be inserted), re-locating the
+        // insertion point in the resized slot array.
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+            let mask = self.slots.len() - 1;
+            i = (hash(&key) as usize) & mask;
+            probes = 1;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+                probes += 1;
+            }
+        }
+        self.slots[i] = Some(Entry { key, value });
+        self.len += 1;
+        self.stats.inserts += 1;
+        self.stats.insert_probes += probes;
+        None
+    }
+
+    /// Whether any connection uses `port` as its local port (ephemeral-port
+    /// allocation check; a full scan, off the per-segment hot path).
+    pub fn contains_local_port(&self, port: u16) -> bool {
+        self.slots.iter().flatten().any(|e| e.key.0 == port)
+    }
+
+    /// Double the slot array (16 slots minimum) and rehash every entry.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        debug_assert!(new_cap.is_power_of_two());
+        let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+        self.stats.grows += 1;
+        let mask = new_cap - 1;
+        for e in old.into_iter().flatten() {
+            let mut i = (hash(&e.key) as usize) & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(lp: u16, node: u32, pp: u16) -> TupleKey {
+        (lp, NodeId(node), pp)
+    }
+
+    #[test]
+    fn insert_get_round_trip_through_growth() {
+        let mut t = TupleTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&key(1, 1, 1)), None, "empty table misses cleanly");
+        // Insert far past several growth thresholds.
+        for i in 0..1000u32 {
+            let k = key(40_000 + (i % 500) as u16, i / 500, 7000);
+            assert_eq!(t.insert(k, SocketHandle(i)), None);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000u32 {
+            let k = key(40_000 + (i % 500) as u16, i / 500, 7000);
+            assert_eq!(t.get(&k), Some(SocketHandle(i)), "key {i}");
+        }
+        assert_eq!(t.get(&key(39_999, 0, 7000)), None);
+        assert!(t.stats().grows >= 6, "1000 keys force repeated growth");
+        // Probe quality: at 3/4 max load, average insert probes stay small.
+        let s = t.stats();
+        assert!(
+            s.insert_probes < s.inserts * 4,
+            "probe runs degenerated: {s:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_replaces_and_reports_old_value() {
+        let mut t = TupleTable::new();
+        let k = key(80, 3, 5555);
+        assert_eq!(t.insert(k, SocketHandle(1)), None);
+        assert_eq!(t.insert(k, SocketHandle(2)), Some(SocketHandle(1)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&k), Some(SocketHandle(2)));
+    }
+
+    #[test]
+    fn local_port_scan_sees_all_entries() {
+        let mut t = TupleTable::new();
+        t.insert(key(80, 1, 1000), SocketHandle(1));
+        t.insert(key(81, 2, 1000), SocketHandle(2));
+        assert!(t.contains_local_port(80));
+        assert!(t.contains_local_port(81));
+        assert!(!t.contains_local_port(82));
+    }
+
+    #[test]
+    fn colliding_keys_coexist() {
+        // Distinct keys that differ only in a field each: whatever the hash
+        // spread, linear probing must keep them all reachable.
+        let mut t = TupleTable::new();
+        for pp in 0..64u16 {
+            t.insert(key(7000, 1, pp), SocketHandle(pp as u32));
+        }
+        for node in 0..64u32 {
+            t.insert(key(7000, 100 + node, 9), SocketHandle(1000 + node));
+        }
+        for pp in 0..64u16 {
+            assert_eq!(t.get(&key(7000, 1, pp)), Some(SocketHandle(pp as u32)));
+        }
+        for node in 0..64u32 {
+            assert_eq!(
+                t.get(&key(7000, 100 + node, 9)),
+                Some(SocketHandle(1000 + node))
+            );
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! userspace TCP and UDP implementations.
 
 use crate::addr::{SocketAddr, SocketHandle};
+use crate::demux::TupleTable;
 use crate::wire::TransportPacket;
 use bytes::Bytes;
 use minion_simnet::{NodeId, Packet, SimTime};
@@ -74,8 +75,10 @@ pub struct Host {
     name: String,
     sockets: BTreeMap<SocketHandle, Socket>,
     listeners: BTreeMap<u16, Listener>,
-    /// Demux table for established/opening TCP connections.
-    tcp_tuples: BTreeMap<(u16, NodeId, u16), SocketHandle>,
+    /// Demux table for established/opening TCP connections: an
+    /// open-addressed `(local port, peer node, peer port)` map (see
+    /// [`crate::demux`]), the per-segment hot path at engine load.
+    tcp_tuples: TupleTable,
     udp_ports: BTreeMap<u16, SocketHandle>,
     next_handle: u32,
     next_ephemeral_port: u16,
@@ -91,7 +94,7 @@ impl Host {
             name: name.into(),
             sockets: BTreeMap::new(),
             listeners: BTreeMap::new(),
-            tcp_tuples: BTreeMap::new(),
+            tcp_tuples: TupleTable::new(),
             udp_ports: BTreeMap::new(),
             next_handle: 1,
             next_ephemeral_port: 40_000,
@@ -121,7 +124,7 @@ impl Host {
             self.next_ephemeral_port = self.next_ephemeral_port.wrapping_add(1).max(40_000);
             let used = self.udp_ports.contains_key(&p)
                 || self.listeners.contains_key(&p)
-                || self.tcp_tuples.keys().any(|(lp, _, _)| *lp == p);
+                || self.tcp_tuples.contains_local_port(p);
             if !used {
                 return p;
             }
@@ -391,7 +394,7 @@ impl Host {
         now: SimTime,
     ) -> Option<SocketHandle> {
         let key = (seg.dst_port, from, seg.src_port);
-        if let Some(&handle) = self.tcp_tuples.get(&key) {
+        if let Some(handle) = self.tcp_tuples.get(&key) {
             if let Some(Socket::Tcp(t)) = self.sockets.get_mut(&handle) {
                 t.conn.on_segment(&seg, now);
                 return Some(handle);

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod demux;
 pub mod host;
 pub mod middlebox;
 pub mod scenario;
@@ -18,6 +19,7 @@ pub mod sim;
 pub mod wire;
 
 pub use addr::{SocketAddr, SocketHandle};
+pub use demux::{TableStats, TupleKey, TupleTable};
 pub use host::{Host, HostError};
 pub use middlebox::{Middlebox, MiddleboxBehavior, MiddleboxStats};
 pub use scenario::{residential, two_hosts, BottleneckConfig, ResidentialConfig, TwoHostScenario};

@@ -1,5 +1,6 @@
 //! The axes of the scenario matrix and the cross-product builder.
 
+use minion_engine::{fnv1a, FNV_OFFSET_BASIS};
 use minion_simnet::{LossConfig, SimDuration};
 
 /// The loss process applied to the path toward the receiver.
@@ -173,6 +174,51 @@ impl CellSpec {
         }
     }
 
+    /// The cell's seed as a **stable hash of its raw axis coordinates**
+    /// (enum discriminants plus exact field values — deliberately *not* the
+    /// display label, whose formatting rounds Bernoulli rates and may be
+    /// reworded) mixed with the matrix's base seed.
+    ///
+    /// Crucially *not* a function of expansion or execution order: a cell
+    /// keeps the same seed whether the matrix is expanded serially, sharded
+    /// across executor workers, reordered, or grown by new axis values —
+    /// which is what makes parallel sweeps report-identical to serial ones
+    /// and keeps existing cells' results stable as the matrix grows.
+    pub fn coordinate_seed(&self, base_seed: u64) -> u64 {
+        let mut h = FNV_OFFSET_BASIS;
+        fnv1a(&mut h, &base_seed.to_be_bytes());
+        fnv1a(&mut h, &[self.protocol as u8, self.receiver_stack as u8]);
+        match &self.loss {
+            LossAxis::None => fnv1a(&mut h, &[0]),
+            LossAxis::Bernoulli(p) => {
+                fnv1a(&mut h, &[1]);
+                fnv1a(&mut h, &p.to_bits().to_be_bytes());
+            }
+            LossAxis::Burst => fnv1a(&mut h, &[2]),
+            LossAxis::ExplicitHole(i) => {
+                fnv1a(&mut h, &[3]);
+                fnv1a(&mut h, &i.to_be_bytes());
+            }
+        }
+        fnv1a(&mut h, &self.rtt_ms.to_be_bytes());
+        fnv1a(&mut h, &self.rate_bps.to_be_bytes());
+        match self.middlebox {
+            MiddleboxAxis::PassThrough => fnv1a(&mut h, &[0]),
+            MiddleboxAxis::Split(n) => {
+                fnv1a(&mut h, &[1]);
+                fnv1a(&mut h, &(n as u64).to_be_bytes());
+            }
+            MiddleboxAxis::Coalesce(n) => {
+                fnv1a(&mut h, &[2]);
+                fnv1a(&mut h, &(n as u64).to_be_bytes());
+            }
+        }
+        fnv1a(&mut h, &(self.flows as u64).to_be_bytes());
+        fnv1a(&mut h, &(self.datagrams as u64).to_be_bytes());
+        fnv1a(&mut h, &(self.datagram_len as u64).to_be_bytes());
+        h
+    }
+
     /// Whether this cell's parameters make out-of-order delivery mandatory:
     /// a deterministic mid-stream hole with a uTCP receiver guarantees later
     /// segments arrive while the hole is outstanding. (Only single-flow
@@ -206,9 +252,10 @@ pub struct MatrixSpec {
     pub datagram_len: usize,
     /// Concurrent-flow axis (see [`CellSpec::flows`]).
     pub flows: Vec<usize>,
-    /// Base seed; each cell derives its own fixed seed from this and its
-    /// position, so adding axis values never reshuffles other cells' seeds
-    /// within a run of the same spec shape.
+    /// Base seed; each cell derives its own fixed seed from this and a
+    /// stable hash of its axis coordinates ([`CellSpec::coordinate_seed`]),
+    /// so seeds are independent of expansion/execution order and adding or
+    /// reordering axis values never reshuffles other cells' seeds.
     pub base_seed: u64,
 }
 
@@ -267,8 +314,7 @@ impl MatrixSpec {
                         for &rate_bps in &self.rates_bps {
                             for middlebox in &self.middleboxes {
                                 for &flows in &self.flows {
-                                    let index = out.len() as u64;
-                                    out.push(CellSpec {
+                                    let mut cell = CellSpec {
                                         protocol: *protocol,
                                         receiver_stack: *receiver_stack,
                                         loss: loss.clone(),
@@ -278,11 +324,10 @@ impl MatrixSpec {
                                         datagrams: self.datagrams,
                                         datagram_len: self.datagram_len,
                                         flows,
-                                        seed: self
-                                            .base_seed
-                                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                                            .wrapping_add(index),
-                                    });
+                                        seed: 0,
+                                    };
+                                    cell.seed = cell.coordinate_seed(self.base_seed);
+                                    out.push(cell);
                                 }
                             }
                         }
@@ -313,6 +358,62 @@ mod tests {
             spec.cells()[5].seed,
             cells[5].seed,
             "seeds are stable across expansions"
+        );
+    }
+
+    /// The seed-stability audit behind the parallel sweep: a cell's seed is
+    /// a pure function of its coordinates, so reordering the axis lists or
+    /// growing the matrix (both of which reshuffle draw order) leaves every
+    /// pre-existing cell's seed untouched. Under the old draw-order scheme
+    /// (`base_seed * M + expansion_index`) both halves of this test fail.
+    #[test]
+    fn seeds_depend_on_coordinates_not_draw_order() {
+        let spec = MatrixSpec::default();
+        let seeds_by_label: std::collections::BTreeMap<String, u64> =
+            spec.cells().iter().map(|c| (c.label(), c.seed)).collect();
+
+        // Reorder every axis: draw order changes completely, seeds must not.
+        let mut reordered = spec.clone();
+        reordered.protocols.reverse();
+        reordered.receiver_stacks.reverse();
+        reordered.losses.reverse();
+        for cell in reordered.cells() {
+            assert_eq!(
+                cell.seed,
+                seeds_by_label[&cell.label()],
+                "[{}] seed changed when axis draw order changed",
+                cell.label()
+            );
+        }
+
+        // Grow the matrix: new cells interleave into the expansion, but the
+        // original cells keep their seeds.
+        let mut grown = spec.clone();
+        grown.rtts_ms.insert(0, 25);
+        grown.losses.insert(1, LossAxis::Bernoulli(0.05));
+        for cell in grown.cells() {
+            if let Some(&seed) = seeds_by_label.get(&cell.label()) {
+                assert_eq!(
+                    cell.seed,
+                    seed,
+                    "[{}] seed changed when the matrix grew",
+                    cell.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_rates_sharing_a_rounded_label_get_distinct_seeds() {
+        let mut a = MatrixSpec::default().cells().remove(0);
+        let mut b = a.clone();
+        a.loss = LossAxis::Bernoulli(0.011);
+        b.loss = LossAxis::Bernoulli(0.014);
+        assert_eq!(a.label(), b.label(), "both rates render as bern1pct");
+        assert_ne!(
+            a.coordinate_seed(1),
+            b.coordinate_seed(1),
+            "exact loss parameters must reach the seed, not the rounded label"
         );
     }
 

@@ -40,6 +40,12 @@
 //! The harness is the regression surface for later performance and scaling
 //! work: `tests/scenario_matrix.rs` in the workspace root pins a ≥24-cell
 //! matrix.
+//!
+//! Sweeps parallelise on the `minion-exec` work-stealing executor: cells are
+//! independent jobs ([`run_matrix_threads`]), cell seeds are a stable hash
+//! of axis coordinates ([`CellSpec::coordinate_seed`]), and reports commit
+//! in cell order — so a sweep's output is byte-identical at any thread
+//! count (the `threads` knob: `MINION_THREADS`, [`default_threads`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,7 +57,10 @@ pub mod world;
 
 pub use axes::{CellSpec, LossAxis, MatrixSpec, MiddleboxAxis, PayloadProtocol, StackMode};
 pub use load::{load_scenario_of, run_load_cell};
-pub use runner::{run_cell, run_matrix, summarize, verify_cell, CellReport};
+pub use runner::{
+    default_threads, run_cell, run_matrix, run_matrix_once, run_matrix_threads, summarize,
+    verify_cell, CellReport,
+};
 pub use world::{build_world, CellWorld};
 // The canonical loss-model types: `LossAxis` is a selector over these, not a
 // re-implementation — consumers needing a loss model use the simnet type.

@@ -48,17 +48,25 @@ pub fn load_scenario_of(spec: &CellSpec) -> LoadScenario {
         receiver_utcp: spec.receiver_stack == StackMode::Utcp,
         seed: spec.seed,
         deadline: SimDuration::from_secs(300),
+        first_flow: 0,
     }
 }
 
 /// Run one multi-flow cell through the engine and map its load report onto
 /// the matrix's [`CellReport`] shape.
 ///
+/// The cell runs through the **sharded** decomposition
+/// ([`LoadScenario::run_sharded`], fixed 128-flow shards, each its own
+/// engine): the same decomposition whether the surrounding matrix executes
+/// serially or across workers, so cell reports never depend on the sweep's
+/// thread count. Shards run inline (one worker) here — the matrix already
+/// parallelises across cells, and nesting executors would oversubscribe.
+///
 /// The per-flow invariants (exactly-once, per-stream order, in-order-only on
 /// a standard receiver) are asserted inside [`LoadScenario::run`]; a
-/// violation panics with the scenario label.
+/// violation panics with the scenario label (which carries the shard offset).
 pub fn run_load_cell(spec: &CellSpec) -> CellReport {
-    let report = load_scenario_of(spec).run();
+    let report = load_scenario_of(spec).run_sharded(1);
     let payload_fingerprint = report
         .per_flow
         .iter()

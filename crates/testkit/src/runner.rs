@@ -435,9 +435,41 @@ pub fn verify_cell(spec: &CellSpec) -> CellReport {
     first
 }
 
-/// Verify every cell of a matrix; returns one report per cell.
+/// The sweep's default worker count: the `MINION_THREADS` environment
+/// variable if set to a positive integer, else 1 (serial). This is the
+/// `threads` knob for test invocations (e.g. `MINION_THREADS=4 cargo test
+/// --test scenario_matrix`); surfaces that sweep thread counts — the
+/// `sweep_matrix --threads` bench CI diffs, `tests/parallel_sweep.rs` —
+/// pass explicit values instead.
+pub fn default_threads() -> usize {
+    std::env::var("MINION_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Verify every cell of a matrix; returns one report per cell, in cell
+/// order. Runs on [`default_threads`] workers — every cell owns its seeded
+/// world, and reports are committed in cell order by the executor's ordered
+/// collection, so the output is byte-identical at any thread count.
 pub fn run_matrix(cells: &[CellSpec]) -> Vec<CellReport> {
-    cells.iter().map(verify_cell).collect()
+    run_matrix_threads(cells, default_threads())
+}
+
+/// [`run_matrix`] on an explicit worker count: cells are the jobs of a
+/// `minion-exec` work-stealing batch (each still verified by two runs).
+pub fn run_matrix_threads(cells: &[CellSpec], threads: usize) -> Vec<CellReport> {
+    minion_exec::Executor::new(threads).run(cells.to_vec(), |_, cell| verify_cell(&cell))
+}
+
+/// Run every cell **once** (no per-cell two-run verification) on `threads`
+/// workers, in cell order. The cheap sweep the bench harness and the
+/// cross-thread-count determinism gates use: comparing whole sweeps across
+/// thread counts already is a determinism check, so the per-cell double run
+/// would only double the wall time.
+pub fn run_matrix_once(cells: &[CellSpec], threads: usize) -> Vec<CellReport> {
+    minion_exec::Executor::new(threads).run(cells.to_vec(), |_, cell| run_cell(&cell))
 }
 
 /// A text table of per-cell results (label, delivered/sent, out-of-order,
