@@ -17,18 +17,35 @@
 //! cost of the host connection-demux table before (`BTreeMap`) and after
 //! (open-addressed `stack::TupleTable`) the sharded-hosts change.
 //!
+//! `--backend os` additionally drives the same flow counts through the
+//! OS-socket transport (`minion-osnet`): kernel TCP over loopback under an
+//! edge-triggered epoll reactor, same streams and exactly-once checks as
+//! the sim driver. Those rows land in an `"os"` section next to the sim
+//! numbers — wall-clock goodput, events/sec, and syscalls/flow instead of
+//! the sim's virtual-time figures — and gate on liveness (the scenario
+//! deadline) plus a goodput floor, not on determinism. `--threads` is
+//! sim-only (sharding drives simulated engines) and is rejected with os.
+//!
 //! Usage (one binary for CI and local runs):
 //!
 //! ```text
-//! load_engine [--flows 1,64,1024] [--threads N] [--out BENCH_engine.json]
+//! load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N] [--out BENCH_engine.json]
 //! ```
 
 use minion_bench::cli;
 use minion_engine::{verify_load_sharded, LoadReport, LoadScenario};
-use minion_simnet::NodeId;
+use minion_osnet::OsTransport;
+use minion_simnet::{NodeId, SimDuration};
 use minion_stack::{SocketHandle, TupleTable};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Goodput floor of the OS envelope gate, in bits/second. Loopback runs
+/// orders of magnitude above this on any plausible machine; the floor only
+/// exists to turn "the backend silently crawled" into a failure instead of
+/// a quietly absurd JSON row. Liveness (every flow completes before the
+/// scenario deadline) is asserted inside the driver itself.
+const OS_GOODPUT_FLOOR_BPS: u64 = 1_000_000;
 
 struct Row {
     report: LoadReport,
@@ -168,24 +185,116 @@ fn demux_bench_json() -> String {
     )
 }
 
-fn parse_args() -> (Vec<usize>, usize, String) {
+fn parse_args() -> (Vec<usize>, usize, cli::Backend, String) {
     let mut flows: Vec<usize> = vec![1, 64, 1024];
-    let mut threads = 1usize;
+    let mut threads: Option<usize> = None;
+    let mut backend = cli::Backend::Sim;
     let mut out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
-    let mut args = cli::CliArgs::new("load_engine [--flows 1,64,1024] [--threads N] [--out FILE]");
+    let mut args = cli::CliArgs::new(
+        "load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N] [--out FILE]",
+    );
     while let Some(arg) = args.next_flag() {
         match arg.as_str() {
+            "--backend" => backend = cli::parse_backend(&args.value("--backend")),
             "--flows" => flows = cli::parse_count_list(&args.value("--flows"), "--flows"),
-            "--threads" => threads = cli::parse_count(&args.value("--threads"), "--threads"),
+            "--threads" => threads = Some(cli::parse_count(&args.value("--threads"), "--threads")),
             "--out" => out = args.value("--out"),
             other => args.unknown(other),
         }
     }
-    (flows, threads, out)
+    cli::validate_backend(backend, threads.is_some());
+    (flows, threads.unwrap_or(1), backend, out)
+}
+
+/// One OS-backend row: the scenario replayed against kernel TCP over
+/// loopback. All figures are wall-clock.
+struct OsRow {
+    report: LoadReport,
+    syscalls: u64,
+    wall_seconds: f64,
+}
+
+/// Run `flows` concurrent flows through [`OsTransport`] and gate the result
+/// on the goodput floor (liveness is asserted inside the driver).
+fn run_os(flows: usize) -> OsRow {
+    let scenario = LoadScenario {
+        flows,
+        // Kernel TCP delivers in order; the link-shaping fields (rtt, rate,
+        // queue, loss) describe the simulated bottleneck and are ignored.
+        receiver_utcp: false,
+        // The deadline is a wall-clock liveness budget on this backend.
+        deadline: SimDuration::from_secs(60),
+        ..LoadScenario::default()
+    };
+    let mut transport = OsTransport::new();
+    let t0 = Instant::now();
+    let report = scenario.run_on(&mut transport);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let syscalls = minion_engine::Transport::syscalls(&transport);
+    assert!(
+        report.goodput_bps >= OS_GOODPUT_FLOOR_BPS,
+        "[{}] os goodput {} bps below the {} bps envelope floor",
+        report.label,
+        report.goodput_bps,
+        OS_GOODPUT_FLOOR_BPS
+    );
+    println!(
+        "{}  [os backend, {} syscalls ({:.1}/flow), wall {:.1} ms]",
+        report.summary(),
+        syscalls,
+        syscalls as f64 / flows.max(1) as f64,
+        wall_seconds * 1000.0
+    );
+    OsRow {
+        report,
+        syscalls,
+        wall_seconds,
+    }
+}
+
+fn os_row_json(row: &OsRow) -> String {
+    let r = &row.report;
+    let events = r.engine.events();
+    let events_per_wall_sec = if row.wall_seconds > 0.0 {
+        (events as f64 / row.wall_seconds) as u64
+    } else {
+        0
+    };
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"label\": \"{label}\",\n",
+            "      \"flows\": {flows},\n",
+            "      \"records_sent\": {sent},\n",
+            "      \"records_delivered\": {delivered},\n",
+            "      \"total_payload_bytes\": {bytes},\n",
+            "      \"completion_wall_ms\": {completion_ms:.3},\n",
+            "      \"goodput_bps\": {goodput},\n",
+            "      \"events\": {events},\n",
+            "      \"events_per_sec\": {eps},\n",
+            "      \"syscalls\": {syscalls},\n",
+            "      \"syscalls_per_flow\": {spf:.1},\n",
+            "      \"wall_ms\": {wall_ms:.3},\n",
+            "      \"deterministic\": false\n",
+            "    }}"
+        ),
+        label = json_escape(&r.label),
+        flows = r.flows,
+        sent = r.records_sent,
+        delivered = r.records_delivered,
+        bytes = r.total_bytes,
+        completion_ms = r.completion_us as f64 / 1000.0,
+        goodput = r.goodput_bps,
+        events = events,
+        eps = events_per_wall_sec,
+        syscalls = row.syscalls,
+        spf = row.syscalls as f64 / r.flows.max(1) as f64,
+        wall_ms = row.wall_seconds * 1000.0,
+    )
 }
 
 fn main() {
-    let (flows, threads, out) = parse_args();
+    let (flows, threads, backend, out) = parse_args();
     let mut rows = Vec::new();
     for &f in &flows {
         let scenario = LoadScenario::with_flows(f);
@@ -210,10 +319,25 @@ fn main() {
         });
     }
 
+    // The OS backend rides along *in addition to* the sim rows: the point
+    // of the section is kernel numbers next to sim numbers for the same
+    // workload, in the same file.
+    let os_section = if backend == cli::Backend::Os {
+        let os_rows: Vec<OsRow> = flows.iter().map(|&f| run_os(f)).collect();
+        let body = os_rows
+            .iter()
+            .map(os_row_json)
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("  \"os\": [\n{body}\n  ],\n")
+    } else {
+        String::new()
+    };
+
     let body = rows.iter().map(row_json).collect::<Vec<_>>().join(",\n");
     let demux = demux_bench_json();
     let json = format!(
-        "{{\n  \"bench\": \"engine_load\",\n{demux},\n  \"scenarios\": [\n{body}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"engine_load\",\n{demux},\n{os_section}  \"scenarios\": [\n{body}\n  ]\n}}\n"
     );
     std::fs::write(&out, &json).expect("write BENCH_engine.json");
     println!("wrote {out}");

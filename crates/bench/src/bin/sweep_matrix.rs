@@ -49,18 +49,33 @@ struct Run {
 
 fn parse_args() -> (Vec<usize>, Option<String>, String) {
     let mut threads: Vec<usize> = vec![1, 4];
+    let mut threads_requested = false;
+    let mut backend = cli::Backend::Sim;
     let mut report_prefix: Option<String> = None;
     let mut out = std::env::var("BENCH_SWEEP_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
-    let mut args =
-        cli::CliArgs::new("sweep_matrix [--threads 1,4] [--report-prefix PREFIX] [--out FILE]");
+    let mut args = cli::CliArgs::new(
+        "sweep_matrix [--backend sim] [--threads 1,4] [--report-prefix PREFIX] [--out FILE]",
+    );
     while let Some(arg) = args.next_flag() {
         match arg.as_str() {
-            "--threads" => threads = cli::parse_count_list(&args.value("--threads"), "--threads"),
+            "--backend" => backend = cli::parse_backend(&args.value("--backend")),
+            "--threads" => {
+                threads = cli::parse_count_list(&args.value("--threads"), "--threads");
+                threads_requested = true;
+            }
             "--report-prefix" => report_prefix = Some(args.value("--report-prefix")),
             "--out" => out = args.value("--out"),
             other => args.unknown(other),
         }
     }
+    // The sweep's whole point is byte-identical reports across thread
+    // counts — a property only the simulator has. The shared validation
+    // rejects --threads with os; the sweep itself needs sim outright.
+    cli::validate_backend(backend, threads_requested);
+    assert!(
+        backend == cli::Backend::Sim,
+        "sweep_matrix is sim-only (byte-identical sweeps); use load_engine --backend os for kernel-socket runs"
+    );
     (threads, report_prefix, out)
 }
 

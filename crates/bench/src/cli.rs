@@ -35,6 +35,48 @@ impl CliArgs {
     }
 }
 
+/// Which transport backend a bench binary drives: the deterministic
+/// simulator or real kernel sockets over loopback (`minion-osnet`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The deterministic simulator (byte-identical reports).
+    #[default]
+    Sim,
+    /// Kernel TCP over loopback via the epoll reactor (liveness/goodput
+    /// gates, no determinism promise).
+    Os,
+}
+
+impl Backend {
+    /// The tag used in labels and JSON (`"sim"` / `"os"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Os => "os",
+        }
+    }
+}
+
+/// Parse a `--backend` value.
+pub fn parse_backend(raw: &str) -> Backend {
+    match raw.trim() {
+        "sim" => Backend::Sim,
+        "os" => Backend::Os,
+        other => panic!("--backend takes sim|os, got {other:?}"),
+    }
+}
+
+/// Reject flag combinations the chosen backend cannot honour. Today that
+/// is exactly one: `--threads` with the OS backend (the shard decomposition
+/// and work-stealing executor drive *simulated* engines; sharding is
+/// sim-only for now).
+pub fn validate_backend(backend: Backend, threads_requested: bool) {
+    assert!(
+        !(backend == Backend::Os && threads_requested),
+        "--threads cannot be combined with --backend os: sharding is sim-only for now"
+    );
+}
+
 /// Parse a positive integer flag value.
 pub fn parse_count(raw: &str, flag: &str) -> usize {
     let n = raw
@@ -72,5 +114,30 @@ mod tests {
     #[should_panic(expected = "--flows takes positive integers")]
     fn junk_entries_are_rejected() {
         parse_count_list("1,banana", "--flows");
+    }
+
+    #[test]
+    fn backends_parse() {
+        assert_eq!(parse_backend("sim"), Backend::Sim);
+        assert_eq!(parse_backend(" os "), Backend::Os);
+        assert_eq!(Backend::Os.as_str(), "os");
+    }
+
+    #[test]
+    #[should_panic(expected = "--backend takes sim|os")]
+    fn unknown_backends_are_rejected() {
+        parse_backend("dpdk");
+    }
+
+    #[test]
+    #[should_panic(expected = "sharding is sim-only for now")]
+    fn threads_with_os_backend_is_rejected() {
+        validate_backend(Backend::Os, true);
+    }
+
+    #[test]
+    fn threads_with_sim_backend_is_fine() {
+        validate_backend(Backend::Sim, true);
+        validate_backend(Backend::Os, false);
     }
 }

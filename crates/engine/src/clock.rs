@@ -1,0 +1,119 @@
+//! Time sources for the event runtime: virtual (simulated) and monotonic
+//! (wall-clock) microseconds behind one trait.
+//!
+//! The [`TimerWheel`](crate::TimerWheel) and the engine loop operate on
+//! microsecond ticks. Historically those ticks were *simulated*
+//! microseconds by assumption; the transport-backend split makes the
+//! assumption explicit instead: ticks come from a [`Clock`], and whether
+//! they are virtual ([`VirtualClock`], advanced by the event loop to the
+//! next scheduled event) or real ([`MonotonicClock`], read from
+//! [`std::time::Instant`] as microseconds since the clock's creation) is
+//! the backend's choice. `SimTime` stays the tick type in both cases — it
+//! is a plain microsecond count, not inherently simulated.
+//!
+//! Determinism: the sim backend uses only [`VirtualClock`], whose readings
+//! are a pure function of the event sequence, so sim reports remain
+//! byte-identical across runs and thread counts. [`MonotonicClock`]
+//! readings are real time and therefore never appear in any
+//! determinism-gated report field.
+
+use minion_simnet::SimTime;
+use std::time::Instant;
+
+/// A source of microsecond ticks for an event loop.
+pub trait Clock {
+    /// The current time. Must be monotonically non-decreasing.
+    fn now(&self) -> SimTime;
+}
+
+/// Virtual time: owned and advanced by a deterministic event loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: SimTime,
+}
+
+impl VirtualClock {
+    /// A virtual clock at t = 0.
+    pub fn new() -> Self {
+        VirtualClock { now: SimTime::ZERO }
+    }
+
+    /// Advance to `t`. Panics (debug) if `t` is in the past — virtual time
+    /// never rewinds.
+    pub fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now, "virtual time cannot move backwards");
+        self.now = t;
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+/// Real time: microseconds elapsed since the clock was created, read from
+/// the OS monotonic clock. Feeds the timer wheel of the OS-socket backend.
+#[derive(Clone, Copy, Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A monotonic clock whose t = 0 is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.origin.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_and_reads_back() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_to(SimTime::from_micros(500));
+        assert_eq!(c.now(), SimTime::from_micros(500));
+        c.advance_to(SimTime::from_micros(500)); // same instant is fine
+        assert_eq!(c.now(), SimTime::from_micros(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    #[cfg(debug_assertions)]
+    fn virtual_clock_rejects_rewinds() {
+        let mut c = VirtualClock::new();
+        c.advance_to(SimTime::from_micros(10));
+        c.advance_to(SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn monotonic_clock_never_decreases() {
+        let c = MonotonicClock::new();
+        let mut prev = c.now();
+        for _ in 0..1000 {
+            let t = c.now();
+            assert!(t >= prev, "monotonic clock went backwards: {prev} -> {t}");
+            prev = t;
+        }
+        // And it does advance when real time passes.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(c.now() > SimTime::ZERO);
+    }
+}

@@ -27,14 +27,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod metrics;
 pub mod pool;
 pub mod runtime;
 pub mod scenario;
+pub mod transport;
 pub mod wheel;
 
+pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use metrics::{fnv1a, EngineMetrics, FlowMetrics, LoadReport, FNV_OFFSET_BASIS};
 pub use pool::{BufferPool, PoolStats};
 pub use runtime::{Engine, EngineHostId, FlowId};
 pub use scenario::{verify_load, verify_load_sharded, LoadScenario, LOAD_PORT, SHARD_FLOWS};
+pub use transport::{SimTransport, Transport, TransportChunk, TransportFlowStats};
 pub use wheel::TimerWheel;

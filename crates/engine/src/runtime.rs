@@ -22,6 +22,7 @@
 //! the scenario matrix (`minion-testkit`) remains the place where adversarial
 //! topologies live.
 
+use crate::clock::{Clock, VirtualClock};
 use crate::metrics::EngineMetrics;
 use crate::wheel::TimerWheel;
 use minion_simnet::{LinkConfig, NodeId, Packet, SimDuration, SimTime, World};
@@ -52,7 +53,9 @@ pub struct Engine {
     world: World,
     hosts: Vec<Host>,
     nodes: Vec<NodeId>,
-    now: SimTime,
+    /// Virtual time, advanced by the loop to the next scheduled event. The
+    /// wheel's ticks are this clock's microseconds (see [`crate::clock`]).
+    clock: VirtualClock,
     wheel: TimerWheel<FlowId>,
     flows: Vec<FlowSlot>,
     /// `(host, handle)` → flow, for O(log n) demux on the arrival path.
@@ -82,7 +85,7 @@ impl Engine {
             world: World::new(seed),
             hosts: Vec::new(),
             nodes: Vec::new(),
-            now: SimTime::ZERO,
+            clock: VirtualClock::new(),
             wheel: TimerWheel::new(),
             flows: Vec::new(),
             flow_of: BTreeMap::new(),
@@ -101,7 +104,7 @@ impl Engine {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.clock.now()
     }
 
     /// Runtime counters.
@@ -277,7 +280,7 @@ impl Engine {
             }
         };
         if !self.ready.is_empty() {
-            consider(Some(self.now));
+            consider(Some(self.clock.now()));
         }
         consider(self.world.next_arrival_time());
         consider(self.wheel.next_wake());
@@ -298,7 +301,7 @@ impl Engine {
             let (host, handle) = (slot.host, slot.handle);
             self.packets.clear();
             if self.hosts[host]
-                .poll_handle_into(handle, self.now, &mut self.packets)
+                .poll_handle_into(handle, self.clock.now(), &mut self.packets)
                 .is_err()
             {
                 continue;
@@ -320,7 +323,7 @@ impl Engine {
             for pkt in self.packets.drain(..) {
                 self.metrics.packets_sent += 1;
                 self.metrics.bytes_sent += pkt.wire_size() as u64;
-                if !self.world.send(self.now, pkt).is_scheduled() {
+                if !self.world.send(self.clock.now(), pkt).is_scheduled() {
                     self.metrics.packets_dropped += 1;
                 }
             }
@@ -337,7 +340,7 @@ impl Engine {
         if host >= self.hosts.len() {
             return;
         }
-        let Some(handle) = self.hosts[host].on_packet_demux(pkt, self.now) else {
+        let Some(handle) = self.hosts[host].on_packet_demux(pkt, self.clock.now()) else {
             return;
         };
         match self.flow_of.get(&(host, handle)) {
@@ -357,22 +360,22 @@ impl Engine {
         let Some(next) = self.next_event_time() else {
             return false;
         };
-        if next > self.now {
-            self.now = next;
+        if next > self.clock.now() {
+            self.clock.advance_to(next);
             self.stall_iterations = 0;
         } else {
             self.stall_iterations += 1;
             assert!(
                 self.stall_iterations < 100_000,
                 "engine stopped advancing at {} (stuck timer or zero-delay loop)",
-                self.now
+                self.clock.now()
             );
         }
         self.metrics.steps += 1;
 
         self.arrivals.clear();
         let mut arrivals = std::mem::take(&mut self.arrivals);
-        self.world.drain_due_into(self.now, &mut arrivals);
+        self.world.drain_due_into(self.clock.now(), &mut arrivals);
         for (_, pkt) in &arrivals {
             self.dispatch_packet(pkt);
         }
@@ -380,7 +383,7 @@ impl Engine {
 
         self.expired.clear();
         let mut expired = std::mem::take(&mut self.expired);
-        self.wheel.advance(self.now, &mut expired);
+        self.wheel.advance(self.clock.now(), &mut expired);
         self.metrics.timer_fires += expired.len() as u64;
         for flow in &expired {
             self.mark_ready(*flow);
@@ -396,18 +399,18 @@ impl Engine {
         loop {
             match self.next_event_time() {
                 None => {
-                    self.now = self.now.max(deadline);
+                    self.clock.advance_to(self.clock.now().max(deadline));
                     return;
                 }
                 Some(t) if t > deadline => {
                     // max(): a deadline already in the past must not move
                     // virtual time backwards.
-                    self.now = self.now.max(deadline);
+                    self.clock.advance_to(self.clock.now().max(deadline));
                     return;
                 }
                 Some(_) => {
                     if !self.step() {
-                        self.now = self.now.max(deadline);
+                        self.clock.advance_to(self.clock.now().max(deadline));
                         return;
                     }
                 }
@@ -417,7 +420,7 @@ impl Engine {
 
     /// Run for a span of virtual time from now.
     pub fn run_for(&mut self, duration: SimDuration) {
-        let deadline = self.now + duration;
+        let deadline = self.clock.now() + duration;
         self.run_until(deadline);
     }
 }

@@ -28,12 +28,12 @@
 
 use crate::metrics::{fnv1a, EngineMetrics, FlowMetrics, LoadReport, FNV_OFFSET_BASIS};
 use crate::pool::{BufferPool, PoolStats};
-use crate::runtime::{Engine, FlowId};
+use crate::runtime::FlowId;
+use crate::transport::{SimTransport, Transport};
 use bytes::Bytes;
 use minion_exec::Executor;
-use minion_simnet::{LinkConfig, LossConfig, SimDuration};
-use minion_stack::SocketAddr;
-use minion_tcp::{ConnEvent, SocketOptions, TcpConfig};
+use minion_simnet::LossConfig;
+use minion_simnet::SimDuration;
 use std::collections::BTreeMap;
 
 /// The TCP port load-scenario servers listen on.
@@ -159,99 +159,115 @@ impl LoadScenario {
         }
     }
 
-    /// Run the scenario once, asserting the per-flow invariants.
+    /// Run the scenario once on the simulator, asserting the per-flow
+    /// invariants ([`SimTransport`] + [`LoadScenario::run_on`]).
     pub fn run(&self) -> LoadReport {
-        let label = self.label();
-        let mut pool = BufferPool::new(self.record_len * self.records_per_flow + 64, 8);
-        let mut engine = Engine::new(self.seed);
-        let client = engine.add_host("client");
-        let server = engine.add_host("server");
-        let delay = SimDuration::from_micros(self.rtt_ms * 1000 / 2);
-        let toward = LinkConfig::new(self.rate_bps, delay)
-            .with_queue_bytes(self.queue_bytes)
-            .with_loss(self.loss.clone());
-        let back = LinkConfig::new(self.rate_bps, delay).with_queue_bytes(self.queue_bytes);
-        engine.link_asymmetric(client, server, toward, back);
+        let mut transport = SimTransport::new(self);
+        self.run_on(&mut transport)
+    }
 
-        let receiver_opts = if self.receiver_utcp {
-            SocketOptions::unordered_receive_only()
-        } else {
-            SocketOptions::standard()
+    /// Run the scenario's driver loop over any [`Transport`], asserting the
+    /// per-flow invariants (exactly-once delivery, per-stream order,
+    /// in-order-only for standard receivers) against whatever stack sits
+    /// behind it.
+    ///
+    /// Over [`SimTransport`] this is byte-identical to the pre-trait sim
+    /// driver (pinned by the parallel-sweep gates). Over the OS transport
+    /// (`minion-osnet`), "time" is wall-clock microseconds and the deadline
+    /// is a liveness gate; the same reassembly checks apply, but the
+    /// receiver is kernel TCP, so chunks are always in order and
+    /// retransmission counters read zero.
+    pub fn run_on(&self, transport: &mut dyn Transport) -> LoadReport {
+        let label = match transport.backend() {
+            "sim" => self.label(),
+            backend => format!("{}/{}", self.label(), backend),
         };
-        engine
-            .host_mut(server)
-            .tcp_listen(LOAD_PORT, TcpConfig::default(), receiver_opts)
-            .expect("listen on a fresh host");
-        engine.set_auto_register(server, true);
+        let mut pool = BufferPool::new(self.record_len * self.records_per_flow + 64, 8);
 
-        // Open every flow and queue its whole stream (streams are small
-        // enough for the default send buffer; the engine trickles them out
-        // under congestion control).
-        let server_addr = SocketAddr::new(engine.node_of(server), LOAD_PORT);
+        // Open every flow and offer its whole stream. A transport may accept
+        // only a prefix (or nothing, while the connect is in flight): the
+        // remainder stays staged per flow and is flushed on writable edges.
+        // The sim transport always accepts whole streams here, exactly as
+        // the pre-trait driver did.
         let mut states: Vec<FlowState> = Vec::with_capacity(self.flows);
+        let mut sends: Vec<Option<SendState>> = Vec::with_capacity(self.flows);
         for flow in 0..self.flows {
-            let now = engine.now();
-            let handle = engine.host_mut(client).tcp_connect(
-                server_addr,
-                TcpConfig::default(),
-                SocketOptions::standard(),
-                now,
-            );
-            let client_port = engine
-                .host_mut(client)
-                .tcp_local_port(handle)
-                .expect("fresh TCP socket");
-            let id = engine.register_flow(client, handle);
+            let (id, pair_key) = transport.connect();
             let mut stream = pool.take();
             self.build_stream(self.first_flow + flow, &mut stream);
             let expected_len = stream.len() as u64;
             assert_eq!(expected_len, self.stream_len(self.first_flow + flow));
-            let written = engine
-                .flow_write(id, &stream)
-                .expect("stream fits the send buffer");
-            assert_eq!(written as u64, expected_len);
-            pool.give(stream);
+            let written = transport.write(id, &stream);
             let mut state = FlowState::new(id, expected_len);
-            state.client_port = client_port;
+            state.pair_key = pair_key;
             states.push(state);
+            if written as u64 == expected_len {
+                pool.give(stream);
+                sends.push(None);
+            } else {
+                sends.push(Some(SendState {
+                    stream,
+                    cursor: written,
+                }));
+            }
         }
         // Pairing key for accepted server flows: the client's ephemeral port.
-        let mut flow_of_port: BTreeMap<u16, usize> = BTreeMap::new();
+        let mut flow_of_key: BTreeMap<u64, usize> = BTreeMap::new();
         for (flow, state) in states.iter().enumerate() {
-            let clash = flow_of_port.insert(state.client_port, flow);
+            let clash = flow_of_key.insert(state.pair_key, flow);
             assert!(
                 clash.is_none(),
                 "[{label}] duplicate ephemeral port {}",
-                state.client_port
+                state.pair_key
             );
         }
+        let mut client_flow_of: BTreeMap<FlowId, usize> = BTreeMap::new();
+        for (flow, state) in states.iter().enumerate() {
+            client_flow_of.insert(state.client, flow);
+        }
 
-        // Event-driven main loop: react to accepts and readability only.
+        // Event-driven main loop: react to accepts, writability (pending
+        // stream flushes), and readability only.
         let mut server_flow_of: BTreeMap<FlowId, usize> = BTreeMap::new();
-        let deadline = engine.now() + self.deadline;
+        let deadline = transport.now() + self.deadline;
         let mut completed = 0usize;
-        while completed < self.flows && engine.now() < deadline {
-            if !engine.step() {
+        while completed < self.flows && transport.now() < deadline {
+            if !transport.step() {
                 break;
             }
-            for sf in engine.take_accepted() {
+            for (sf, peer_key) in transport.take_accepted() {
                 // Pair the accepted server flow with its client by peer port.
-                let peer = engine.flow_peer(sf);
-                let flow = *flow_of_port
-                    .get(&peer.port)
-                    .unwrap_or_else(|| panic!("[{label}] unknown peer port {}", peer.port));
+                let flow = *flow_of_key
+                    .get(&peer_key)
+                    .unwrap_or_else(|| panic!("[{label}] unknown peer port {peer_key}"));
                 states[flow].server = Some(sf);
                 server_flow_of.insert(sf, flow);
             }
-            for (f, ev) in engine.take_events() {
-                if ev != ConnEvent::Readable {
+            for f in transport.take_writable() {
+                let Some(&flow) = client_flow_of.get(&f) else {
                     continue;
+                };
+                let Some(send) = &mut sends[flow] else {
+                    continue;
+                };
+                while send.cursor < send.stream.len() {
+                    let n = transport.write(f, &send.stream[send.cursor..]);
+                    if n == 0 {
+                        break;
+                    }
+                    send.cursor += n;
                 }
+                if send.cursor == send.stream.len() {
+                    let done = sends[flow].take().expect("send state present");
+                    pool.give(done.stream);
+                }
+            }
+            for f in transport.take_readable() {
                 let Some(&flow) = server_flow_of.get(&f) else {
                     continue;
                 };
-                let now_us = engine.now().as_micros();
-                while let Some(chunk) = engine.flow_read(f) {
+                let now_us = transport.now().as_micros();
+                while let Some(chunk) = transport.read(f) {
                     let state = &mut states[flow];
                     if !chunk.in_order {
                         state.ooo_chunks += 1;
@@ -270,7 +286,7 @@ impl LoadScenario {
             "[{label}] {} of {} flows incomplete at {} (deadline {})",
             self.flows - completed,
             self.flows,
-            engine.now(),
+            transport.now(),
             deadline,
         );
         let completion_us = states
@@ -281,17 +297,17 @@ impl LoadScenario {
 
         // Snapshot the runtime counters now: the report's rates describe the
         // load phase, not the FIN/TIME-WAIT close-out below.
-        let engine_metrics = *engine.metrics();
+        let engine_metrics = transport.metrics();
         let events = engine_metrics.events();
 
         // Orderly close both sides and drive the FIN exchanges.
         for state in &states {
-            engine.flow_close(state.client);
+            transport.close(state.client);
             if let Some(sf) = state.server {
-                engine.flow_close(sf);
+                transport.close(sf);
             }
         }
-        engine.run_for(SimDuration::from_secs(8));
+        transport.finish();
 
         // Verify and assemble the report. Delivered bytes/records are
         // *measured* from the reassembled streams (coverage ranges + parsed
@@ -326,7 +342,7 @@ impl LoadScenario {
             let bytes_covered: u64 = state.covered.iter().map(|(s, e)| e - s).sum();
             let flow_records = parse_records(&got, global_flow as u32)
                 .unwrap_or_else(|e| panic!("[{label}] flow {global_flow}: {e}"));
-            let stats = engine.flow_stats(state.client);
+            let stats = transport.flow_stats(state.client);
             let mut fingerprint: u64 = FNV_OFFSET_BASIS;
             fnv1a(&mut fingerprint, &got);
             per_flow.push(FlowMetrics {
@@ -335,7 +351,7 @@ impl LoadScenario {
                 records_delivered: flow_records,
                 chunks_out_of_order: state.ooo_chunks,
                 retransmissions: stats.retransmissions,
-                rto_fires: stats.timeouts,
+                rto_fires: stats.rto_fires,
                 completion_us: state.completion_us.expect("all complete"),
                 fingerprint,
             });
@@ -519,12 +535,20 @@ fn parse_records(stream: &[u8], flow: u32) -> Result<u64, String> {
     Ok(records)
 }
 
+/// A partially-accepted outbound stream: the unflushed remainder stays
+/// staged here and drains on writable edges. The sim transport accepts
+/// whole streams up front, so this only arises on the OS backend.
+struct SendState {
+    stream: Vec<u8>,
+    cursor: usize,
+}
+
 /// Receiver-side bookkeeping for one flow.
 struct FlowState {
     client: FlowId,
     server: Option<FlowId>,
-    /// Client's local (ephemeral) port, the pairing key for accepts.
-    client_port: u16,
+    /// Pairing key for accepts: the client's ephemeral port.
+    pair_key: u64,
     expected_len: u64,
     /// Delivered chunks (offset, bytes); duplicates allowed (uTCP delivers
     /// at-least-once), resolved by the final reassembly check.
@@ -540,7 +564,7 @@ impl FlowState {
         FlowState {
             client,
             server: None,
-            client_port: 0,
+            pair_key: 0,
             expected_len,
             chunks: Vec::new(),
             covered: Vec::new(),

@@ -1,0 +1,275 @@
+//! The transport abstraction behind the load scenarios: packet I/O and time
+//! as a trait, so the same scenario driver runs against the deterministic
+//! simulator or a real kernel stack.
+//!
+//! A [`Transport`] hides everything backend-specific behind a small,
+//! readiness-driven surface: open client flows toward the scenario's server,
+//! write/read bytes, and pump an event loop that reports accepts and
+//! readable/writable edges. Two implementations exist:
+//!
+//! * [`SimTransport`] (here) — wraps the deterministic [`Engine`] and the
+//!   simnet world. Its behaviour (and therefore every report produced over
+//!   it) is byte-identical to driving the engine directly: the trait calls
+//!   map 1:1 onto the engine calls the scenario driver used to make, in the
+//!   same order.
+//! * `OsTransport` (`minion-osnet`) — drives real nonblocking kernel
+//!   sockets over loopback through an epoll reactor, with a monotonic
+//!   [`Clock`](crate::Clock) feeding wall-clock microseconds into the same
+//!   driver loop. Determinism is *not* promised there; the OS backend gates
+//!   on liveness and goodput envelopes instead.
+//!
+//! Time flows through [`Transport::now`]: virtual microseconds for sim,
+//! monotonic microseconds since transport creation for the OS backend. The
+//! scenario driver never asks which one it is.
+
+use crate::metrics::EngineMetrics;
+use crate::runtime::{Engine, EngineHostId, FlowId};
+use crate::scenario::{LoadScenario, LOAD_PORT};
+use bytes::Bytes;
+use minion_simnet::{LinkConfig, SimDuration, SimTime};
+use minion_stack::SocketAddr;
+use minion_tcp::{ConnEvent, SocketOptions, TcpConfig};
+
+/// One delivered piece of a flow's byte stream.
+#[derive(Clone, Debug)]
+pub struct TransportChunk {
+    /// Stream offset of the first byte.
+    pub offset: u64,
+    /// The bytes.
+    pub data: Bytes,
+    /// Whether the chunk arrived in stream order (kernel TCP always does;
+    /// uTCP receivers may deliver out of order).
+    pub in_order: bool,
+}
+
+/// Sender-side statistics of one flow, as far as the backend can observe
+/// them (the OS backend cannot see kernel retransmissions and reports
+/// zeros).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportFlowStats {
+    /// Data-segment retransmissions.
+    pub retransmissions: u64,
+    /// Retransmission timeouts fired.
+    pub rto_fires: u64,
+}
+
+/// Packet I/O and time behind the load-scenario driver.
+///
+/// The driver's contract:
+///
+/// 1. [`connect`](Transport::connect) every flow, then immediately offer its
+///    stream via [`write`](Transport::write) (which may accept a prefix, or
+///    nothing while the flow is still connecting);
+/// 2. loop: [`step`](Transport::step), then drain
+///    [`take_accepted`](Transport::take_accepted) /
+///    [`take_writable`](Transport::take_writable) (flush pending writes) /
+///    [`take_readable`](Transport::take_readable) (read each flow to
+///    exhaustion — edge-triggered backends rely on it);
+/// 3. [`close`](Transport::close) every flow and
+///    [`finish`](Transport::finish) the teardown.
+pub trait Transport {
+    /// Backend tag for labels/reports: `"sim"` or `"os"`.
+    fn backend(&self) -> &'static str;
+
+    /// Current time: virtual for sim, monotonic-since-creation for OS.
+    fn now(&self) -> SimTime;
+
+    /// Open one client flow toward the scenario's server. Returns the flow
+    /// and its pairing key (the client's ephemeral port), which
+    /// [`take_accepted`](Transport::take_accepted) echoes from the server
+    /// side so the driver can pair the two endpoints of a connection.
+    fn connect(&mut self) -> (FlowId, u64);
+
+    /// Offer bytes on a flow; returns how many were accepted (possibly 0 —
+    /// a connecting or flow-blocked socket). The driver keeps a cursor and
+    /// retries on writable edges.
+    fn write(&mut self, flow: FlowId, data: &[u8]) -> usize;
+
+    /// The next delivered chunk on a flow, or `None` when drained
+    /// (edge-triggered backends require the driver to read until `None`).
+    fn read(&mut self, flow: FlowId) -> Option<TransportChunk>;
+
+    /// Request an orderly close (FIN) of a flow.
+    fn close(&mut self, flow: FlowId);
+
+    /// Process pending work and advance time. Returns `false` once nothing
+    /// further can happen (sim: no scheduled events; OS: transport drained).
+    fn step(&mut self) -> bool;
+
+    /// Server-side flows accepted since the last call, each with the peer's
+    /// pairing key (the client's ephemeral port).
+    fn take_accepted(&mut self) -> Vec<(FlowId, u64)>;
+
+    /// Flows with a readable edge since the last call, in event order.
+    fn take_readable(&mut self) -> Vec<FlowId>;
+
+    /// Flows with a writable edge since the last call (connect completion
+    /// or send-buffer space reopening), in event order.
+    fn take_writable(&mut self) -> Vec<FlowId>;
+
+    /// Sender-side stats of a flow.
+    fn flow_stats(&self, flow: FlowId) -> TransportFlowStats;
+
+    /// Aggregate runtime counters (events, packets/syscalls, bytes).
+    fn metrics(&self) -> EngineMetrics;
+
+    /// Total syscalls issued (OS backend; sim has none).
+    fn syscalls(&self) -> u64 {
+        0
+    }
+
+    /// Drive connection teardown (FIN exchanges) to quiescence.
+    fn finish(&mut self);
+}
+
+/// The simulator-backed [`Transport`]: the engine, two hosts, one
+/// asymmetric link, exactly as the pre-trait load scenario built them.
+pub struct SimTransport {
+    engine: Engine,
+    client: EngineHostId,
+    server_addr: SocketAddr,
+    readable: Vec<FlowId>,
+    writable: Vec<FlowId>,
+}
+
+impl SimTransport {
+    /// Build the two-host world of `scenario`: client and server hosts, the
+    /// shared bottleneck link (loss on the data direction only), a listening
+    /// uTCP/TCP socket on [`LOAD_PORT`], and auto-registration of accepted
+    /// flows.
+    pub fn new(scenario: &LoadScenario) -> Self {
+        let mut engine = Engine::new(scenario.seed);
+        let client = engine.add_host("client");
+        let server = engine.add_host("server");
+        let delay = SimDuration::from_micros(scenario.rtt_ms * 1000 / 2);
+        let toward = LinkConfig::new(scenario.rate_bps, delay)
+            .with_queue_bytes(scenario.queue_bytes)
+            .with_loss(scenario.loss.clone());
+        let back = LinkConfig::new(scenario.rate_bps, delay).with_queue_bytes(scenario.queue_bytes);
+        engine.link_asymmetric(client, server, toward, back);
+
+        let receiver_opts = if scenario.receiver_utcp {
+            SocketOptions::unordered_receive_only()
+        } else {
+            SocketOptions::standard()
+        };
+        engine
+            .host_mut(server)
+            .tcp_listen(LOAD_PORT, TcpConfig::default(), receiver_opts)
+            .expect("listen on a fresh host");
+        engine.set_auto_register(server, true);
+        let server_addr = SocketAddr::new(engine.node_of(server), LOAD_PORT);
+        SimTransport {
+            engine,
+            client,
+            server_addr,
+            readable: Vec::new(),
+            writable: Vec::new(),
+        }
+    }
+
+    /// Borrow the underlying engine (tests and instrumentation).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Split the engine's edge events into the readable/writable queues the
+    /// trait exposes (other edges — `Established`, `RtoFired`, `Closed` —
+    /// carry no driver work and are dropped, as the pre-trait driver did).
+    fn pump_events(&mut self) {
+        for (f, ev) in self.engine.take_events() {
+            match ev {
+                ConnEvent::Readable => self.readable.push(f),
+                ConnEvent::Writable => self.writable.push(f),
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Transport for SimTransport {
+    fn backend(&self) -> &'static str {
+        "sim"
+    }
+
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    fn connect(&mut self) -> (FlowId, u64) {
+        let now = self.engine.now();
+        let handle = self.engine.host_mut(self.client).tcp_connect(
+            self.server_addr,
+            TcpConfig::default(),
+            SocketOptions::standard(),
+            now,
+        );
+        let client_port = self
+            .engine
+            .host_mut(self.client)
+            .tcp_local_port(handle)
+            .expect("fresh TCP socket");
+        let id = self.engine.register_flow(self.client, handle);
+        (id, u64::from(client_port))
+    }
+
+    fn write(&mut self, flow: FlowId, data: &[u8]) -> usize {
+        self.engine
+            .flow_write(flow, data)
+            .expect("flow handle is a valid TCP socket")
+    }
+
+    fn read(&mut self, flow: FlowId) -> Option<TransportChunk> {
+        self.engine.flow_read(flow).map(|c| TransportChunk {
+            offset: c.offset,
+            data: c.data,
+            in_order: c.in_order,
+        })
+    }
+
+    fn close(&mut self, flow: FlowId) {
+        self.engine.flow_close(flow);
+    }
+
+    fn step(&mut self) -> bool {
+        self.engine.step()
+    }
+
+    fn take_accepted(&mut self) -> Vec<(FlowId, u64)> {
+        self.engine
+            .take_accepted()
+            .into_iter()
+            .map(|sf| {
+                let peer = self.engine.flow_peer(sf);
+                (sf, u64::from(peer.port))
+            })
+            .collect()
+    }
+
+    fn take_readable(&mut self) -> Vec<FlowId> {
+        self.pump_events();
+        std::mem::take(&mut self.readable)
+    }
+
+    fn take_writable(&mut self) -> Vec<FlowId> {
+        self.pump_events();
+        std::mem::take(&mut self.writable)
+    }
+
+    fn flow_stats(&self, flow: FlowId) -> TransportFlowStats {
+        let stats = self.engine.flow_stats(flow);
+        TransportFlowStats {
+            retransmissions: stats.retransmissions,
+            rto_fires: stats.timeouts,
+        }
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        *self.engine.metrics()
+    }
+
+    fn finish(&mut self) {
+        // Drive the FIN/TIME-WAIT exchanges of every closed flow.
+        self.engine.run_for(SimDuration::from_secs(8));
+    }
+}

@@ -1,0 +1,175 @@
+//! Edge cases of nonblocking socket I/O that the OS transport must handle:
+//! `WouldBlock` on accept/read, partial writes splitting a uCOBS record
+//! boundary, and FIN racing pending data. Each test is a deterministic
+//! single-connection check against real loopback sockets — no engine, no
+//! load scenario.
+
+use minion_cobs::{frame_datagram, scan_records};
+use minion_osnet::reactor::Event;
+use minion_osnet::{sys, Reactor};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+
+fn loopback_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let client = TcpStream::connect(addr).expect("loopback connect");
+    let (server, _) = listener.accept().expect("accept");
+    (client, server)
+}
+
+#[test]
+fn accept_on_idle_listener_reports_wouldblock() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    listener.set_nonblocking(true).unwrap();
+    let err = listener.accept().expect_err("no connection is pending");
+    assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+
+    // And once a connect lands, the same accept call succeeds.
+    let addr = listener.local_addr().unwrap();
+    let _client = TcpStream::connect(addr).expect("loopback connect");
+    let mut reactor = Reactor::new(4).expect("epoll");
+    reactor.register(listener.as_raw_fd(), 1).expect("register");
+    let mut events: Vec<Event> = Vec::new();
+    while !events.iter().any(|e| e.token == 1 && e.readable) {
+        reactor.wait(1000, &mut events).expect("wait");
+    }
+    listener.accept().expect("pending connection accepts");
+}
+
+/// A nonblocking write against a shrunken send buffer accepts only a
+/// prefix, splitting a uCOBS record mid-frame; the receiver sees no
+/// complete record until the remainder is flushed, then exactly one.
+#[test]
+fn partial_write_splits_a_ucobs_record_boundary() {
+    let (client, mut server) = loopback_pair();
+    client.set_nonblocking(true).unwrap();
+    // Shrink the send buffer far below the datagram so one write cannot
+    // take it all (the kernel clamps to its minimum, still ≪ 1 MiB).
+    sys::set_send_buffer(client.as_raw_fd(), 4096).expect("SO_SNDBUF");
+
+    let payload: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+    let record = frame_datagram(&payload);
+
+    // First write takes a strict prefix: the record boundary is split.
+    let first = (&client).write(&record).expect("first nonblocking write");
+    assert!(first > 0, "kernel accepted nothing");
+    assert!(
+        first < record.len(),
+        "write of {} bytes was not partial against a 4 KiB send buffer",
+        record.len()
+    );
+
+    // Interleave draining and flushing (a blocked writer needs the reader
+    // to make progress); scan after each fragment — no complete record may
+    // appear before the final byte arrives.
+    let mut cursor = first;
+    let mut received = Vec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    server.set_nonblocking(true).unwrap();
+    while cursor < record.len() || received.len() < record.len() {
+        match (&client).write(&record[cursor..]) {
+            Ok(n) => cursor += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) => panic!("write: {e}"),
+        }
+        match server.read(&mut buf) {
+            Ok(n) => received.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) => panic!("read: {e}"),
+        }
+        if received.len() < record.len() {
+            assert!(
+                scan_records(&received, true).is_empty(),
+                "complete record scanned out of a truncated stream"
+            );
+        }
+    }
+
+    let records = scan_records(&received, true);
+    assert_eq!(records.len(), 1, "exactly one record after reassembly");
+    assert_eq!(records[0].payload, payload);
+}
+
+/// Reading a half-delivered record drains to `WouldBlock` without
+/// fabricating an EOF; the rest of the record arrives on a later edge.
+#[test]
+fn read_mid_record_hits_wouldblock_not_eof() {
+    let (client, mut server) = loopback_pair();
+    server.set_nonblocking(true).unwrap();
+    let record = frame_datagram(&[7u8; 4096]);
+    let half = record.len() / 2;
+
+    (&client).write_all(&record[..half]).expect("first half");
+    let mut received = Vec::new();
+    let mut buf = vec![0u8; 8192];
+    // Drain everything currently queued...
+    loop {
+        match server.read(&mut buf) {
+            Ok(0) => panic!("EOF fabricated mid-record"),
+            Ok(n) => received.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) => panic!("read: {e}"),
+        }
+        if received.len() >= half {
+            break;
+        }
+    }
+    assert_eq!(received.len(), half, "half the record is readable");
+    assert!(scan_records(&received, true).is_empty());
+
+    // ...then the second half completes the record.
+    (&client).write_all(&record[half..]).expect("second half");
+    while received.len() < record.len() {
+        match server.read(&mut buf) {
+            Ok(0) => panic!("EOF before the record completed"),
+            Ok(n) => received.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+    let records = scan_records(&received, true);
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].payload, vec![7u8; 4096]);
+}
+
+/// A peer that writes data and immediately FINs must not lose the data:
+/// the receiver sees the hangup edge, but reads drain every pending byte
+/// first and only then report EOF.
+#[test]
+fn fin_with_pending_data_drains_data_before_eof() {
+    let (client, mut server) = loopback_pair();
+    server.set_nonblocking(true).unwrap();
+    let mut reactor = Reactor::new(4).expect("epoll");
+    reactor.register(server.as_raw_fd(), 9).expect("register");
+
+    let record = frame_datagram(b"last words before the FIN");
+    (&client).write_all(&record).expect("write");
+    client.shutdown(Shutdown::Write).expect("FIN");
+
+    // Wait for the combined data+FIN edge (RDHUP).
+    let mut events: Vec<Event> = Vec::new();
+    while !events.iter().any(|e| e.token == 9 && e.hangup) {
+        reactor.wait(1000, &mut events).expect("wait");
+    }
+
+    // Drain: all data first, EOF strictly after.
+    let mut received = Vec::new();
+    let mut buf = vec![0u8; 4096];
+    let mut saw_eof = false;
+    while !saw_eof {
+        match server.read(&mut buf) {
+            Ok(0) => saw_eof = true,
+            Ok(n) => {
+                assert!(!saw_eof, "data after EOF");
+                received.extend_from_slice(&buf[..n]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+    let records = scan_records(&received, true);
+    assert_eq!(records.len(), 1, "the pre-FIN record survived teardown");
+    assert_eq!(records[0].payload, b"last words before the FIN");
+}

@@ -7,13 +7,21 @@
 //! table is a hand-rolled open-addressed hash map — one FNV-1a hash of the
 //! packed 8-byte key, then a linear probe over a flat, power-of-two slot
 //! array. Deterministic by construction: probing depends only on the keys
-//! inserted and their order, both of which the simulation fixes.
+//! inserted and removed and their order, both of which the caller fixes.
 //!
-//! Sized for the workload: connections are never *removed* from a host's
-//! demux today (hosts live for one scenario), so the table supports insert,
-//! lookup, and scan — no tombstones. The `load_engine` bench records the
-//! before/after lookup cost (`BTreeMap` vs this table) in
-//! `BENCH_engine.json` under `"demux"`.
+//! Removal uses **tombstones**: deleting an entry in a linear-probe table
+//! cannot simply empty the slot, because that would break the probe chain of
+//! every later key that probed past it. A removed slot is marked
+//! [`Slot::Tombstone`]; lookups probe through tombstones, inserts reuse the
+//! first tombstone on their probe path (after confirming the key is not
+//! present further along the chain), and growth rehashes live entries only,
+//! discarding accumulated tombstones. The simulated hosts never remove
+//! (hosts live for one scenario), but the OS-socket backend churns
+//! connections through close/reopen cycles, which is exactly the
+//! reuse-after-close traffic that exposes probe-chain bugs.
+//!
+//! The `load_engine` bench records the before/after lookup cost (`BTreeMap`
+//! vs this table) in `BENCH_engine.json` under `"demux"`.
 
 use crate::addr::SocketHandle;
 use minion_simnet::NodeId;
@@ -30,6 +38,8 @@ pub struct TableStats {
     pub insert_probes: u64,
     /// Times the table grew (rehashed into a doubled slot array).
     pub grows: u64,
+    /// Keys removed (tombstones written).
+    pub removes: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -38,12 +48,37 @@ struct Entry {
     value: SocketHandle,
 }
 
+/// One slot of the probe array.
+#[derive(Clone, Debug, Default)]
+enum Slot {
+    /// Never occupied: terminates every probe chain crossing it.
+    #[default]
+    Empty,
+    /// A live entry.
+    Occupied(Entry),
+    /// A removed entry: probe chains continue through it, inserts may
+    /// reclaim it.
+    Tombstone,
+}
+
+impl Slot {
+    fn occupied(&self) -> Option<&Entry> {
+        match self {
+            Slot::Occupied(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// An open-addressed `(port, peer) → SocketHandle` table with linear
-/// probing over a power-of-two slot array.
+/// probing over a power-of-two slot array and tombstone-based removal.
 #[derive(Clone, Debug, Default)]
 pub struct TupleTable {
-    slots: Vec<Option<Entry>>,
+    slots: Vec<Slot>,
+    /// Live entries.
     len: usize,
+    /// Tombstones currently in the slot array (reset to 0 on grow).
+    tombstones: usize,
     stats: TableStats,
 }
 
@@ -67,7 +102,7 @@ impl TupleTable {
         TupleTable::default()
     }
 
-    /// Number of connections in the table.
+    /// Number of live connections in the table.
     pub fn len(&self) -> usize {
         self.len
     }
@@ -92,75 +127,128 @@ impl TupleTable {
         let mut i = (hash(key) as usize) & mask;
         loop {
             match &self.slots[i] {
-                None => return None,
-                Some(e) if e.key == *key => return Some(e.value),
-                Some(_) => i = (i + 1) & mask,
+                Slot::Empty => return None,
+                Slot::Occupied(e) if e.key == *key => return Some(e.value),
+                // Tombstones and other keys: the chain continues.
+                _ => i = (i + 1) & mask,
             }
         }
     }
 
     /// Map `key` to `value`, returning the previous value if the key was
     /// already present. Replacements touch neither the slot array nor the
-    /// probe statistics.
+    /// probe statistics. A tombstone on the probe path is reclaimed — but
+    /// only after the whole chain is probed, so a key re-inserted while its
+    /// old position lies further down the chain cannot end up duplicated.
     pub fn insert(&mut self, key: TupleKey, value: SocketHandle) -> Option<SocketHandle> {
         if self.slots.is_empty() {
             self.grow();
         }
-        // Probe first: find the key (replacement) or its insertion point.
+        // Probe the full chain first: find the key (replacement), remember
+        // the first tombstone (reuse candidate), or stop at the first empty
+        // slot (insertion point). Stopping at the first tombstone would be
+        // wrong: the key may live past it, and inserting early would shadow
+        // it with a duplicate.
         let mask = self.slots.len() - 1;
         let mut i = (hash(&key) as usize) & mask;
         let mut probes = 1u64;
+        let mut reuse: Option<usize> = None;
         loop {
             match &mut self.slots[i] {
-                None => break,
-                Some(e) if e.key == key => {
+                Slot::Empty => break,
+                Slot::Occupied(e) if e.key == key => {
                     return Some(std::mem::replace(&mut e.value, value));
                 }
-                Some(_) => {
+                Slot::Tombstone => {
+                    if reuse.is_none() {
+                        reuse = Some(i);
+                    }
+                    i = (i + 1) & mask;
+                    probes += 1;
+                }
+                Slot::Occupied(_) => {
                     i = (i + 1) & mask;
                     probes += 1;
                 }
             }
         }
-        // A genuinely new key: grow at 3/4 load so probe runs stay short
-        // (`+1` accounts for the key about to be inserted), re-locating the
-        // insertion point in the resized slot array.
-        if (self.len + 1) * 4 > self.slots.len() * 3 {
+        // A genuinely new key. Grow when live entries plus tombstones would
+        // pass 3/4 load (`+1` accounts for the key about to be inserted):
+        // tombstones lengthen probe chains exactly like live entries, so a
+        // table churning under removals must rehash (which discards them)
+        // even when `len` alone stays small.
+        if reuse.is_none() && (self.len + self.tombstones + 1) * 4 > self.slots.len() * 3 {
             self.grow();
             let mask = self.slots.len() - 1;
             i = (hash(&key) as usize) & mask;
             probes = 1;
-            while self.slots[i].is_some() {
+            while matches!(self.slots[i], Slot::Occupied(_)) {
                 i = (i + 1) & mask;
                 probes += 1;
             }
+        } else if let Some(t) = reuse {
+            i = t;
+            self.tombstones -= 1;
         }
-        self.slots[i] = Some(Entry { key, value });
+        self.slots[i] = Slot::Occupied(Entry { key, value });
         self.len += 1;
         self.stats.inserts += 1;
         self.stats.insert_probes += probes;
         None
     }
 
+    /// Remove `key`, returning its value if it was present. The slot becomes
+    /// a tombstone so probe chains running through it stay intact.
+    pub fn remove(&mut self, key: &TupleKey) -> Option<SocketHandle> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash(key) as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Occupied(e) if e.key == *key => {
+                    let Slot::Occupied(e) = std::mem::replace(&mut self.slots[i], Slot::Tombstone)
+                    else {
+                        unreachable!("slot was just matched as occupied");
+                    };
+                    self.len -= 1;
+                    self.tombstones += 1;
+                    self.stats.removes += 1;
+                    return Some(e.value);
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
     /// Whether any connection uses `port` as its local port (ephemeral-port
     /// allocation check; a full scan, off the per-segment hot path).
     pub fn contains_local_port(&self, port: u16) -> bool {
-        self.slots.iter().flatten().any(|e| e.key.0 == port)
+        self.slots
+            .iter()
+            .filter_map(Slot::occupied)
+            .any(|e| e.key.0 == port)
     }
 
-    /// Double the slot array (16 slots minimum) and rehash every entry.
+    /// Double the slot array (16 slots minimum) and rehash every live entry,
+    /// discarding tombstones.
     fn grow(&mut self) {
         let new_cap = (self.slots.len() * 2).max(16);
         debug_assert!(new_cap.is_power_of_two());
-        let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+        let old = std::mem::replace(&mut self.slots, vec![Slot::Empty; new_cap]);
         self.stats.grows += 1;
+        self.tombstones = 0;
         let mask = new_cap - 1;
-        for e in old.into_iter().flatten() {
-            let mut i = (hash(&e.key) as usize) & mask;
-            while self.slots[i].is_some() {
-                i = (i + 1) & mask;
+        for slot in old {
+            if let Slot::Occupied(e) = slot {
+                let mut i = (hash(&e.key) as usize) & mask;
+                while matches!(self.slots[i], Slot::Occupied(_)) {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Slot::Occupied(e);
             }
-            self.slots[i] = Some(e);
         }
     }
 }
@@ -238,5 +326,132 @@ mod tests {
                 Some(SocketHandle(1000 + node))
             );
         }
+    }
+
+    #[test]
+    fn remove_then_reinsert_reuses_the_port() {
+        // The port-reuse-after-close cycle the OS backend drives: a closed
+        // connection's tuple leaves the table and a fresh connection from
+        // the same (port, peer) tuple takes its place.
+        let mut t = TupleTable::new();
+        let k = key(40_000, 1, 7000);
+        t.insert(k, SocketHandle(1));
+        assert_eq!(t.remove(&k), Some(SocketHandle(1)));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(&k), None, "removed key must miss");
+        assert!(!t.contains_local_port(40_000), "tombstones are not live");
+        assert_eq!(t.insert(k, SocketHandle(2)), None, "reinsert is fresh");
+        assert_eq!(t.get(&k), Some(SocketHandle(2)));
+        assert_eq!(t.remove(&key(9, 9, 9)), None, "absent key removes cleanly");
+        assert_eq!(t.stats().removes, 1);
+    }
+
+    #[test]
+    fn removal_keeps_probe_chains_intact() {
+        // Build a long collision chain (same local port, consecutive peer
+        // ports hash adjacently often enough), then knock out entries in the
+        // middle: every survivor must remain reachable.
+        let mut t = TupleTable::new();
+        for pp in 0..128u16 {
+            t.insert(key(7000, 1, pp), SocketHandle(pp as u32));
+        }
+        for pp in (0..128u16).step_by(2) {
+            assert_eq!(t.remove(&key(7000, 1, pp)), Some(SocketHandle(pp as u32)));
+        }
+        for pp in 0..128u16 {
+            let expect = if pp % 2 == 0 {
+                None
+            } else {
+                Some(SocketHandle(pp as u32))
+            };
+            assert_eq!(t.get(&key(7000, 1, pp)), expect, "peer port {pp}");
+        }
+        assert_eq!(t.len(), 64);
+    }
+
+    #[test]
+    fn reinsert_with_key_beyond_a_tombstone_does_not_duplicate() {
+        // The classic open-addressing bug: key K probes past a tombstone to
+        // its live slot; a naive insert that claims the first tombstone
+        // without finishing the chain would leave two slots for K. Exercise
+        // every (remove A, re-insert B) pairing over a colliding set.
+        let mut t = TupleTable::new();
+        for pp in 0..16u16 {
+            t.insert(key(7000, 1, pp), SocketHandle(pp as u32));
+        }
+        // Remove an early key, creating a tombstone other chains cross.
+        t.remove(&key(7000, 1, 0));
+        // Replacing a still-live key must update in place, not duplicate.
+        assert_eq!(
+            t.insert(key(7000, 1, 9), SocketHandle(909)),
+            Some(SocketHandle(9)),
+            "live key past a tombstone must be found, not duplicated"
+        );
+        assert_eq!(t.get(&key(7000, 1, 9)), Some(SocketHandle(909)));
+        assert_eq!(t.len(), 15);
+        // Remove it; both its tombstone and the earlier one are reusable.
+        t.remove(&key(7000, 1, 9));
+        assert_eq!(t.insert(key(7000, 1, 9), SocketHandle(910)), None);
+        assert_eq!(t.get(&key(7000, 1, 9)), Some(SocketHandle(910)));
+        // Exactly one slot answers for the key even after another removal.
+        t.remove(&key(7000, 1, 9));
+        assert_eq!(t.get(&key(7000, 1, 9)), None);
+    }
+
+    #[test]
+    fn churn_under_tombstone_load_triggers_growth_and_stays_correct() {
+        // Sustained connection churn at steady-state size: live count stays
+        // small but tombstones accumulate, so the table must grow (clearing
+        // them) rather than let probe chains degenerate toward full scans.
+        let mut t = TupleTable::new();
+        let mut live: Vec<u16> = Vec::new();
+        for round in 0..2000u32 {
+            let port = ((40_000 + round) % 25_000 + 40_000) as u16;
+            t.insert(key(port, 1, 7000), SocketHandle(round));
+            live.push(port);
+            if live.len() > 8 {
+                let gone = live.remove(0);
+                assert!(
+                    t.remove(&key(gone, 1, 7000)).is_some(),
+                    "round {round}: live key {gone} must be removable"
+                );
+            }
+        }
+        assert_eq!(t.len(), live.len());
+        for p in &live {
+            assert!(t.get(&key(*p, 1, 7000)).is_some(), "port {p} reachable");
+        }
+        let s = t.stats();
+        assert!(
+            s.grows >= 2,
+            "steady-state churn must trigger tombstone-clearing growth: {s:?}"
+        );
+        // Probe quality survives the churn (no creeping degradation).
+        assert!(
+            s.insert_probes < s.inserts * 4,
+            "probe chains degenerated under churn: {s:?}"
+        );
+        // The slot array stayed bounded: growth clears tombstones instead of
+        // doubling forever (8 live entries can never justify >16k slots).
+        assert!(t.slots.len() <= 1 << 14, "slots={}", t.slots.len());
+    }
+
+    #[test]
+    fn two_identical_churn_sequences_produce_identical_tables() {
+        // Determinism: the probe layout is a pure function of the operation
+        // sequence.
+        let run = || {
+            let mut t = TupleTable::new();
+            for i in 0..500u32 {
+                let k = key(40_000 + (i % 97) as u16, i % 3, 7000 + (i % 11) as u16);
+                if i % 5 == 4 {
+                    t.remove(&k);
+                } else {
+                    t.insert(k, SocketHandle(i));
+                }
+            }
+            (t.len(), t.stats())
+        };
+        assert_eq!(run(), run());
     }
 }
