@@ -26,10 +26,21 @@
 //! deadline) plus a goodput floor, not on determinism. `--threads` is
 //! sim-only (sharding drives simulated engines) and is rejected with os.
 //!
+//! The `"obs"` section is the paper's figure of merit: per-record
+//! delivery-delay distributions (p50/p99/p999 and the exact integer mean,
+//! in ns) for an ordered-TCP receiver vs. a uTCP receiver under the
+//! canonical lossy comparison scenario
+//! ([`LoadScenario::obs_comparison`]) — head-of-line blocking measured,
+//! not inferred. With `--backend os` a kernel-TCP row rides along (ordered
+//! baseline; loss shaping and uTCP receivers are sim-only). `--trace-out`
+//! dumps the uTCP run's lifecycle trace ring (SYN, first-byte, record
+//! deliveries, retransmits, RTO fires, FIN) as JSONL.
+//!
 //! Usage (one binary for CI and local runs):
 //!
 //! ```text
-//! load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N] [--out BENCH_engine.json]
+//! load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N]
+//!             [--out BENCH_engine.json] [--trace-out TRACE.jsonl]
 //! ```
 
 use minion_bench::cli;
@@ -185,13 +196,22 @@ fn demux_bench_json() -> String {
     )
 }
 
-fn parse_args() -> (Vec<usize>, usize, cli::Backend, String) {
+struct Args {
+    flows: Vec<usize>,
+    threads: usize,
+    backend: cli::Backend,
+    out: String,
+    trace_out: Option<String>,
+}
+
+fn parse_args() -> Args {
     let mut flows: Vec<usize> = vec![1, 64, 1024];
     let mut threads: Option<usize> = None;
     let mut backend = cli::Backend::Sim;
     let mut out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
+    let mut trace_out: Option<String> = None;
     let mut args = cli::CliArgs::new(
-        "load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N] [--out FILE]",
+        "load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N] [--out FILE] [--trace-out FILE]",
     );
     while let Some(arg) = args.next_flag() {
         match arg.as_str() {
@@ -199,11 +219,24 @@ fn parse_args() -> (Vec<usize>, usize, cli::Backend, String) {
             "--flows" => flows = cli::parse_count_list(&args.value("--flows"), "--flows"),
             "--threads" => threads = Some(cli::parse_count(&args.value("--threads"), "--threads")),
             "--out" => out = args.value("--out"),
+            "--trace-out" => trace_out = Some(args.value("--trace-out")),
             other => args.unknown(other),
         }
     }
     cli::validate_backend(backend, threads.is_some());
-    (flows, threads.unwrap_or(1), backend, out)
+    // Output paths are validated *now*, so a typo'd directory fails in
+    // milliseconds with the flag named, not after the whole bench ran.
+    cli::validate_out_path("--out", &out);
+    if let Some(path) = &trace_out {
+        cli::validate_out_path("--trace-out", path);
+    }
+    Args {
+        flows,
+        threads: threads.unwrap_or(1),
+        backend,
+        out,
+        trace_out,
+    }
 }
 
 /// One OS-backend row: the scenario replayed against kernel TCP over
@@ -293,8 +326,115 @@ fn os_row_json(row: &OsRow) -> String {
     )
 }
 
+/// One row of the `"obs"` section: the delivery-delay distribution and
+/// lifecycle counters of one comparison run, plus the (wall-clock,
+/// non-deterministic) phase breakdown of its event loop.
+fn obs_row_json(receiver: &str, report: &LoadReport) -> String {
+    use minion_engine::obs::{C_CHUNKS_OUT_OF_ORDER, C_RETRANSMIT_EDGES, C_RTO_EDGES};
+    let d = &report.obs.delivery_delay;
+    let phases = report
+        .phases
+        .get()
+        .iter()
+        .map(|(name, nanos, _)| format!("\"{name}\": {nanos}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"receiver\": \"{receiver}\",\n",
+            "        \"label\": \"{label}\",\n",
+            "        \"delivery_delay_count\": {count},\n",
+            "        \"delivery_delay_mean_ns\": {mean},\n",
+            "        \"delivery_delay_p50_ns\": {p50},\n",
+            "        \"delivery_delay_p99_ns\": {p99},\n",
+            "        \"delivery_delay_p999_ns\": {p999},\n",
+            "        \"delivery_delay_max_ns\": {max},\n",
+            "        \"rto_wait_count\": {rto_waits},\n",
+            "        \"rto_wait_p99_ns\": {rto_p99},\n",
+            "        \"pool_dwell_p99_ns\": {dwell_p99},\n",
+            "        \"chunks_out_of_order\": {ooo},\n",
+            "        \"retransmit_edges\": {retx},\n",
+            "        \"rto_edges\": {rto},\n",
+            "        \"trace_events\": {trace_events},\n",
+            "        \"trace_fingerprint\": \"{trace_fp:#018x}\",\n",
+            "        \"phase_nanos\": {{ {phases} }}\n",
+            "      }}"
+        ),
+        receiver = receiver,
+        label = json_escape(&report.label),
+        count = d.count(),
+        mean = d.mean(),
+        p50 = d.p50(),
+        p99 = d.p99(),
+        p999 = d.p999(),
+        max = d.max(),
+        rto_waits = report.obs.rto_wait.count(),
+        rto_p99 = report.obs.rto_wait.p99(),
+        dwell_p99 = report.obs.pool_dwell.p99(),
+        ooo = report.obs.counters.get(C_CHUNKS_OUT_OF_ORDER),
+        retx = report.obs.counters.get(C_RETRANSMIT_EDGES),
+        rto = report.obs.counters.get(C_RTO_EDGES),
+        trace_events = report.obs.trace.recorded(),
+        trace_fp = report.obs.trace_fingerprint(),
+        phases = phases,
+    )
+}
+
+/// Run the canonical ordered-vs-unordered comparison
+/// ([`LoadScenario::obs_comparison`]) and build the `"obs"` section:
+/// sim rows for both receivers (deterministic, sharded at `threads`), plus
+/// a kernel-TCP row when the OS backend was requested. Returns the section
+/// JSON and the uTCP run's report (whose trace `--trace-out` dumps).
+fn obs_section(threads: usize, backend: cli::Backend) -> (String, LoadReport) {
+    let tcp = LoadScenario::obs_comparison(false).run_sharded(threads);
+    let utcp = LoadScenario::obs_comparison(true).run_sharded(threads);
+    println!(
+        "obs: delivery delay under loss ({} records): ordered mean {:.3} ms p99 {:.3} ms | \
+         unordered mean {:.3} ms p99 {:.3} ms",
+        tcp.obs.delivery_delay.count(),
+        tcp.obs.delivery_delay.mean() as f64 / 1e6,
+        tcp.obs.delivery_delay.p99() as f64 / 1e6,
+        utcp.obs.delivery_delay.mean() as f64 / 1e6,
+        utcp.obs.delivery_delay.p99() as f64 / 1e6,
+    );
+    let rows = [obs_row_json("tcp", &tcp), obs_row_json("utcp", &utcp)];
+    let os_rows = if backend == cli::Backend::Os {
+        // Kernel TCP over loopback: the ordered baseline with real clocks.
+        // Loss shaping and uTCP receivers are sim-only.
+        let scenario = LoadScenario {
+            receiver_utcp: false,
+            deadline: SimDuration::from_secs(60),
+            ..LoadScenario::obs_comparison(false)
+        };
+        let report = scenario.run_on(&mut OsTransport::new());
+        format!(",\n    \"os\": [\n{}\n    ]", obs_row_json("tcp", &report))
+    } else {
+        String::new()
+    };
+    let scenario = LoadScenario::obs_comparison(true);
+    let section = format!(
+        concat!(
+            "  \"obs\": {{\n",
+            "    \"flows\": {flows},\n",
+            "    \"records_per_flow\": {rpf},\n",
+            "    \"record_len\": {len},\n",
+            "    \"loss\": \"bernoulli 2%\",\n",
+            "    \"sim\": [\n{sim}\n    ]{os}\n",
+            "  }}"
+        ),
+        flows = scenario.flows,
+        rpf = scenario.records_per_flow,
+        len = scenario.record_len,
+        sim = rows.join(",\n"),
+        os = os_rows,
+    );
+    (section, utcp)
+}
+
 fn main() {
-    let (flows, threads, backend, out) = parse_args();
+    let args = parse_args();
+    let (flows, threads, backend, out) = (args.flows, args.threads, args.backend, args.out);
     let mut rows = Vec::new();
     for &f in &flows {
         let scenario = LoadScenario::with_flows(f);
@@ -334,11 +474,22 @@ fn main() {
         String::new()
     };
 
+    // The head-of-line-blocking comparison: the figure the paper is about.
+    let (obs, utcp_report) = obs_section(threads, backend);
+    if let Some(path) = &args.trace_out {
+        let jsonl = utcp_report.obs.trace.to_jsonl();
+        cli::write_output("--trace-out", path, &jsonl);
+        println!(
+            "wrote {path} ({} trace events)",
+            utcp_report.obs.trace.recorded()
+        );
+    }
+
     let body = rows.iter().map(row_json).collect::<Vec<_>>().join(",\n");
     let demux = demux_bench_json();
     let json = format!(
-        "{{\n  \"bench\": \"engine_load\",\n{demux},\n{os_section}  \"scenarios\": [\n{body}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"engine_load\",\n{demux},\n{obs},\n{os_section}  \"scenarios\": [\n{body}\n  ]\n}}\n"
     );
-    std::fs::write(&out, &json).expect("write BENCH_engine.json");
+    cli::write_output("--out", &out, &json);
     println!("wrote {out}");
 }

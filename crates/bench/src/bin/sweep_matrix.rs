@@ -16,7 +16,8 @@
 //! ```
 
 use minion_bench::cli;
-use minion_testkit::{run_matrix_once, summarize, CellReport, CellSpec, MatrixSpec};
+use minion_exec::ExecStats;
+use minion_testkit::{run_matrix_once_with_stats, summarize, CellReport, CellSpec, MatrixSpec};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -45,6 +46,71 @@ fn canonical_report(cells: &[CellSpec], reports: &[CellReport]) -> String {
 struct Run {
     threads: usize,
     wall_seconds: f64,
+    stats: ExecStats,
+}
+
+/// The `"obs"` section of `BENCH_sweep.json`: the deterministic
+/// delivery-delay columns of every multi-flow cell (identical across
+/// thread counts — the report diff proves it) plus the per-run executor
+/// scheduling profile (wall-clock; varies run to run by design).
+fn obs_section_json(reports: &[CellReport], runs: &[Run]) -> String {
+    let delivery = reports
+        .iter()
+        .filter(|r| r.trace_events > 0)
+        .map(|r| {
+            format!(
+                concat!(
+                    "      {{\"label\": \"{label}\", \"p50_ns\": {p50}, \"p99_ns\": {p99}, ",
+                    "\"p999_ns\": {p999}, \"mean_ns\": {mean}, \"trace_events\": {events}, ",
+                    "\"trace_fingerprint\": \"{fp:#018x}\"}}"
+                ),
+                label = r.label.replace('\\', "\\\\").replace('"', "\\\""),
+                p50 = r.delivery_delay_p50_ns,
+                p99 = r.delivery_delay_p99_ns,
+                p999 = r.delivery_delay_p999_ns,
+                mean = r.delivery_delay_mean_ns,
+                events = r.trace_events,
+                fp = r.trace_fingerprint,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let exec = runs
+        .iter()
+        .map(|run| {
+            let phases = run
+                .stats
+                .profile
+                .get()
+                .iter()
+                .map(|(name, nanos, _)| format!("\"{name}\": {nanos}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                concat!(
+                    "      {{\"threads\": {threads}, \"steals\": {steals}, ",
+                    "\"steal_attempts\": {attempts}, \"locks_contended\": {contended}, ",
+                    "\"phase_nanos\": {{ {phases} }}}}"
+                ),
+                threads = run.threads,
+                steals = run.stats.steals,
+                attempts = run.stats.steal_attempts,
+                contended = run.stats.locks_contended,
+                phases = phases,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        concat!(
+            "  \"obs\": {{\n",
+            "    \"delivery_delay\": [\n{delivery}\n    ],\n",
+            "    \"exec\": [\n{exec}\n    ]\n",
+            "  }}"
+        ),
+        delivery = delivery,
+        exec = exec,
+    )
 }
 
 fn parse_args() -> (Vec<usize>, Option<String>, String) {
@@ -76,6 +142,7 @@ fn parse_args() -> (Vec<usize>, Option<String>, String) {
         backend == cli::Backend::Sim,
         "sweep_matrix is sim-only (byte-identical sweeps); use load_engine --backend os for kernel-socket runs"
     );
+    cli::validate_out_path("--out", &out);
     (threads, report_prefix, out)
 }
 
@@ -91,9 +158,10 @@ fn main() {
 
     let mut runs: Vec<Run> = Vec::new();
     let mut reference: Option<String> = None;
+    let mut first_reports: Option<Vec<CellReport>> = None;
     for &threads in &thread_counts {
         let t0 = Instant::now();
-        let reports = run_matrix_once(&cells, threads);
+        let (reports, stats) = run_matrix_once_with_stats(&cells, threads);
         let wall_seconds = t0.elapsed().as_secs_f64();
         let text = canonical_report(&cells, &reports);
         // Write the report file *before* asserting equality: on divergence
@@ -126,9 +194,13 @@ fn main() {
             wall_seconds * 1000.0,
             cells.len() as f64 / wall_seconds.max(1e-9)
         );
+        if first_reports.is_none() {
+            first_reports = Some(reports);
+        }
         runs.push(Run {
             threads,
             wall_seconds,
+            stats,
         });
     }
 
@@ -159,6 +231,7 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let obs = obs_section_json(first_reports.as_deref().unwrap_or(&[]), &runs);
     let json = format!(
         concat!(
             "{{\n",
@@ -166,13 +239,15 @@ fn main() {
             "  \"cells\": {cells},\n",
             "  \"available_parallelism\": {avail},\n",
             "  \"reports_identical\": true,\n",
+            "{obs},\n",
             "  \"runs\": [\n{rows}\n  ]\n",
             "}}\n"
         ),
         cells = cells.len(),
         avail = minion_exec::available_threads(),
+        obs = obs,
         rows = rows,
     );
-    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
+    cli::write_output("--out", &out, &json);
     println!("wrote {out}");
 }

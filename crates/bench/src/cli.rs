@@ -77,6 +77,29 @@ pub fn validate_backend(backend: Backend, threads_requested: bool) {
     );
 }
 
+/// Validate an output path at parse time: fail *before* minutes of bench
+/// work, and with a message naming the flag and the missing directory
+/// instead of a bare `io::Error` panic at the final write.
+pub fn validate_out_path(flag: &str, path: &str) {
+    assert!(!path.trim().is_empty(), "{flag} needs a non-empty path");
+    let parent = std::path::Path::new(path).parent();
+    if let Some(dir) = parent.filter(|d| !d.as_os_str().is_empty()) {
+        assert!(
+            dir.is_dir(),
+            "{flag} {path:?}: directory {dir:?} does not exist (create it first)"
+        );
+    }
+}
+
+/// Write an output file, converting an I/O failure into a message that
+/// names the flag and path (the parse-time [`validate_out_path`] check
+/// catches missing directories; this covers races and permission errors).
+pub fn write_output(flag: &str, path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        panic!("{flag} {path:?}: cannot write: {e}");
+    }
+}
+
 /// Parse a positive integer flag value.
 pub fn parse_count(raw: &str, flag: &str) -> usize {
     let n = raw
@@ -114,6 +137,19 @@ mod tests {
     #[should_panic(expected = "--flows takes positive integers")]
     fn junk_entries_are_rejected() {
         parse_count_list("1,banana", "--flows");
+    }
+
+    #[test]
+    fn out_paths_validate() {
+        validate_out_path("--out", "BENCH_engine.json"); // cwd-relative: fine
+        let dir = std::env::temp_dir();
+        validate_out_path("--out", dir.join("x.json").to_str().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn missing_out_directory_is_rejected_at_parse_time() {
+        validate_out_path("--out", "/no-such-bench-dir-1b2c/x.json");
     }
 
     #[test]

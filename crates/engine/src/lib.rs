@@ -29,6 +29,7 @@
 
 pub mod clock;
 pub mod metrics;
+pub mod obs;
 pub mod pool;
 pub mod runtime;
 pub mod scenario;
@@ -37,8 +38,17 @@ pub mod wheel;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use metrics::{fnv1a, EngineMetrics, FlowMetrics, LoadReport, FNV_OFFSET_BASIS};
+pub use obs::{LoadObs, LOAD_COUNTER_NAMES, LOAD_GAUGE_NAMES};
 pub use pool::{BufferPool, PoolStats};
-pub use runtime::{Engine, EngineHostId, FlowId};
+pub use runtime::{Engine, EngineHostId, FlowId, ENGINE_PHASES};
 pub use scenario::{verify_load, verify_load_sharded, LoadScenario, LOAD_PORT, SHARD_FLOWS};
 pub use transport::{SimTransport, Transport, TransportChunk, TransportFlowStats};
 pub use wheel::TimerWheel;
+
+// Re-export the observability primitives so downstream crates (osnet,
+// testkit, bench) reach them through the engine without a direct
+// `minion-obs` dependency.
+pub use minion_obs::{
+    Absorb, Counter, CounterSet, Gauge, GaugeSet, Histogram, NonDeterministic, PhaseProfile,
+    TraceEvent, TraceKind, TraceRing,
+};

@@ -6,7 +6,9 @@
 //! Derived rates (goodput in bits/s, events per second) are computed as
 //! integers from the raw counters.
 
+use crate::obs::LoadObs;
 use crate::pool::PoolStats;
+use minion_obs::{Absorb, NonDeterministic, PhaseProfile};
 
 // The single canonical fingerprint function (the determinism gates compare
 // these values across crates, so there must be exactly one definition — it
@@ -38,10 +40,12 @@ impl EngineMetrics {
     pub fn events(&self) -> u64 {
         self.packets_delivered + self.timer_fires
     }
+}
 
-    /// Fold another engine's counters into this one (sharded runs merge the
-    /// per-shard engines' counters by shard index).
-    pub fn absorb(&mut self, other: &EngineMetrics) {
+/// Sharded runs merge the per-shard engines' counters by shard index
+/// (see [`minion_obs::Absorb`] for the laws the merge upholds).
+impl Absorb for EngineMetrics {
+    fn absorb(&mut self, other: &EngineMetrics) {
         self.steps += other.steps;
         self.packets_delivered += other.packets_delivered;
         self.packets_sent += other.packets_sent;
@@ -105,6 +109,14 @@ pub struct LoadReport {
     pub engine: EngineMetrics,
     /// Buffer-pool counters.
     pub pool: PoolStats,
+    /// Deterministic observability: delivery-delay / RTO / pool-dwell
+    /// histograms, event counters, and the lifecycle trace ring — all
+    /// covered by the byte-identity gates.
+    pub obs: LoadObs,
+    /// Wall-clock phase profile of the backend's event loop. **Not**
+    /// deterministic (it times real CPU work), so it rides inside
+    /// [`NonDeterministic`] — invisible to `==`, visible to humans.
+    pub phases: NonDeterministic<PhaseProfile>,
     /// Per-flow metrics, indexed by flow.
     pub per_flow: Vec<FlowMetrics>,
 }
@@ -138,6 +150,38 @@ mod tests {
     use super::*;
 
     #[test]
+    fn engine_metrics_absorb_is_associative_and_order_stable() {
+        let mk = |k: u64| EngineMetrics {
+            steps: k,
+            packets_delivered: 2 * k,
+            packets_sent: 3 * k,
+            bytes_sent: 100 * k,
+            packets_dropped: k / 2,
+            timer_fires: k + 1,
+            flow_polls: 5 * k,
+        };
+        let (a, b, c) = (mk(1), mk(10), mk(100));
+        let mut left = a;
+        left.absorb(&b);
+        left.absorb(&c);
+        let mut bc = b;
+        bc.absorb(&c);
+        let mut right = a;
+        right.absorb(&bc);
+        assert_eq!(left, right, "associative");
+        let mut id = EngineMetrics::default();
+        id.absorb(&a);
+        assert_eq!(id, a, "default is a left identity");
+        // Order-stability: folding the same shard slice twice gives the
+        // same bytes (merge_ordered is the canonical shard loop).
+        let parts = [a, b, c];
+        assert_eq!(
+            minion_obs::merge_ordered::<EngineMetrics, _>(parts.iter()),
+            minion_obs::merge_ordered::<EngineMetrics, _>(parts.iter()),
+        );
+    }
+
+    #[test]
     fn events_sums_arrivals_and_timers() {
         let m = EngineMetrics {
             packets_delivered: 10,
@@ -162,6 +206,8 @@ mod tests {
             allocs_per_flow_milli: 1_500,
             engine: EngineMetrics::default(),
             pool: PoolStats::default(),
+            obs: LoadObs::default(),
+            phases: NonDeterministic::default(),
             per_flow: vec![],
         };
         let s = r.summary();

@@ -1,0 +1,166 @@
+//! Load-scenario observability: what the paper actually argues about.
+//!
+//! The existing [`LoadReport`](crate::LoadReport) counters say how much got
+//! through and how fast in aggregate; [`LoadObs`] says *when each record
+//! arrived* — the per-record delivery-delay distribution that separates
+//! ordered TCP (head-of-line blocking inflates the tail) from uTCP
+//! (unordered delivery keeps later records out of earlier losses' shadow).
+//! It bundles:
+//!
+//! * [`Histogram`]s — delivery delay (send-enqueue → app-deliver), RTO fire
+//!   latency (connect → RTO), and buffer-pool dwell, all in nanoseconds of
+//!   backend time (virtual on sim, monotonic on os);
+//! * a [`CounterSet`]/[`GaugeSet`] over fixed slot names (see
+//!   [`LOAD_COUNTER_NAMES`]);
+//! * a [`TraceRing`] of per-flow lifecycle events (SYN, first byte, record
+//!   delivery, retransmit, RTO, FIN), dumpable as JSONL via
+//!   `load_engine --trace-out`.
+//!
+//! Everything merges via [`Absorb`] in shard order, so a sharded run's
+//! `LoadObs` is byte-identical to the serial merge at any thread count —
+//! the same discipline the rest of the report already obeys.
+
+use crate::metrics::{fnv1a, FNV_OFFSET_BASIS};
+use minion_obs::{Absorb, CounterSet, GaugeSet, Histogram, TraceRing};
+
+/// Counter slots of [`LoadObs::counters`] (fixed at compile time so sharded
+/// and serial registries always line up slot for slot).
+pub const LOAD_COUNTER_NAMES: &[&str] = &[
+    "records_enqueued",
+    "records_delivered",
+    "chunks_delivered",
+    "chunks_out_of_order",
+    "retransmit_edges",
+    "rto_edges",
+];
+
+/// Slot: records fully handed to the transport's send buffer.
+pub const C_RECORDS_ENQUEUED: usize = 0;
+/// Slot: records whose full byte range reached the application.
+pub const C_RECORDS_DELIVERED: usize = 1;
+/// Slot: delivery chunks read from the transport.
+pub const C_CHUNKS_DELIVERED: usize = 2;
+/// Slot: delivery chunks that arrived out of stream order.
+pub const C_CHUNKS_OUT_OF_ORDER: usize = 3;
+/// Slot: retransmission edges observed (consecutive duplicates collapse in
+/// the connection's event queue, so this undercounts dense bursts; the exact
+/// per-flow count lives in `FlowMetrics::retransmissions`).
+pub const C_RETRANSMIT_EDGES: usize = 4;
+/// Slot: RTO-fired edges observed.
+pub const C_RTO_EDGES: usize = 5;
+
+/// Gauge slots of [`LoadObs::gauges`].
+pub const LOAD_GAUGE_NAMES: &[&str] = &["coverage_ranges_high_water"];
+
+/// Slot: most disjoint coverage ranges any flow's receive stream held at
+/// once — a direct measure of how fragmented unordered delivery got.
+pub const G_COVERAGE_RANGES_HIGH_WATER: usize = 0;
+
+/// Deterministic observability of one load-scenario run (or shard).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadObs {
+    /// Per-record delivery delay: send-enqueue → app-deliver, nanoseconds.
+    pub delivery_delay: Histogram,
+    /// RTO fire latency: flow connect → RTO fire, nanoseconds.
+    pub rto_wait: Histogram,
+    /// Buffer-pool dwell of send-stream buffers (take → give), nanoseconds.
+    pub pool_dwell: Histogram,
+    /// Event counters over [`LOAD_COUNTER_NAMES`].
+    pub counters: CounterSet,
+    /// High-water marks over [`LOAD_GAUGE_NAMES`].
+    pub gauges: GaugeSet,
+    /// Lifecycle trace, bounded to the last
+    /// [`DEFAULT_TRACE_CAP`](minion_obs::DEFAULT_TRACE_CAP) events.
+    pub trace: TraceRing,
+}
+
+impl Default for LoadObs {
+    fn default() -> Self {
+        LoadObs {
+            delivery_delay: Histogram::new(),
+            rto_wait: Histogram::new(),
+            pool_dwell: Histogram::new(),
+            counters: CounterSet::new(LOAD_COUNTER_NAMES),
+            gauges: GaugeSet::new(LOAD_GAUGE_NAMES),
+            trace: TraceRing::default(),
+        }
+    }
+}
+
+impl Absorb for LoadObs {
+    fn absorb(&mut self, other: &Self) {
+        self.delivery_delay.absorb(&other.delivery_delay);
+        self.rto_wait.absorb(&other.rto_wait);
+        self.pool_dwell.absorb(&other.pool_dwell);
+        self.counters.absorb(&other.counters);
+        self.gauges.absorb(&other.gauges);
+        self.trace.absorb(&other.trace);
+    }
+}
+
+impl LoadObs {
+    /// Order-sensitive FNV-1a fingerprint of the trace ring's event stream
+    /// (the compact form the determinism gates compare).
+    pub fn trace_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET_BASIS;
+        for ev in self.trace.events() {
+            fnv1a(&mut h, &ev.t_ns.to_be_bytes());
+            fnv1a(&mut h, &ev.flow.to_be_bytes());
+            fnv1a(&mut h, &ev.seq.to_be_bytes());
+            fnv1a(&mut h, ev.kind.as_str().as_bytes());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minion_obs::{TraceEvent, TraceKind};
+
+    fn sample(base: u64) -> LoadObs {
+        let mut o = LoadObs::default();
+        o.delivery_delay.record(base + 1_000);
+        o.rto_wait.record(base + 2_000);
+        o.pool_dwell.record(0);
+        o.counters.inc(C_RECORDS_DELIVERED);
+        o.gauges.observe(G_COVERAGE_RANGES_HIGH_WATER, base);
+        o.trace.push(TraceEvent {
+            t_ns: base,
+            flow: base as u32,
+            seq: 0,
+            kind: TraceKind::Syn,
+        });
+        o
+    }
+
+    #[test]
+    fn absorb_is_associative_with_default_identity() {
+        let (a, b, c) = (sample(1), sample(2), sample(3));
+        let mut left = a.clone();
+        left.absorb(&b);
+        left.absorb(&c);
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        let mut right = a.clone();
+        right.absorb(&bc);
+        assert_eq!(left, right, "associative");
+        let mut id = LoadObs::default();
+        id.absorb(&a);
+        assert_eq!(id, a, "default ⊕ a == a");
+        let mut back = a.clone();
+        back.absorb(&LoadObs::default());
+        assert_eq!(back, a, "a ⊕ default == a");
+    }
+
+    #[test]
+    fn trace_fingerprint_is_order_sensitive() {
+        let mut ab = sample(1);
+        ab.absorb(&sample(2));
+        let mut ba = sample(2);
+        ba.absorb(&sample(1));
+        assert_ne!(ab.trace_fingerprint(), ba.trace_fingerprint());
+        assert_eq!(ab.trace_fingerprint(), ab.clone().trace_fingerprint());
+        assert_eq!(LoadObs::default().trace_fingerprint(), FNV_OFFSET_BASIS);
+    }
+}

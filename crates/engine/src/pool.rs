@@ -25,18 +25,20 @@ pub struct PoolStats {
     pub high_water: u64,
 }
 
-impl PoolStats {
-    /// Fold another pool's counters into this one (sharded runs merge their
-    /// per-shard pools' counters; `high_water` sums because the pools are
-    /// disjoint and may be live concurrently).
-    pub fn absorb(&mut self, other: &PoolStats) {
+/// Sharded runs merge their per-shard pools' counters by shard index;
+/// `high_water` sums because the pools are disjoint and may be live
+/// concurrently. See [`minion_obs::Absorb`] for the merge laws.
+impl minion_obs::Absorb for PoolStats {
+    fn absorb(&mut self, other: &PoolStats) {
         self.allocations += other.allocations;
         self.reuses += other.reuses;
         self.returns += other.returns;
         self.discarded += other.discarded;
         self.high_water += other.high_water;
     }
+}
 
+impl PoolStats {
     /// Fraction of checkouts served without allocating, in `[0, 1]`.
     pub fn reuse_ratio(&self) -> f64 {
         let total = self.allocations + self.reuses;
@@ -152,5 +154,30 @@ mod tests {
     fn empty_pool_reports_zero_ratio() {
         let p = BufferPool::new(16, 2);
         assert_eq!(p.stats().reuse_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stats_absorb_is_associative_with_default_identity() {
+        use minion_obs::Absorb;
+        let mk = |k: u64| PoolStats {
+            allocations: k,
+            reuses: 2 * k,
+            returns: 3 * k,
+            discarded: k / 3,
+            high_water: k,
+        };
+        let (a, b, c) = (mk(1), mk(7), mk(50));
+        let mut left = a;
+        left.absorb(&b);
+        left.absorb(&c);
+        let mut bc = b;
+        bc.absorb(&c);
+        let mut right = a;
+        right.absorb(&bc);
+        assert_eq!(left, right, "associative");
+        assert_eq!(left.high_water, 58, "disjoint pools' high water sums");
+        let mut id = PoolStats::default();
+        id.absorb(&a);
+        assert_eq!(id, a, "default is a left identity");
     }
 }

@@ -25,10 +25,21 @@
 use crate::clock::{Clock, VirtualClock};
 use crate::metrics::EngineMetrics;
 use crate::wheel::TimerWheel;
+use minion_obs::PhaseProfile;
 use minion_simnet::{LinkConfig, NodeId, Packet, SimDuration, SimTime, World};
 use minion_stack::{Host, HostError, SocketHandle};
 use minion_tcp::ConnEvent;
 use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Phase names of the engine's event loop, in [`Engine::phases`] slot order.
+/// `flush` is the ready-flow polling pass (socket polls + packet egress),
+/// `dispatch` the arrival drain + demux, `timers` the wheel advance.
+pub const ENGINE_PHASES: &[&str] = &["flush", "dispatch", "timers"];
+
+const PHASE_FLUSH: usize = 0;
+const PHASE_DISPATCH: usize = 1;
+const PHASE_TIMERS: usize = 2;
 
 /// Index of a host registered with the engine.
 pub type EngineHostId = usize;
@@ -70,6 +81,9 @@ pub struct Engine {
     /// Flows auto-registered since the last [`Engine::take_accepted`].
     accepted_out: Vec<FlowId>,
     metrics: EngineMetrics,
+    /// Wall-clock time per loop phase ([`ENGINE_PHASES`]). Profiling only —
+    /// never part of the deterministic report surface.
+    phases: PhaseProfile,
     // Reusable scratch buffers (hot path; no per-event allocation).
     arrivals: Vec<(SimTime, Packet)>,
     packets: Vec<Packet>,
@@ -95,6 +109,7 @@ impl Engine {
             events_out: Vec::new(),
             accepted_out: Vec::new(),
             metrics: EngineMetrics::default(),
+            phases: PhaseProfile::new(ENGINE_PHASES),
             arrivals: Vec::new(),
             packets: Vec::new(),
             expired: Vec::new(),
@@ -110,6 +125,11 @@ impl Engine {
     /// Runtime counters.
     pub fn metrics(&self) -> &EngineMetrics {
         &self.metrics
+    }
+
+    /// Wall-clock phase profile of the loop ([`ENGINE_PHASES`] slots).
+    pub fn phases(&self) -> &PhaseProfile {
+        &self.phases
     }
 
     /// Add a host. Flows on it are registered with [`Engine::register_flow`].
@@ -290,6 +310,10 @@ impl Engine {
     /// Poll every ready flow at the current time, routing produced packets
     /// into the world and re-arming the wheel.
     fn flush_ready(&mut self) {
+        if self.ready.is_empty() {
+            return;
+        }
+        let span = Instant::now();
         let mut i = 0;
         // Flows marked ready *while* flushing (should not happen today, but a
         // poll-driven design tolerates it) are handled in the same pass.
@@ -329,6 +353,8 @@ impl Engine {
             }
         }
         self.ready.clear();
+        self.phases
+            .add(PHASE_FLUSH, span.elapsed().as_nanos() as u64);
     }
 
     /// Deliver one arrived packet to its host, marking the consuming flow
@@ -373,6 +399,7 @@ impl Engine {
         }
         self.metrics.steps += 1;
 
+        let span = Instant::now();
         self.arrivals.clear();
         let mut arrivals = std::mem::take(&mut self.arrivals);
         self.world.drain_due_into(self.clock.now(), &mut arrivals);
@@ -380,7 +407,10 @@ impl Engine {
             self.dispatch_packet(pkt);
         }
         self.arrivals = arrivals;
+        self.phases
+            .add(PHASE_DISPATCH, span.elapsed().as_nanos() as u64);
 
+        let span = Instant::now();
         self.expired.clear();
         let mut expired = std::mem::take(&mut self.expired);
         self.wheel.advance(self.clock.now(), &mut expired);
@@ -389,6 +419,8 @@ impl Engine {
             self.mark_ready(*flow);
         }
         self.expired = expired;
+        self.phases
+            .add(PHASE_TIMERS, span.elapsed().as_nanos() as u64);
 
         self.flush_ready();
         true

@@ -27,14 +27,26 @@
 //! many shards run concurrently.
 
 use crate::metrics::{fnv1a, EngineMetrics, FlowMetrics, LoadReport, FNV_OFFSET_BASIS};
+use crate::obs::{
+    LoadObs, C_CHUNKS_DELIVERED, C_CHUNKS_OUT_OF_ORDER, C_RECORDS_DELIVERED, C_RECORDS_ENQUEUED,
+    C_RETRANSMIT_EDGES, C_RTO_EDGES, G_COVERAGE_RANGES_HIGH_WATER,
+};
 use crate::pool::{BufferPool, PoolStats};
 use crate::runtime::FlowId;
 use crate::transport::{SimTransport, Transport};
 use bytes::Bytes;
 use minion_exec::Executor;
+use minion_obs::{Absorb, NonDeterministic, PhaseProfile, TraceEvent, TraceKind};
 use minion_simnet::LossConfig;
-use minion_simnet::SimDuration;
+use minion_simnet::{SimDuration, SimTime};
+use minion_tcp::ConnEvent;
 use std::collections::BTreeMap;
+
+/// Nanoseconds of backend time (virtual µs on sim, monotonic µs on os —
+/// both normalized to ns so the two backends' histograms share units).
+fn ns_of(t: SimTime) -> u64 {
+    t.as_micros().saturating_mul(1_000)
+}
 
 /// The TCP port load-scenario servers listen on.
 pub const LOAD_PORT: u16 = 7000;
@@ -105,6 +117,24 @@ impl LoadScenario {
         LoadScenario::with_flows(1024)
     }
 
+    /// The canonical delivery-delay comparison scenario: 256 flows with
+    /// heavy per-flow streams (32 × ~600-byte records, so each stream spans
+    /// many segments) under 2% Bernoulli loss. Run once with a uTCP receiver
+    /// and once with a standard one, this is the repo's ordered-vs-unordered
+    /// delivery-delay figure: head-of-line blocking inflates the ordered
+    /// receiver's mean/tail delay, while the loss pattern and recovery
+    /// timeline stay identical.
+    pub fn obs_comparison(receiver_utcp: bool) -> Self {
+        LoadScenario {
+            flows: 256,
+            records_per_flow: 32,
+            record_len: 600,
+            loss: LossConfig::Bernoulli { probability: 0.02 },
+            receiver_utcp,
+            ..LoadScenario::default()
+        }
+    }
+
     /// Human-readable label of the scenario's axes.
     pub fn label(&self) -> String {
         let loss = match &self.loss {
@@ -145,6 +175,19 @@ impl LoadScenario {
         self.record_len / 2 + (flow * 31 + rec * 131) % self.record_len.max(2)
     }
 
+    /// Stream byte range `[start, end)` of each record of flow `flow`
+    /// (**global** index) — the units delivery delay is measured over.
+    fn record_bounds(&self, flow: usize) -> Vec<(u64, u64)> {
+        let mut bounds = Vec::with_capacity(self.records_per_flow);
+        let mut pos = 0u64;
+        for rec in 0..self.records_per_flow {
+            let end = pos + 12 + self.record_payload_len(flow, rec) as u64;
+            bounds.push((pos, end));
+            pos = end;
+        }
+        bounds
+    }
+
     /// Append flow `flow`'s whole framed stream to `out`: each record is a
     /// 12-byte header (flow, record index, payload length — all `u32` BE)
     /// followed by a position-dependent payload. `flow` is the **global**
@@ -183,6 +226,7 @@ impl LoadScenario {
             backend => format!("{}/{}", self.label(), backend),
         };
         let mut pool = BufferPool::new(self.record_len * self.records_per_flow + 64, 8);
+        let mut obs = LoadObs::default();
 
         // Open every flow and offer its whole stream. A transport may accept
         // only a prefix (or nothing, while the connect is in flight): the
@@ -192,22 +236,35 @@ impl LoadScenario {
         let mut states: Vec<FlowState> = Vec::with_capacity(self.flows);
         let mut sends: Vec<Option<SendState>> = Vec::with_capacity(self.flows);
         for flow in 0..self.flows {
+            let global_flow = self.first_flow + flow;
             let (id, pair_key) = transport.connect();
+            let now_ns = ns_of(transport.now());
+            obs.trace.push(TraceEvent {
+                t_ns: now_ns,
+                flow: global_flow as u32,
+                seq: 0,
+                kind: TraceKind::Syn,
+            });
             let mut stream = pool.take();
-            self.build_stream(self.first_flow + flow, &mut stream);
+            self.build_stream(global_flow, &mut stream);
             let expected_len = stream.len() as u64;
-            assert_eq!(expected_len, self.stream_len(self.first_flow + flow));
+            assert_eq!(expected_len, self.stream_len(global_flow));
             let written = transport.write(id, &stream);
-            let mut state = FlowState::new(id, expected_len);
+            let mut state = FlowState::new(id, expected_len, self.record_bounds(global_flow));
             state.pair_key = pair_key;
+            state.syn_ns = now_ns;
+            let enqueued = state.mark_enqueued(written as u64, now_ns);
+            obs.counters.add(C_RECORDS_ENQUEUED, enqueued);
             states.push(state);
             if written as u64 == expected_len {
+                obs.pool_dwell.record(0);
                 pool.give(stream);
                 sends.push(None);
             } else {
                 sends.push(Some(SendState {
                     stream,
                     cursor: written,
+                    taken_ns: now_ns,
                 }));
             }
         }
@@ -243,6 +300,40 @@ impl LoadScenario {
                 states[flow].server = Some(sf);
                 server_flow_of.insert(sf, flow);
             }
+            // Lifecycle edges feed the trace ring and the RTO-latency
+            // histogram. Only sender-side (client) edges are traced: the
+            // servers' own Established/Closed edges carry no load insight.
+            for (f, ev) in transport.take_lifecycle() {
+                let Some(&flow) = client_flow_of.get(&f) else {
+                    continue;
+                };
+                let now_ns = ns_of(transport.now());
+                let state = &mut states[flow];
+                match ev {
+                    ConnEvent::RtoFired => {
+                        obs.rto_wait.record(now_ns.saturating_sub(state.syn_ns));
+                        obs.counters.inc(C_RTO_EDGES);
+                        obs.trace.push(TraceEvent {
+                            t_ns: now_ns,
+                            flow: (self.first_flow + flow) as u32,
+                            seq: state.rto_seq,
+                            kind: TraceKind::RtoFired,
+                        });
+                        state.rto_seq += 1;
+                    }
+                    ConnEvent::Retransmit => {
+                        obs.counters.inc(C_RETRANSMIT_EDGES);
+                        obs.trace.push(TraceEvent {
+                            t_ns: now_ns,
+                            flow: (self.first_flow + flow) as u32,
+                            seq: state.rtx_seq,
+                            kind: TraceKind::Retransmit,
+                        });
+                        state.rtx_seq += 1;
+                    }
+                    _ => {}
+                }
+            }
             for f in transport.take_writable() {
                 let Some(&flow) = client_flow_of.get(&f) else {
                     continue;
@@ -257,8 +348,12 @@ impl LoadScenario {
                     }
                     send.cursor += n;
                 }
+                let now_ns = ns_of(transport.now());
+                let enqueued = states[flow].mark_enqueued(send.cursor as u64, now_ns);
+                obs.counters.add(C_RECORDS_ENQUEUED, enqueued);
                 if send.cursor == send.stream.len() {
                     let done = sends[flow].take().expect("send state present");
+                    obs.pool_dwell.record(now_ns.saturating_sub(done.taken_ns));
                     pool.give(done.stream);
                 }
             }
@@ -267,12 +362,53 @@ impl LoadScenario {
                     continue;
                 };
                 let now_us = transport.now().as_micros();
+                let now_ns = now_us.saturating_mul(1_000);
                 while let Some(chunk) = transport.read(f) {
                     let state = &mut states[flow];
+                    obs.counters.inc(C_CHUNKS_DELIVERED);
                     if !chunk.in_order {
                         state.ooo_chunks += 1;
+                        obs.counters.inc(C_CHUNKS_OUT_OF_ORDER);
+                    }
+                    if !state.first_chunk_seen {
+                        state.first_chunk_seen = true;
+                        obs.trace.push(TraceEvent {
+                            t_ns: now_ns,
+                            flow: (self.first_flow + flow) as u32,
+                            seq: 0,
+                            kind: TraceKind::FirstByte,
+                        });
                     }
                     state.accept_chunk(chunk.offset, chunk.data);
+                    obs.gauges
+                        .observe(G_COVERAGE_RANGES_HIGH_WATER, state.covered.len() as u64);
+                    // Records whose full byte range just became covered are
+                    // *delivered*: stamp their delay. uTCP receivers complete
+                    // later records while earlier holes persist; ordered TCP
+                    // cannot — that asymmetry is the paper's figure of merit.
+                    for rec in 0..state.records.len() {
+                        let (start, end) = {
+                            let r = &state.records[rec];
+                            if r.delivered {
+                                continue;
+                            }
+                            (r.start, r.end)
+                        };
+                        if !state.covered_contains(start, end) {
+                            continue;
+                        }
+                        let r = &mut state.records[rec];
+                        r.delivered = true;
+                        obs.delivery_delay
+                            .record(now_ns.saturating_sub(r.enqueue_ns));
+                        obs.counters.inc(C_RECORDS_DELIVERED);
+                        obs.trace.push(TraceEvent {
+                            t_ns: now_ns,
+                            flow: (self.first_flow + flow) as u32,
+                            seq: rec as u32,
+                            kind: TraceKind::RecordDelivered,
+                        });
+                    }
                     if state.completion_us.is_none() && state.is_complete() {
                         state.completion_us = Some(now_us);
                         completed += 1;
@@ -301,7 +437,14 @@ impl LoadScenario {
         let events = engine_metrics.events();
 
         // Orderly close both sides and drive the FIN exchanges.
-        for state in &states {
+        let fin_ns = ns_of(transport.now());
+        for (flow, state) in states.iter().enumerate() {
+            obs.trace.push(TraceEvent {
+                t_ns: fin_ns,
+                flow: (self.first_flow + flow) as u32,
+                seq: 0,
+                kind: TraceKind::Fin,
+            });
             transport.close(state.client);
             if let Some(sf) = state.server {
                 transport.close(sf);
@@ -375,6 +518,8 @@ impl LoadScenario {
             allocs_per_flow_milli: pool.stats().allocations * 1000 / self.flows.max(1) as u64,
             engine: engine_metrics,
             pool: *pool.stats(),
+            obs,
+            phases: NonDeterministic(transport.phases()),
             per_flow,
         }
     }
@@ -431,12 +576,16 @@ impl LoadScenario {
         assert_eq!(reports.len(), self.shard_count());
         let mut engine = EngineMetrics::default();
         let mut pool = PoolStats::default();
+        let mut obs = LoadObs::default();
+        let mut phases = PhaseProfile::default();
         let mut per_flow = Vec::with_capacity(self.flows);
         let (mut records_sent, mut records_delivered, mut total_bytes) = (0u64, 0u64, 0u64);
         let mut completion_us = 0u64;
         for report in reports {
             engine.absorb(&report.engine);
             pool.absorb(&report.pool);
+            obs.absorb(&report.obs);
+            phases.absorb(report.phases.get());
             records_sent += report.records_sent;
             records_delivered += report.records_delivered;
             total_bytes += report.total_bytes;
@@ -459,6 +608,8 @@ impl LoadScenario {
             allocs_per_flow_milli: pool.allocations * 1000 / self.flows.max(1) as u64,
             engine,
             pool,
+            obs,
+            phases: NonDeterministic(phases),
             per_flow,
         }
     }
@@ -541,6 +692,20 @@ fn parse_records(stream: &[u8], flow: u32) -> Result<u64, String> {
 struct SendState {
     stream: Vec<u8>,
     cursor: usize,
+    /// Backend time (ns) the staging buffer was taken from the pool, for
+    /// the pool-dwell histogram.
+    taken_ns: u64,
+}
+
+/// Delivery tracking of one framed record: its stream byte range, when the
+/// transport accepted its last byte, and whether its full range has reached
+/// the application.
+struct RecordTrack {
+    start: u64,
+    end: u64,
+    enqueue_ns: u64,
+    enqueued: bool,
+    delivered: bool,
 }
 
 /// Receiver-side bookkeeping for one flow.
@@ -557,10 +722,19 @@ struct FlowState {
     covered: Vec<(u64, u64)>,
     ooo_chunks: u64,
     completion_us: Option<u64>,
+    /// Per-record delivery-delay tracking (obs).
+    records: Vec<RecordTrack>,
+    /// Backend time (ns) the connect was issued (SYN trace timestamp and
+    /// the zero point of the RTO-latency histogram).
+    syn_ns: u64,
+    first_chunk_seen: bool,
+    /// Per-flow sequence numbers of traced RTO / retransmit edges.
+    rto_seq: u32,
+    rtx_seq: u32,
 }
 
 impl FlowState {
-    fn new(client: FlowId, expected_len: u64) -> Self {
+    fn new(client: FlowId, expected_len: u64, bounds: Vec<(u64, u64)>) -> Self {
         FlowState {
             client,
             server: None,
@@ -570,7 +744,44 @@ impl FlowState {
             covered: Vec::new(),
             ooo_chunks: 0,
             completion_us: None,
+            records: bounds
+                .into_iter()
+                .map(|(start, end)| RecordTrack {
+                    start,
+                    end,
+                    enqueue_ns: 0,
+                    enqueued: false,
+                    delivered: false,
+                })
+                .collect(),
+            syn_ns: 0,
+            first_chunk_seen: false,
+            rto_seq: 0,
+            rtx_seq: 0,
         }
+    }
+
+    /// Stamp every record whose last byte the transport has now accepted
+    /// (`cursor` is the flow's send cursor); returns how many records this
+    /// call enqueued.
+    fn mark_enqueued(&mut self, cursor: u64, now_ns: u64) -> u64 {
+        let mut newly = 0u64;
+        for r in &mut self.records {
+            if !r.enqueued && r.end <= cursor {
+                r.enqueued = true;
+                r.enqueue_ns = now_ns;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Whether `[start, end)` is fully covered by received bytes.
+    fn covered_contains(&self, start: u64, end: u64) -> bool {
+        let idx = self.covered.partition_point(|&(_, e)| e < end);
+        self.covered
+            .get(idx)
+            .is_some_and(|&(s, e)| s <= start && end <= e)
     }
 
     fn accept_chunk(&mut self, offset: u64, data: Bytes) {
@@ -607,7 +818,7 @@ mod tests {
 
     #[test]
     fn coverage_merging_detects_completion() {
-        let mut s = FlowState::new(FlowId(0), 10);
+        let mut s = FlowState::new(FlowId(0), 10, vec![(0, 10)]);
         s.accept_chunk(4, Bytes::from(vec![0u8; 3])); // [4,7)
         assert!(!s.is_complete());
         s.accept_chunk(0, Bytes::from(vec![0u8; 4])); // [0,4) abuts
@@ -750,6 +961,55 @@ mod tests {
         // And the two-run determinism gate holds for the sharded path too.
         let verified = verify_load_sharded(&sc, 2);
         assert_eq!(verified, serial);
+    }
+
+    #[test]
+    fn delivery_delay_separates_ordered_from_unordered_receivers() {
+        let mk = |utcp| LoadScenario {
+            flows: 128,
+            ..LoadScenario::obs_comparison(utcp)
+        };
+        let utcp = mk(true).run();
+        let tcp = mk(false).run();
+        // The histograms saw every record exactly once.
+        assert_eq!(utcp.obs.delivery_delay.count(), utcp.records_sent);
+        assert_eq!(
+            utcp.obs.counters.get(C_RECORDS_DELIVERED),
+            utcp.records_sent
+        );
+        assert_eq!(utcp.obs.counters.get(C_RECORDS_ENQUEUED), utcp.records_sent);
+        // The paper's claim, measured: head-of-line blocking makes the
+        // ordered receiver's mean delivery delay strictly worse, and its
+        // tail no better, under the identical loss process.
+        assert!(
+            tcp.obs.delivery_delay.mean() > utcp.obs.delivery_delay.mean(),
+            "ordered mean {} must exceed unordered mean {}",
+            tcp.obs.delivery_delay.mean(),
+            utcp.obs.delivery_delay.mean(),
+        );
+        assert!(tcp.obs.delivery_delay.p99() >= utcp.obs.delivery_delay.p99());
+        // Unordered delivery fragments stream coverage; ordered never does.
+        assert!(utcp.obs.gauges.get(G_COVERAGE_RANGES_HIGH_WATER) > 1);
+        assert_eq!(tcp.obs.gauges.get(G_COVERAGE_RANGES_HIGH_WATER), 1);
+        assert!(utcp.obs.counters.get(C_CHUNKS_OUT_OF_ORDER) > 0);
+        assert_eq!(tcp.obs.counters.get(C_CHUNKS_OUT_OF_ORDER), 0);
+        // Loss recovery leaves its fingerprints in the trace ring.
+        assert!(utcp.obs.rto_wait.count() > 0);
+        for kind in [
+            TraceKind::Syn,
+            TraceKind::FirstByte,
+            TraceKind::RecordDelivered,
+            TraceKind::Retransmit,
+            TraceKind::RtoFired,
+            TraceKind::Fin,
+        ] {
+            assert!(
+                utcp.obs.trace.events().any(|e| e.kind == kind),
+                "trace must contain a {kind:?} event"
+            );
+        }
+        // Pool dwell recorded one sample per flow's send buffer.
+        assert_eq!(utcp.obs.pool_dwell.count(), utcp.flows);
     }
 
     #[test]

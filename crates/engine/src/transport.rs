@@ -26,6 +26,7 @@ use crate::metrics::EngineMetrics;
 use crate::runtime::{Engine, EngineHostId, FlowId};
 use crate::scenario::{LoadScenario, LOAD_PORT};
 use bytes::Bytes;
+use minion_obs::PhaseProfile;
 use minion_simnet::{LinkConfig, SimDuration, SimTime};
 use minion_stack::SocketAddr;
 use minion_tcp::{ConnEvent, SocketOptions, TcpConfig};
@@ -107,6 +108,20 @@ pub trait Transport {
     /// or send-buffer space reopening), in event order.
     fn take_writable(&mut self) -> Vec<FlowId>;
 
+    /// Connection lifecycle edges (established, retransmit, RTO fired,
+    /// closed) since the last call, in event order. Backends that cannot
+    /// observe them (kernel TCP hides its retransmissions) return nothing.
+    fn take_lifecycle(&mut self) -> Vec<(FlowId, minion_tcp::ConnEvent)> {
+        Vec::new()
+    }
+
+    /// Wall-clock phase profile of the backend's event loop (engine
+    /// flush/dispatch/timers on sim; epoll wait/dispatch on os). Profiling
+    /// only — never deterministic, never part of the byte-identity gates.
+    fn phases(&self) -> PhaseProfile {
+        PhaseProfile::default()
+    }
+
     /// Sender-side stats of a flow.
     fn flow_stats(&self, flow: FlowId) -> TransportFlowStats;
 
@@ -130,6 +145,7 @@ pub struct SimTransport {
     server_addr: SocketAddr,
     readable: Vec<FlowId>,
     writable: Vec<FlowId>,
+    lifecycle: Vec<(FlowId, ConnEvent)>,
 }
 
 impl SimTransport {
@@ -165,6 +181,7 @@ impl SimTransport {
             server_addr,
             readable: Vec::new(),
             writable: Vec::new(),
+            lifecycle: Vec::new(),
         }
     }
 
@@ -174,14 +191,16 @@ impl SimTransport {
     }
 
     /// Split the engine's edge events into the readable/writable queues the
-    /// trait exposes (other edges — `Established`, `RtoFired`, `Closed` —
-    /// carry no driver work and are dropped, as the pre-trait driver did).
+    /// trait exposes. The remaining edges (`Established`, `Retransmit`,
+    /// `RtoFired`, `Closed`) carry no driver *work*, but they are exactly
+    /// what the observability layer traces, so they queue separately for
+    /// [`Transport::take_lifecycle`].
     fn pump_events(&mut self) {
         for (f, ev) in self.engine.take_events() {
             match ev {
                 ConnEvent::Readable => self.readable.push(f),
                 ConnEvent::Writable => self.writable.push(f),
-                _ => {}
+                other => self.lifecycle.push((f, other)),
             }
         }
     }
@@ -254,6 +273,15 @@ impl Transport for SimTransport {
     fn take_writable(&mut self) -> Vec<FlowId> {
         self.pump_events();
         std::mem::take(&mut self.writable)
+    }
+
+    fn take_lifecycle(&mut self) -> Vec<(FlowId, ConnEvent)> {
+        self.pump_events();
+        std::mem::take(&mut self.lifecycle)
+    }
+
+    fn phases(&self) -> PhaseProfile {
+        self.engine.phases().clone()
     }
 
     fn flow_stats(&self, flow: FlowId) -> TransportFlowStats {

@@ -28,10 +28,19 @@
 
 use crate::collector::OrderedCollector;
 use crate::deque::{Job, JobDeque};
+use minion_obs::{Absorb, NonDeterministic, PhaseProfile};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Phase names of the per-worker wall-clock profile in
+/// [`ExecStats::profile`]: executing jobs, sweeping victim deques, and
+/// parked waiting for work.
+pub const EXEC_PHASES: &[&str] = &["run", "steal", "park"];
+const PHASE_RUN: usize = 0;
+const PHASE_STEAL: usize = 1;
+const PHASE_PARK: usize = 2;
 
 /// How the job batch is seeded onto the per-worker deques.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +70,11 @@ pub struct ExecStats {
     /// Deque lock acquisitions that had to wait for another thread — the
     /// contention profile justifying the Mutex-backed deques.
     pub locks_contended: u64,
+    /// Wall-clock profile of the workers' time ([`EXEC_PHASES`]: run /
+    /// steal / park), merged across workers in worker-index order.
+    /// Profiling only: the wrapper compares equal to everything, so batch
+    /// stats stay usable in byte-identity gates.
+    pub profile: NonDeterministic<PhaseProfile>,
 }
 
 impl ExecStats {
@@ -129,14 +143,19 @@ impl Executor {
         let workers = self.threads.min(total.max(1));
         if workers == 1 {
             let mut collector = OrderedCollector::new(total);
+            let mut profile = PhaseProfile::new(EXEC_PHASES);
             for (index, input) in inputs.into_iter().enumerate() {
-                collector.record(index, f(index, input));
+                let span = Instant::now();
+                let value = f(index, input);
+                profile.add(PHASE_RUN, span.elapsed().as_nanos() as u64);
+                collector.record(index, value);
             }
             return (
                 collector.into_ordered(),
                 ExecStats {
                     workers: 1,
                     executed: vec![total as u64],
+                    profile: NonDeterministic(profile),
                     ..ExecStats::default()
                 },
             );
@@ -164,6 +183,8 @@ impl Executor {
         let steals = AtomicU64::new(0);
         let steal_attempts = AtomicU64::new(0);
         let executed_per: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let profiles: Mutex<Vec<PhaseProfile>> =
+            Mutex::new(vec![PhaseProfile::new(EXEC_PHASES); workers]);
 
         std::thread::scope(|scope| {
             for me in 0..workers {
@@ -176,62 +197,76 @@ impl Executor {
                 let idle = &idle;
                 let steals = &steals;
                 let steal_attempts = &steal_attempts;
+                let profiles = &profiles;
                 let f = &f;
-                scope.spawn(move || loop {
-                    if abort.load(Ordering::Acquire) {
-                        return;
-                    }
-                    let job = deques[me].pop().or_else(|| {
-                        for k in 1..workers {
-                            steal_attempts.fetch_add(1, Ordering::Relaxed);
-                            if let Some(job) = deques[(me + k) % workers].steal() {
-                                steals.fetch_add(1, Ordering::Relaxed);
-                                return Some(job);
+                scope.spawn(move || {
+                    let mut profile = PhaseProfile::new(EXEC_PHASES);
+                    'work: loop {
+                        if abort.load(Ordering::Acquire) {
+                            break 'work;
+                        }
+                        let job = deques[me].pop().or_else(|| {
+                            let span = Instant::now();
+                            let mut stolen = None;
+                            for k in 1..workers {
+                                steal_attempts.fetch_add(1, Ordering::Relaxed);
+                                if let Some(job) = deques[(me + k) % workers].steal() {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    stolen = Some(job);
+                                    break;
+                                }
+                            }
+                            profile.add(PHASE_STEAL, span.elapsed().as_nanos() as u64);
+                            stolen
+                        });
+                        let Some(Job { index, input }) = job else {
+                            let seen = executed_total.load(Ordering::Acquire);
+                            if seen == total {
+                                break 'work;
+                            }
+                            // Another worker still holds a claimed job; park
+                            // until its completion (or a panic) is signalled.
+                            // Re-checking the counter under the lock closes the
+                            // missed-wakeup window; the timeout is insurance.
+                            let span = Instant::now();
+                            let guard = idle.0.lock().expect("idle lock poisoned");
+                            if executed_total.load(Ordering::Acquire) == seen
+                                && !abort.load(Ordering::Acquire)
+                            {
+                                let _ = idle
+                                    .1
+                                    .wait_timeout(guard, Duration::from_millis(5))
+                                    .expect("idle lock poisoned");
+                            }
+                            profile.add(PHASE_PARK, span.elapsed().as_nanos() as u64);
+                            continue;
+                        };
+                        let span = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(index, input)));
+                        profile.add(PHASE_RUN, span.elapsed().as_nanos() as u64);
+                        match outcome {
+                            Ok(value) => {
+                                collector
+                                    .lock()
+                                    .expect("collector lock poisoned")
+                                    .record(index, value);
+                                executed_per[me].fetch_add(1, Ordering::Relaxed);
+                                executed_total.fetch_add(1, Ordering::AcqRel);
+                                drop(idle.0.lock().expect("idle lock poisoned"));
+                                idle.1.notify_all();
+                            }
+                            Err(payload) => {
+                                let mut slot = first_panic.lock().expect("panic slot poisoned");
+                                slot.get_or_insert(payload);
+                                drop(slot);
+                                abort.store(true, Ordering::Release);
+                                drop(idle.0.lock().expect("idle lock poisoned"));
+                                idle.1.notify_all();
+                                break 'work;
                             }
                         }
-                        None
-                    });
-                    let Some(Job { index, input }) = job else {
-                        let seen = executed_total.load(Ordering::Acquire);
-                        if seen == total {
-                            return;
-                        }
-                        // Another worker still holds a claimed job; park
-                        // until its completion (or a panic) is signalled.
-                        // Re-checking the counter under the lock closes the
-                        // missed-wakeup window; the timeout is insurance.
-                        let guard = idle.0.lock().expect("idle lock poisoned");
-                        if executed_total.load(Ordering::Acquire) == seen
-                            && !abort.load(Ordering::Acquire)
-                        {
-                            let _ = idle
-                                .1
-                                .wait_timeout(guard, Duration::from_millis(5))
-                                .expect("idle lock poisoned");
-                        }
-                        continue;
-                    };
-                    match catch_unwind(AssertUnwindSafe(|| f(index, input))) {
-                        Ok(value) => {
-                            collector
-                                .lock()
-                                .expect("collector lock poisoned")
-                                .record(index, value);
-                            executed_per[me].fetch_add(1, Ordering::Relaxed);
-                            executed_total.fetch_add(1, Ordering::AcqRel);
-                            drop(idle.0.lock().expect("idle lock poisoned"));
-                            idle.1.notify_all();
-                        }
-                        Err(payload) => {
-                            let mut slot = first_panic.lock().expect("panic slot poisoned");
-                            slot.get_or_insert(payload);
-                            drop(slot);
-                            abort.store(true, Ordering::Release);
-                            drop(idle.0.lock().expect("idle lock poisoned"));
-                            idle.1.notify_all();
-                            return;
-                        }
                     }
+                    profiles.lock().expect("profile slots poisoned")[me] = profile;
                 });
             }
         });
@@ -245,6 +280,10 @@ impl Executor {
             uncontended += u;
             contended += c;
         }
+        let mut profile = PhaseProfile::new(EXEC_PHASES);
+        for worker in profiles.into_inner().expect("profile slots poisoned") {
+            profile.absorb(&worker);
+        }
         let stats = ExecStats {
             workers,
             executed: executed_per
@@ -255,6 +294,7 @@ impl Executor {
             steal_attempts: steal_attempts.load(Ordering::Relaxed),
             locks_uncontended: uncontended,
             locks_contended: contended,
+            profile: NonDeterministic(profile),
         };
         (
             collector
@@ -312,6 +352,29 @@ mod tests {
         assert_eq!(out, vec![1, 2, 3]);
         assert!(stats.workers <= 3);
         assert_eq!(stats.executed.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn worker_profile_counts_every_job_and_compares_equal() {
+        for threads in [1, 4] {
+            let (_, stats) = Executor::new(threads)
+                .run_with_stats((0..64).collect(), |_, x: u64| x.wrapping_mul(2654435761));
+            let profile = stats.profile.get();
+            assert_eq!(profile.names(), EXEC_PHASES);
+            assert_eq!(profile.entries(PHASE_RUN), 64, "{threads} threads");
+        }
+        // The wrapper quarantines wall-clock values from Eq: two batches
+        // with different timings still compare equal stats-to-stats.
+        let (_, a) = Executor::new(2).run_with_stats(vec![1u64, 2, 3], |_, x| x);
+        let (_, b) = Executor::new(2).run_with_stats(vec![1u64, 2, 3], |_, x| x);
+        assert_eq!(
+            ExecStats {
+                profile: a.profile.clone(),
+                ..b.clone()
+            },
+            b
+        );
+        assert_eq!(a.profile, b.profile);
     }
 
     #[test]

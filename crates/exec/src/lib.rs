@@ -32,4 +32,4 @@ pub mod executor;
 
 pub use collector::OrderedCollector;
 pub use deque::{Job, JobDeque};
-pub use executor::{available_threads, ExecStats, Executor, Partition};
+pub use executor::{available_threads, ExecStats, Executor, Partition, EXEC_PHASES};

@@ -1,0 +1,287 @@
+//! Log2-bucketed histograms with exact, order-independent merge.
+//!
+//! An HDR-style histogram trades per-bucket resolution for a fixed memory
+//! footprint and an *exact* merge: two histograms over the same bucket
+//! boundaries combine by slot-wise addition, so sharded runs merge to the
+//! byte-identical histogram a serial run would have produced. 64 buckets
+//! cover the full `u64` range:
+//!
+//! * bucket 0 holds exactly the value `0` (zero-duration samples are real —
+//!   a record covered by the same chunk that carried its first byte has zero
+//!   delivery delay on the virtual clock);
+//! * bucket `i` (1..=63) holds values in `[2^(i-1), 2^i - 1]`, with bucket
+//!   63 absorbing everything from `2^62` up to and including `u64::MAX`
+//!   (saturation, not overflow).
+//!
+//! All samples are recorded in **nanoseconds** regardless of clock source:
+//! the sim's virtual clock ticks in microseconds and the OS backend's
+//! monotonic clock reports microseconds since transport creation, and both
+//! are multiplied out to ns before recording so the `"obs"` sections of the
+//! two backends read in the same unit.
+
+use crate::absorb::Absorb;
+
+/// Number of buckets; covers the full `u64` range (see module docs).
+pub const BUCKETS: usize = 64;
+
+/// A fixed-footprint log2 histogram of `u64` samples (nanoseconds, by
+/// convention).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    /// Saturating sum of all samples (used for the mean, never for
+    /// quantiles).
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for zero, else `min(63, 64 - clz(v))`.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        return 0;
+    }
+    ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of a bucket (the quantile representative).
+fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        63 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 on an empty histogram).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Integer mean of the samples (0 on an empty histogram).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The raw bucket slots (tests, serialization).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Value at a quantile given in **milli-percent** (`50_000` = p50,
+    /// `99_000` = p99, `99_900` = p999). Returns the inclusive upper bound
+    /// of the bucket holding the sample of that rank, clamped to the
+    /// observed max — pure integer math, so identical on every platform.
+    /// Returns 0 on an empty histogram.
+    pub fn quantile_milli(&self, q_milli: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target sample, 1-based, ceil(count * q / 100_000),
+        // clamped into [1, count].
+        let rank = self
+            .count
+            .saturating_mul(q_milli)
+            .div_ceil(100_000)
+            .clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand: median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile_milli(50_000)
+    }
+
+    /// Shorthand: p99.
+    pub fn p99(&self) -> u64 {
+        self.quantile_milli(99_000)
+    }
+
+    /// Shorthand: p999.
+    pub fn p999(&self) -> u64 {
+        self.quantile_milli(99_900)
+    }
+}
+
+impl Absorb for Histogram {
+    fn absorb(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_duration_samples_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn max_value_saturates_into_top_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 62); // lower edge of the top bucket
+        h.record((1u64 << 62) - 1); // just below → bucket 62
+        assert_eq!(h.buckets()[63], 2);
+        assert_eq!(h.buckets()[62], 1);
+        assert_eq!(h.max(), u64::MAX);
+        // sum saturates instead of wrapping
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.p999(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        for i in 1..63usize {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_of(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "upper edge of bucket {i}");
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn empty_merge_is_identity_both_sides() {
+        let mut h = Histogram::new();
+        for v in [0u64, 7, 700, 70_000, u64::MAX] {
+            h.record(v);
+        }
+        let mut left = Histogram::new();
+        left.absorb(&h);
+        assert_eq!(left, h, "empty ⊕ h == h");
+        let mut right = h.clone();
+        right.absorb(&Histogram::new());
+        assert_eq!(right, h, "h ⊕ empty == h");
+        // and min() of an empty histogram reads 0, not the u64::MAX sentinel
+        assert_eq!(Histogram::new().min(), 0);
+        assert_eq!(Histogram::new().quantile_milli(99_000), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_exact() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[1, 2, 3]);
+        let b = mk(&[0, 1 << 20, u64::MAX]);
+        let c = mk(&[42; 5]);
+        let mut left = a.clone();
+        left.absorb(&b);
+        left.absorb(&c);
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        let mut right = a.clone();
+        right.absorb(&bc);
+        assert_eq!(left, right);
+        // exactness: merged equals recording everything into one histogram
+        let all = mk(&[1, 2, 3, 0, 1 << 20, u64::MAX, 42, 42, 42, 42, 42]);
+        assert_eq!(left, all);
+    }
+
+    #[test]
+    fn quantiles_use_integer_rank_math() {
+        let mut h = Histogram::new();
+        // 100 samples of 1, 1 sample of 1000 → p50 in bucket 1, p999 in
+        // bucket of 1000 (bucket 10, upper bound 1023, clamped to max 1000).
+        for _ in 0..100 {
+            h.record(1);
+        }
+        h.record(1000);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p999(), 1000);
+        let expected_mean = (100u64 + 1000) / h.count();
+        assert_eq!(h.mean(), expected_mean);
+    }
+
+    #[test]
+    fn sim_and_os_clock_units_normalize_to_nanoseconds() {
+        // Both backends hand the recorder microseconds; the scenario layer
+        // multiplies by 1_000 before recording. A 40ms sim RTT and a 40ms
+        // wall-clock interval must land in the same bucket.
+        let sim_us: u64 = 40_000; // virtual µs
+        let os_us: u64 = 40_000; // monotonic µs since transport creation
+        let mut sim = Histogram::new();
+        let mut os = Histogram::new();
+        sim.record(sim_us * 1_000);
+        os.record(os_us * 1_000);
+        assert_eq!(sim.buckets(), os.buckets());
+        assert_eq!(bucket_of(40_000_000), bucket_of(sim_us * 1_000));
+    }
+}

@@ -1,0 +1,267 @@
+//! Bounded ring-buffer trace recorder for per-flow lifecycle events.
+//!
+//! NS-2-style simulators owe much of their usefulness to trace-file
+//! discipline: every interesting transition lands in an ordered, replayable
+//! stream. [`TraceRing`] is the deterministic analogue — a bounded ring of
+//! [`TraceEvent`]s (flow, seq, kind, timestamp) that keeps the **last**
+//! `cap` events and counts what it had to drop. Merge concatenates streams
+//! in shard order and re-trims to `cap`; because "last `cap` of a
+//! concatenation" only depends on the concatenation, the merge is
+//! associative and a sharded run's ring is byte-identical to the serial
+//! run's.
+//!
+//! Events carry nanosecond timestamps from the backend clock (virtual for
+//! sim — hence fully deterministic — monotonic for os).
+
+use crate::absorb::Absorb;
+use std::collections::VecDeque;
+
+/// Default ring capacity: enough for full lifecycle coverage of the
+/// obs comparison scenarios without unbounded memory on million-flow runs.
+pub const DEFAULT_TRACE_CAP: usize = 65_536;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceKind {
+    /// Client initiated the connection (SYN sent).
+    Syn,
+    /// First payload byte of the flow was delivered to the application.
+    FirstByte,
+    /// A record became fully deliverable to the application.
+    RecordDelivered,
+    /// Sender retransmitted a data segment.
+    Retransmit,
+    /// Sender's retransmission timeout fired.
+    RtoFired,
+    /// Flow finished (orderly close requested).
+    Fin,
+}
+
+impl TraceKind {
+    /// Stable lowercase tag used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Syn => "syn",
+            TraceKind::FirstByte => "first_byte",
+            TraceKind::RecordDelivered => "record",
+            TraceKind::Retransmit => "retransmit",
+            TraceKind::RtoFired => "rto",
+            TraceKind::Fin => "fin",
+        }
+    }
+}
+
+/// One traced transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Timestamp in nanoseconds (virtual on sim, monotonic on os).
+    pub t_ns: u64,
+    /// Global flow index within the scenario.
+    pub flow: u32,
+    /// Sequence within the flow: record index for record-scoped kinds,
+    /// running per-flow event count otherwise.
+    pub seq: u32,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// One JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_ns\":{},\"flow\":{},\"seq\":{},\"kind\":\"{}\"}}",
+            self.t_ns,
+            self.flow,
+            self.seq,
+            self.kind.as_str()
+        )
+    }
+}
+
+/// A bounded ring of the most recent [`TraceEvent`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRing {
+    cap: usize,
+    events: VecDeque<TraceEvent>,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::new(DEFAULT_TRACE_CAP)
+    }
+}
+
+impl TraceRing {
+    /// A ring keeping at most `cap` events (`cap == 0` records nothing but
+    /// still counts).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap,
+            events: VecDeque::new(),
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.recorded += 1;
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever pushed (held + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted or rejected by the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Capacity bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Serialize the held events as JSONL (one event per line, trailing
+    /// newline after the last line; empty string when empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Absorb for TraceRing {
+    /// Concatenate `other`'s stream after `self`'s and keep the last `cap`
+    /// of the result. A pristine ring (nothing ever recorded) adopts `other`
+    /// wholesale, capacity included, so `TraceRing::default()` is a true
+    /// merge identity; all shards of one scenario share a capacity, so the
+    /// non-pristine path never mixes bounds in practice.
+    fn absorb(&mut self, other: &Self) {
+        if self.recorded == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.recorded += other.recorded;
+        for ev in &other.events {
+            if self.cap == 0 {
+                break;
+            }
+            if self.events.len() == self.cap {
+                self.events.pop_front();
+            }
+            self.events.push_back(*ev);
+        }
+        self.dropped = self.recorded - self.events.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, flow: u32, seq: u32, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            t_ns: t,
+            flow,
+            seq,
+            kind,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_last_cap_and_counts_drops() {
+        let mut r = TraceRing::new(2);
+        r.push(ev(1, 0, 0, TraceKind::Syn));
+        r.push(ev(2, 0, 0, TraceKind::FirstByte));
+        r.push(ev(3, 0, 0, TraceKind::Fin));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.recorded(), 3);
+        assert_eq!(r.dropped(), 1);
+        let kinds: Vec<_> = r.events().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![TraceKind::FirstByte, TraceKind::Fin]);
+    }
+
+    #[test]
+    fn jsonl_kinds_are_stable_tags() {
+        let mut r = TraceRing::new(8);
+        r.push(ev(10, 3, 1, TraceKind::RtoFired));
+        r.push(ev(11, 3, 2, TraceKind::Retransmit));
+        let out = r.to_jsonl();
+        assert_eq!(
+            out,
+            "{\"t_ns\":10,\"flow\":3,\"seq\":1,\"kind\":\"rto\"}\n{\"t_ns\":11,\"flow\":3,\"seq\":2,\"kind\":\"retransmit\"}\n"
+        );
+    }
+
+    #[test]
+    fn merge_is_concatenation_trimmed_to_cap_and_associative() {
+        let mk = |base: u64, n: u64| {
+            let mut r = TraceRing::new(4);
+            for i in 0..n {
+                r.push(ev(base + i, 0, i as u32, TraceKind::RecordDelivered));
+            }
+            r
+        };
+        let a = mk(0, 3);
+        let b = mk(100, 3);
+        let c = mk(200, 3);
+        let mut left = a.clone();
+        left.absorb(&b);
+        left.absorb(&c);
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        let mut right = a.clone();
+        right.absorb(&bc);
+        assert_eq!(left, right, "associative");
+        // last-4 of the 9-event concatenation
+        let ts: Vec<u64> = left.events().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![102, 200, 201, 202]);
+        assert_eq!(left.recorded(), 9);
+        assert_eq!(left.dropped(), 5);
+    }
+
+    #[test]
+    fn empty_default_accumulator_is_identity() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i, 1, i as u32, TraceKind::Retransmit));
+        }
+        let mut acc = TraceRing::default();
+        acc.absorb(&r);
+        assert_eq!(acc, r, "pristine ⊕ r == r, capacity included");
+        let mut back = r.clone();
+        back.absorb(&TraceRing::default());
+        assert_eq!(back, r, "r ⊕ pristine == r");
+    }
+}

@@ -50,4 +50,4 @@ pub mod sys;
 pub mod transport;
 
 pub use reactor::Reactor;
-pub use transport::OsTransport;
+pub use transport::{OsTransport, OS_PHASES};

@@ -30,8 +30,8 @@ use crate::reactor::{Event, Reactor};
 use crate::sys;
 use bytes::Bytes;
 use minion_engine::{
-    Clock, EngineMetrics, FlowId, MonotonicClock, TimerWheel, Transport, TransportChunk,
-    TransportFlowStats,
+    Clock, EngineMetrics, FlowId, Histogram, MonotonicClock, PhaseProfile, TimerWheel, Transport,
+    TransportChunk, TransportFlowStats,
 };
 use minion_simnet::{NodeId, SimDuration, SimTime};
 use minion_stack::{SocketHandle, TupleTable};
@@ -60,6 +60,13 @@ const WAIT_MS: i32 = 20;
 
 /// Read scratch size; also the upper bound on one [`TransportChunk`].
 const READ_CHUNK: usize = 64 * 1024;
+
+/// Phase names of the OS event loop's wall-clock profile: blocked in
+/// `epoll_wait` vs. dispatching the readiness edges it returned (including
+/// the connect-watchdog sweep).
+pub const OS_PHASES: &[&str] = &["wait", "dispatch"];
+const PHASE_WAIT: usize = 0;
+const PHASE_DISPATCH: usize = 1;
 
 /// Which side of a connection a flow socket is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,6 +141,11 @@ pub struct OsTransport {
     events_handled: u64,
     timer_fires: u64,
     finished: bool,
+    /// Wall-clock wait/dispatch profile of [`Transport::step`].
+    phases: PhaseProfile,
+    /// Readiness edges returned per `epoll_wait` call — the batching
+    /// profile of the reactor (how much each kernel crossing amortizes).
+    wait_batch: Histogram,
 }
 
 impl OsTransport {
@@ -182,7 +194,14 @@ impl OsTransport {
             events_handled: 0,
             timer_fires: 0,
             finished: false,
+            phases: PhaseProfile::new(OS_PHASES),
+            wait_batch: Histogram::new(),
         }
+    }
+
+    /// Readiness-edges-per-`epoll_wait` histogram (batching profile).
+    pub fn wait_batch_histogram(&self) -> &Histogram {
+        &self.wait_batch
     }
 
     /// The listener's loopback port (tests).
@@ -415,7 +434,12 @@ impl Transport for OsTransport {
         }
         self.events.clear();
         let mut events = std::mem::take(&mut self.events);
-        self.reactor.wait(WAIT_MS, &mut events).expect("epoll_wait");
+        let span = std::time::Instant::now();
+        let n = self.reactor.wait(WAIT_MS, &mut events).expect("epoll_wait");
+        self.phases
+            .add(PHASE_WAIT, span.elapsed().as_nanos() as u64);
+        self.wait_batch.record(n as u64);
+        let span = std::time::Instant::now();
         for ev in events.drain(..) {
             self.dispatch(ev);
         }
@@ -432,6 +456,8 @@ impl Transport for OsTransport {
                 "flow {idx}: loopback connect unresolved after {CONNECT_WATCHDOG:?}"
             );
         }
+        self.phases
+            .add(PHASE_DISPATCH, span.elapsed().as_nanos() as u64);
         true
     }
 
@@ -445,6 +471,10 @@ impl Transport for OsTransport {
 
     fn take_writable(&mut self) -> Vec<FlowId> {
         std::mem::take(&mut self.writable)
+    }
+
+    fn phases(&self) -> PhaseProfile {
+        self.phases.clone()
     }
 
     fn flow_stats(&self, _flow: FlowId) -> TransportFlowStats {

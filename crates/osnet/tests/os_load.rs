@@ -2,7 +2,7 @@
 //! streams, reassembly, and exactly-once checks as the sim backend, but
 //! against kernel TCP over loopback.
 
-use minion_engine::{LoadScenario, Transport};
+use minion_engine::{LoadScenario, TraceKind, Transport};
 use minion_osnet::OsTransport;
 use minion_simnet::SimDuration;
 
@@ -79,6 +79,27 @@ fn load_scenario_completes_over_loopback() {
     let stats = t.tuple_stats();
     assert_eq!(stats.inserts, 32);
     assert_eq!(stats.removes, 32);
+
+    // The observability layer rides the same driver: every record got a
+    // delivery-delay sample (monotonic ns on this backend), lifecycle
+    // events landed in the trace, and the epoll loop was profiled.
+    assert_eq!(report.obs.delivery_delay.count(), report.records_delivered);
+    assert!(
+        report.obs.delivery_delay.max() > 0,
+        "monotonic delays in ns"
+    );
+    for kind in [TraceKind::Syn, TraceKind::FirstByte, TraceKind::Fin] {
+        assert!(
+            report.obs.trace.events().any(|e| e.kind == kind),
+            "trace must contain a {kind:?} event"
+        );
+    }
+    let phases = report.phases.get();
+    assert_eq!(phases.names(), minion_osnet::OS_PHASES);
+    assert!(phases.entries(0) > 0, "epoll_wait spans recorded");
+    assert!(phases.entries(1) > 0, "dispatch spans recorded");
+    let batches = t.wait_batch_histogram();
+    assert!(batches.count() > 0, "one batch sample per epoll_wait");
 }
 
 #[test]

@@ -1070,6 +1070,7 @@ impl TcpConnection {
     ) {
         if retransmitted {
             self.stats.retransmissions += 1;
+            self.events.push(ConnEvent::Retransmit);
         }
         self.unacked.push_back(TxRecord {
             start,
@@ -1722,7 +1723,12 @@ mod tests {
         h.client.write(&[7u8; 2000]).unwrap();
         h.drop_client_data = vec![2];
         h.run_until_idle(SimTime::from_secs(120));
-        assert!(h.client.take_events().contains(&ConnEvent::RtoFired));
+        let events = h.client.take_events();
+        assert!(events.contains(&ConnEvent::RtoFired));
+        assert!(
+            events.contains(&ConnEvent::Retransmit),
+            "recovering the dropped segment must surface a Retransmit edge"
+        );
     }
 
     #[test]

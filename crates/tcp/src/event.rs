@@ -25,6 +25,11 @@ pub enum ConnEvent {
     Closed,
     /// A retransmission timeout fired.
     RtoFired,
+    /// A data segment was retransmitted (RTO or fast retransmit). Note the
+    /// queue collapses *consecutive* duplicates, so a burst of back-to-back
+    /// retransmissions may surface as a single edge — observers treat this
+    /// as "at least one retransmission since the last drain".
+    Retransmit,
 }
 
 /// A level-triggered snapshot of what a connection can currently do.

@@ -89,6 +89,12 @@ pub fn run_load_cell(spec: &CellSpec) -> CellReport {
         completion_time_us: report.completion_us,
         middlebox_splits: 0,
         middlebox_coalesces: 0,
+        delivery_delay_p50_ns: report.obs.delivery_delay.p50(),
+        delivery_delay_p99_ns: report.obs.delivery_delay.p99(),
+        delivery_delay_p999_ns: report.obs.delivery_delay.p999(),
+        delivery_delay_mean_ns: report.obs.delivery_delay.mean(),
+        trace_events: report.obs.trace.recorded(),
+        trace_fingerprint: report.obs.trace_fingerprint(),
     }
 }
 
@@ -134,5 +140,12 @@ mod tests {
         assert!(report.wire_bytes_sent > 0);
         assert!(report.completion_time_us > 0);
         assert!(report.label.ends_with("/flows8"));
+        // The obs layer fills the delivery-delay and trace columns on the
+        // engine path (virtual-time ns, so deterministic and Eq-gated).
+        assert!(report.delivery_delay_p50_ns > 0);
+        assert!(report.delivery_delay_p99_ns >= report.delivery_delay_p50_ns);
+        assert!(report.delivery_delay_mean_ns > 0);
+        assert!(report.trace_events > 0);
+        assert_ne!(report.trace_fingerprint, 0);
     }
 }

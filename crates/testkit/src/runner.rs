@@ -41,6 +41,20 @@ pub struct CellReport {
     pub middlebox_splits: u64,
     /// Segments coalesced by the middlebox.
     pub middlebox_coalesces: u64,
+    /// Delivery-delay p50 in virtual ns (log2-bucket upper bound; engine
+    /// obs layer — multi-flow cells only, 0 on the single-flow drivers).
+    pub delivery_delay_p50_ns: u64,
+    /// Delivery-delay p99 in virtual ns (multi-flow cells only).
+    pub delivery_delay_p99_ns: u64,
+    /// Delivery-delay p99.9 in virtual ns (multi-flow cells only).
+    pub delivery_delay_p999_ns: u64,
+    /// Exact integer mean delivery delay in virtual ns (multi-flow only).
+    pub delivery_delay_mean_ns: u64,
+    /// Lifecycle trace events recorded (multi-flow cells only).
+    pub trace_events: u64,
+    /// Order-sensitive fingerprint of the lifecycle trace (multi-flow
+    /// cells only) — part of the two-run and any-thread-count identity.
+    pub trace_fingerprint: u64,
 }
 
 // The shared fingerprint function (single definition — the determinism gates
@@ -395,6 +409,14 @@ pub fn run_cell(spec: &CellSpec) -> CellReport {
             .unwrap_or(0),
         middlebox_splits: collected.middlebox_splits,
         middlebox_coalesces: collected.middlebox_coalesces,
+        // The engine obs layer instruments multi-flow cells; single-flow
+        // drivers report zeros here.
+        delivery_delay_p50_ns: 0,
+        delivery_delay_p99_ns: 0,
+        delivery_delay_p999_ns: 0,
+        delivery_delay_mean_ns: 0,
+        trace_events: 0,
+        trace_fingerprint: 0,
     };
 
     // Invariant 3: an adversarial middlebox must actually have exercised its
@@ -469,7 +491,18 @@ pub fn run_matrix_threads(cells: &[CellSpec], threads: usize) -> Vec<CellReport>
 /// thread counts already is a determinism check, so the per-cell double run
 /// would only double the wall time.
 pub fn run_matrix_once(cells: &[CellSpec], threads: usize) -> Vec<CellReport> {
-    minion_exec::Executor::new(threads).run(cells.to_vec(), |_, cell| run_cell(&cell))
+    run_matrix_once_with_stats(cells, threads).0
+}
+
+/// [`run_matrix_once`], also returning the executor's batch stats (steals,
+/// lock contention, per-worker run/steal/park profile) — the sweep bench's
+/// scheduling observability. The stats are wall-clock and never part of
+/// the byte-identity gates; the reports are unchanged.
+pub fn run_matrix_once_with_stats(
+    cells: &[CellSpec],
+    threads: usize,
+) -> (Vec<CellReport>, minion_exec::ExecStats) {
+    minion_exec::Executor::new(threads).run_with_stats(cells.to_vec(), |_, cell| run_cell(&cell))
 }
 
 /// A text table of per-cell results (label, delivered/sent, out-of-order,

@@ -8,6 +8,7 @@ pub use minion_crypto as crypto;
 pub use minion_engine as engine;
 pub use minion_exec as exec;
 pub use minion_mstcp as mstcp;
+pub use minion_obs as obs;
 pub use minion_simnet as simnet;
 pub use minion_stack as stack;
 pub use minion_tcp as tcp;
