@@ -17,6 +17,11 @@
 //! cost of the host connection-demux table before (`BTreeMap`) and after
 //! (open-addressed `stack::TupleTable`) the sharded-hosts change.
 //!
+//! The `"cc"` section replays the canonical lossy comparison scenario once
+//! per congestion-control algorithm (`--cc`, default all of
+//! newreno/cubic/none): per-algorithm goodput next to fast-recovery and
+//! timeout counts under the identical loss process.
+//!
 //! `--backend os` additionally drives the same flow counts through the
 //! OS-socket transport (`minion-osnet`): kernel TCP over loopback under an
 //! edge-triggered epoll reactor, same streams and exactly-once checks as
@@ -40,7 +45,8 @@
 //!
 //! ```text
 //! load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N]
-//!             [--out BENCH_engine.json] [--trace-out TRACE.jsonl]
+//!             [--cc newreno,cubic,none] [--out BENCH_engine.json]
+//!             [--trace-out TRACE.jsonl]
 //! ```
 
 use minion_bench::cli;
@@ -48,6 +54,7 @@ use minion_engine::{verify_load_sharded, LoadReport, LoadScenario};
 use minion_osnet::OsTransport;
 use minion_simnet::{NodeId, SimDuration};
 use minion_stack::{SocketHandle, TupleTable};
+use minion_tcp::CcAlgorithm;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -200,6 +207,7 @@ struct Args {
     flows: Vec<usize>,
     threads: usize,
     backend: cli::Backend,
+    ccs: Vec<CcAlgorithm>,
     out: String,
     trace_out: Option<String>,
 }
@@ -208,16 +216,21 @@ fn parse_args() -> Args {
     let mut flows: Vec<usize> = vec![1, 64, 1024];
     let mut threads: Option<usize> = None;
     let mut backend = cli::Backend::Sim;
+    // The "cc" section compares algorithms; by default it compares all of
+    // them (--cc narrows the list, e.g. for a quick single-algorithm run).
+    let mut ccs = CcAlgorithm::ALL.to_vec();
     let mut out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
     let mut trace_out: Option<String> = None;
     let mut args = cli::CliArgs::new(
-        "load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N] [--out FILE] [--trace-out FILE]",
+        "load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N] \
+         [--cc newreno,cubic,none] [--out FILE] [--trace-out FILE]",
     );
     while let Some(arg) = args.next_flag() {
         match arg.as_str() {
             "--backend" => backend = cli::parse_backend(&args.value("--backend")),
             "--flows" => flows = cli::parse_count_list(&args.value("--flows"), "--flows"),
             "--threads" => threads = Some(cli::parse_count(&args.value("--threads"), "--threads")),
+            "--cc" => ccs = cli::parse_cc_list(&args.value("--cc"), "--cc"),
             "--out" => out = args.value("--out"),
             "--trace-out" => trace_out = Some(args.value("--trace-out")),
             other => args.unknown(other),
@@ -234,6 +247,7 @@ fn parse_args() -> Args {
         flows,
         threads: threads.unwrap_or(1),
         backend,
+        ccs,
         out,
         trace_out,
     }
@@ -432,6 +446,59 @@ fn obs_section(threads: usize, backend: cli::Backend) -> (String, LoadReport) {
     (section, utcp)
 }
 
+/// The `"cc"` section: the canonical lossy comparison scenario
+/// ([`LoadScenario::obs_comparison`], uTCP receiver) replayed once per
+/// congestion-control algorithm, each run behind the usual two-run
+/// determinism gate. Goodput next to fast-recovery and timeout counts is
+/// the figure the pluggable-cc axis exists for: how each sender recovers
+/// from the identical loss process.
+fn cc_section(ccs: &[CcAlgorithm], threads: usize) -> String {
+    let rows = ccs
+        .iter()
+        .map(|&cc| {
+            let scenario = LoadScenario {
+                cc,
+                ..LoadScenario::obs_comparison(true)
+            };
+            let report = verify_load_sharded(&scenario, threads);
+            let fast_retransmits: u64 = report.per_flow.iter().map(|f| f.fast_retransmits).sum();
+            let retransmissions: u64 = report.per_flow.iter().map(|f| f.retransmissions).sum();
+            let rto_fires: u64 = report.per_flow.iter().map(|f| f.rto_fires).sum();
+            println!(
+                "cc={}: goodput {:.2} Mbit/s, {} fast recoveries, {} retransmissions, {} RTOs",
+                cc.label(),
+                report.goodput_bps as f64 / 1e6,
+                fast_retransmits,
+                retransmissions,
+                rto_fires,
+            );
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"algorithm\": \"{algo}\",\n",
+                    "      \"label\": \"{label}\",\n",
+                    "      \"goodput_bps\": {goodput},\n",
+                    "      \"completion_sim_ms\": {completion_ms:.3},\n",
+                    "      \"fast_retransmits\": {fast},\n",
+                    "      \"retransmissions\": {retx},\n",
+                    "      \"rto_fires\": {rto},\n",
+                    "      \"deterministic\": true\n",
+                    "    }}"
+                ),
+                algo = cc.label(),
+                label = json_escape(&report.label),
+                goodput = report.goodput_bps,
+                completion_ms = report.completion_us as f64 / 1000.0,
+                fast = fast_retransmits,
+                retx = retransmissions,
+                rto = rto_fires,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("  \"cc\": [\n{rows}\n  ]")
+}
+
 fn main() {
     let args = parse_args();
     let (flows, threads, backend, out) = (args.flows, args.threads, args.backend, args.out);
@@ -485,10 +552,13 @@ fn main() {
         );
     }
 
+    // The congestion-control comparison: same lossy workload, each sender.
+    let cc = cc_section(&args.ccs, threads);
+
     let body = rows.iter().map(row_json).collect::<Vec<_>>().join(",\n");
     let demux = demux_bench_json();
     let json = format!(
-        "{{\n  \"bench\": \"engine_load\",\n{demux},\n{obs},\n{os_section}  \"scenarios\": [\n{body}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"engine_load\",\n{demux},\n{obs},\n{cc},\n{os_section}  \"scenarios\": [\n{body}\n  ]\n}}\n"
     );
     cli::write_output("--out", &out, &json);
     println!("wrote {out}");

@@ -17,15 +17,22 @@
 
 use minion_bench::cli;
 use minion_exec::ExecStats;
-use minion_testkit::{run_matrix_once_with_stats, summarize, CellReport, CellSpec, MatrixSpec};
+use minion_testkit::{
+    run_matrix_once_with_stats, summarize, CcAlgorithm, CellReport, CellSpec, MatrixSpec,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// The sweep's cell set: the tier-1 default matrix plus the load matrix —
-/// "the full matrix" CI diffs across thread counts.
-fn full_matrix() -> Vec<CellSpec> {
+/// "the full matrix" CI diffs across thread counts. `--cc` multiplies the
+/// *load* slice by the requested congestion-control algorithms (the
+/// single-flow matrix stays on the default NewReno: its cells pin protocol
+/// framing behaviour, not sender dynamics).
+fn full_matrix(ccs: &[CcAlgorithm]) -> Vec<CellSpec> {
     let mut cells = MatrixSpec::default().cells();
-    cells.extend(MatrixSpec::load().cells());
+    let mut load = MatrixSpec::load();
+    load.ccs = ccs.to_vec();
+    cells.extend(load.cells());
     cells
 }
 
@@ -113,14 +120,16 @@ fn obs_section_json(reports: &[CellReport], runs: &[Run]) -> String {
     )
 }
 
-fn parse_args() -> (Vec<usize>, Option<String>, String) {
+fn parse_args() -> (Vec<usize>, Vec<CcAlgorithm>, Option<String>, String) {
     let mut threads: Vec<usize> = vec![1, 4];
     let mut threads_requested = false;
     let mut backend = cli::Backend::Sim;
+    let mut ccs = vec![CcAlgorithm::NewReno];
     let mut report_prefix: Option<String> = None;
     let mut out = std::env::var("BENCH_SWEEP_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
     let mut args = cli::CliArgs::new(
-        "sweep_matrix [--backend sim] [--threads 1,4] [--report-prefix PREFIX] [--out FILE]",
+        "sweep_matrix [--backend sim] [--threads 1,4] [--cc newreno,cubic,none] \
+         [--report-prefix PREFIX] [--out FILE]",
     );
     while let Some(arg) = args.next_flag() {
         match arg.as_str() {
@@ -129,6 +138,7 @@ fn parse_args() -> (Vec<usize>, Option<String>, String) {
                 threads = cli::parse_count_list(&args.value("--threads"), "--threads");
                 threads_requested = true;
             }
+            "--cc" => ccs = cli::parse_cc_list(&args.value("--cc"), "--cc"),
             "--report-prefix" => report_prefix = Some(args.value("--report-prefix")),
             "--out" => out = args.value("--out"),
             other => args.unknown(other),
@@ -143,16 +153,17 @@ fn parse_args() -> (Vec<usize>, Option<String>, String) {
         "sweep_matrix is sim-only (byte-identical sweeps); use load_engine --backend os for kernel-socket runs"
     );
     cli::validate_out_path("--out", &out);
-    (threads, report_prefix, out)
+    (threads, ccs, report_prefix, out)
 }
 
 fn main() {
-    let (thread_counts, report_prefix, out) = parse_args();
-    let cells = full_matrix();
+    let (thread_counts, ccs, report_prefix, out) = parse_args();
+    let cells = full_matrix(&ccs);
     println!(
-        "sweeping {} cells at threads {:?} (host parallelism: {})",
+        "sweeping {} cells at threads {:?}, cc {:?} (host parallelism: {})",
         cells.len(),
         thread_counts,
+        ccs.iter().map(|c| c.label()).collect::<Vec<_>>(),
         minion_exec::available_threads()
     );
 
@@ -237,6 +248,7 @@ fn main() {
             "{{\n",
             "  \"bench\": \"sweep_matrix\",\n",
             "  \"cells\": {cells},\n",
+            "  \"cc\": [{cc}],\n",
             "  \"available_parallelism\": {avail},\n",
             "  \"reports_identical\": true,\n",
             "{obs},\n",
@@ -244,6 +256,11 @@ fn main() {
             "}}\n"
         ),
         cells = cells.len(),
+        cc = ccs
+            .iter()
+            .map(|c| format!("\"{}\"", c.label()))
+            .collect::<Vec<_>>()
+            .join(", "),
         avail = minion_exec::available_threads(),
         obs = obs,
         rows = rows,

@@ -117,6 +117,28 @@ pub fn parse_count_list(raw: &str, flag: &str) -> Vec<usize> {
     list
 }
 
+/// Parse a non-empty comma-separated list of congestion-control algorithms
+/// (`newreno|cubic|none`), rejecting duplicates (a doubled entry would
+/// silently double a sweep's cell count).
+pub fn parse_cc_list(raw: &str, flag: &str) -> Vec<minion_tcp::CcAlgorithm> {
+    let list: Vec<minion_tcp::CcAlgorithm> = raw
+        .split(',')
+        .map(|s| {
+            minion_tcp::CcAlgorithm::parse(s)
+                .unwrap_or_else(|| panic!("{flag} takes newreno|cubic|none, got {s:?}"))
+        })
+        .collect();
+    assert!(!list.is_empty(), "{flag} needs at least one entry");
+    for (i, cc) in list.iter().enumerate() {
+        assert!(
+            !list[..i].contains(cc),
+            "{flag}: duplicate entry {:?}",
+            cc.label()
+        );
+    }
+    list
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +159,27 @@ mod tests {
     #[should_panic(expected = "--flows takes positive integers")]
     fn junk_entries_are_rejected() {
         parse_count_list("1,banana", "--flows");
+    }
+
+    #[test]
+    fn cc_lists_parse_and_validate() {
+        use minion_tcp::CcAlgorithm;
+        assert_eq!(
+            parse_cc_list("newreno, cubic,none", "--cc"),
+            vec![CcAlgorithm::NewReno, CcAlgorithm::Cubic, CcAlgorithm::None]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--cc takes newreno|cubic|none")]
+    fn unknown_cc_entries_are_rejected() {
+        parse_cc_list("newreno,vegas", "--cc");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate entry")]
+    fn duplicate_cc_entries_are_rejected() {
+        parse_cc_list("cubic,cubic", "--cc");
     }
 
     #[test]

@@ -69,6 +69,8 @@ pub struct FlowMetrics {
     pub chunks_out_of_order: u64,
     /// Sender-side data-segment retransmissions.
     pub retransmissions: u64,
+    /// Sender-side fast-retransmit (recovery-entry) events.
+    pub fast_retransmits: u64,
     /// Sender-side retransmission timeouts.
     pub rto_fires: u64,
     /// Virtual time (µs) at which the flow's stream was complete.

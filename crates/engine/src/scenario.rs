@@ -39,7 +39,7 @@ use minion_exec::Executor;
 use minion_obs::{Absorb, NonDeterministic, PhaseProfile, TraceEvent, TraceKind};
 use minion_simnet::LossConfig;
 use minion_simnet::{SimDuration, SimTime};
-use minion_tcp::ConnEvent;
+use minion_tcp::{CcAlgorithm, ConnEvent};
 use std::collections::BTreeMap;
 
 /// Nanoseconds of backend time (virtual µs on sim, monotonic µs on os —
@@ -75,6 +75,8 @@ pub struct LoadScenario {
     pub loss: LossConfig,
     /// Whether the receiving endpoint runs uTCP's unordered receive.
     pub receiver_utcp: bool,
+    /// Congestion-control algorithm both endpoints run.
+    pub cc: CcAlgorithm,
     /// Scenario seed (drives loss models and everything derived).
     pub seed: u64,
     /// Virtual-time budget; the run panics if flows are incomplete at it.
@@ -96,6 +98,7 @@ impl Default for LoadScenario {
             queue_bytes: 1 << 20,
             loss: LossConfig::None,
             receiver_utcp: true,
+            cc: CcAlgorithm::NewReno,
             seed: 0x10ad_5eed,
             deadline: SimDuration::from_secs(300),
             first_flow: 0,
@@ -146,7 +149,7 @@ impl LoadScenario {
             LossConfig::Periodic { every } => format!("loss=periodic{every}"),
             LossConfig::Explicit { indices } => format!("loss=explicit{}", indices.len()),
         };
-        let base = format!(
+        let mut base = format!(
             "flows{}/{}/rtt{}ms/{}bps/{}",
             self.flows,
             loss,
@@ -154,6 +157,12 @@ impl LoadScenario {
             self.rate_bps,
             if self.receiver_utcp { "utcp" } else { "tcp" },
         );
+        // Labels predating the cc axis stay stable: only non-default
+        // algorithms appear.
+        if self.cc != CcAlgorithm::NewReno {
+            base.push_str("/cc=");
+            base.push_str(self.cc.label());
+        }
         if self.first_flow > 0 {
             format!("{base}@{}", self.first_flow)
         } else {
@@ -494,6 +503,7 @@ impl LoadScenario {
                 records_delivered: flow_records,
                 chunks_out_of_order: state.ooo_chunks,
                 retransmissions: stats.retransmissions,
+                fast_retransmits: stats.fast_retransmits,
                 rto_fires: stats.rto_fires,
                 completion_us: state.completion_us.expect("all complete"),
                 fingerprint,

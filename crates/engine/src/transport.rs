@@ -50,6 +50,8 @@ pub struct TransportChunk {
 pub struct TransportFlowStats {
     /// Data-segment retransmissions.
     pub retransmissions: u64,
+    /// Fast-retransmit (recovery-entry) events.
+    pub fast_retransmits: u64,
     /// Retransmission timeouts fired.
     pub rto_fires: u64,
 }
@@ -143,6 +145,7 @@ pub struct SimTransport {
     engine: Engine,
     client: EngineHostId,
     server_addr: SocketAddr,
+    tcp_config: TcpConfig,
     readable: Vec<FlowId>,
     writable: Vec<FlowId>,
     lifecycle: Vec<(FlowId, ConnEvent)>,
@@ -169,9 +172,10 @@ impl SimTransport {
         } else {
             SocketOptions::standard()
         };
+        let tcp_config = TcpConfig::default().with_cc(scenario.cc);
         engine
             .host_mut(server)
-            .tcp_listen(LOAD_PORT, TcpConfig::default(), receiver_opts)
+            .tcp_listen(LOAD_PORT, tcp_config.clone(), receiver_opts)
             .expect("listen on a fresh host");
         engine.set_auto_register(server, true);
         let server_addr = SocketAddr::new(engine.node_of(server), LOAD_PORT);
@@ -179,6 +183,7 @@ impl SimTransport {
             engine,
             client,
             server_addr,
+            tcp_config,
             readable: Vec::new(),
             writable: Vec::new(),
             lifecycle: Vec::new(),
@@ -219,7 +224,7 @@ impl Transport for SimTransport {
         let now = self.engine.now();
         let handle = self.engine.host_mut(self.client).tcp_connect(
             self.server_addr,
-            TcpConfig::default(),
+            self.tcp_config.clone(),
             SocketOptions::standard(),
             now,
         );
@@ -288,6 +293,7 @@ impl Transport for SimTransport {
         let stats = self.engine.flow_stats(flow);
         TransportFlowStats {
             retransmissions: stats.retransmissions,
+            fast_retransmits: stats.fast_retransmits,
             rto_fires: stats.timeouts,
         }
     }

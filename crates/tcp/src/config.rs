@@ -3,15 +3,45 @@
 use minion_simnet::SimDuration;
 
 /// Which congestion-control algorithm a connection uses.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
 pub enum CcAlgorithm {
     /// NewReno (RFC 6582): slow start, congestion avoidance, fast
     /// retransmit/recovery with partial-ACK handling.
     #[default]
     NewReno,
+    /// CUBIC (RFC 8312): cubic window growth anchored at the last congestion
+    /// event, with a Reno-friendly floor. Implemented in deterministic
+    /// integer arithmetic over virtual time, so the window trajectory is
+    /// byte-identical at any thread count.
+    Cubic,
     /// Congestion control disabled (design alternative discussed in §4.3 of
     /// the paper); the window is limited only by the receive window.
     None,
+}
+
+impl CcAlgorithm {
+    /// Every algorithm, in sweep order (the `--cc` axis).
+    pub const ALL: [CcAlgorithm; 3] = [CcAlgorithm::NewReno, CcAlgorithm::Cubic, CcAlgorithm::None];
+
+    /// The tag used in labels, flags, and JSON (`"newreno"` / `"cubic"` /
+    /// `"none"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CcAlgorithm::NewReno => "newreno",
+            CcAlgorithm::Cubic => "cubic",
+            CcAlgorithm::None => "none",
+        }
+    }
+
+    /// Parse a `--cc` flag value.
+    pub fn parse(raw: &str) -> Option<CcAlgorithm> {
+        match raw.trim() {
+            "newreno" => Some(CcAlgorithm::NewReno),
+            "cubic" => Some(CcAlgorithm::Cubic),
+            "none" => Some(CcAlgorithm::None),
+            _ => None,
+        }
+    }
 }
 
 /// Static configuration of one TCP connection.
@@ -246,6 +276,16 @@ mod tests {
         assert_eq!(c.fixed_isn, Some(7));
         assert!(!c.skbuff_accounting);
         assert!(!c.coalesce_small_writes);
+    }
+
+    #[test]
+    fn cc_algorithm_labels_round_trip() {
+        for algo in CcAlgorithm::ALL {
+            assert_eq!(CcAlgorithm::parse(algo.label()), Some(algo));
+        }
+        assert_eq!(CcAlgorithm::parse(" cubic "), Some(CcAlgorithm::Cubic));
+        assert_eq!(CcAlgorithm::parse("bbr"), None);
+        assert_eq!(CcAlgorithm::default(), CcAlgorithm::NewReno);
     }
 
     #[test]

@@ -12,19 +12,28 @@
 //! asks it for outgoing segments via [`TcpConnection::poll`], and schedules
 //! the next call using [`TcpConnection::next_timer`]. All timing comes from
 //! the caller's virtual clock, which keeps experiments deterministic.
+//!
+//! The control path is split along mlwip-style seams: loss *detection* and
+//! the RFC 6582 recover point live in [`crate::recovery`], the outstanding-
+//! data scoreboard, retransmission cursor, and RTO timer in
+//! [`crate::reliability`], and the window *response* behind the pluggable
+//! [`CongestionControl`] trait in [`crate::cc`]. This file wires them to the
+//! protocol: sequence-number mapping, segment parsing/emission, and state
+//! transitions.
 
-use crate::cc::CongestionControl;
+use crate::cc::{self, CongestionControl};
 use crate::config::{SocketOptions, TcpConfig, WriteMeta};
 use crate::delivered::DeliveredChunk;
 use crate::event::{ConnEvent, EventQueue, Readiness};
+use crate::recovery::RecoveryState;
 use crate::recvbuf::ReceiveBuffer;
+use crate::reliability::Reliability;
 use crate::rtt::RttEstimator;
 use crate::segment::{SackBlock, TcpFlags, TcpOption, TcpSegment};
 use crate::sendbuf::SendBuffer;
 use crate::seq::SeqNum;
 use bytes::Bytes;
 use minion_simnet::{SimDuration, SimTime};
-use std::collections::VecDeque;
 
 /// Errors surfaced by the socket-level API.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,19 +112,6 @@ pub struct ConnStats {
     pub acks_sent: u64,
 }
 
-/// A transmitted-but-unacknowledged range, used for flight accounting, RTT
-/// sampling, and the SACK scoreboard.
-#[derive(Clone, Debug)]
-struct TxRecord {
-    start: u64,
-    end: u64,
-    /// Window charge: payload bytes, or a full MSS under skbuff accounting.
-    charge: usize,
-    sent_at: SimTime,
-    retransmitted: bool,
-    sacked: bool,
-}
-
 /// Pending-ACK state for the delayed-ACK machinery.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum AckPending {
@@ -138,25 +134,14 @@ pub struct TcpConnection {
     send_buf: SendBuffer,
     /// Offset of the highest cumulatively acknowledged data byte.
     snd_una: u64,
-    /// Offset from which the next retransmission should read, when one has
-    /// been scheduled (RTO or fast retransmit).
-    resend_cursor: Option<u64>,
-    /// Exclusive upper bound of the scheduled retransmission: one segment's
-    /// worth for fast retransmit / NewReno partial ACKs, everything up to
-    /// `snd_max` for an RTO (go-back-N).
-    resend_until: u64,
-    /// Transmitted, unacknowledged ranges.
-    unacked: VecDeque<TxRecord>,
+    /// Outstanding-data scoreboard, retransmission cursor, RTO timer.
+    reliability: Reliability,
+    /// Duplicate-ACK run and the RFC 6582 recover point.
+    recovery: RecoveryState,
     peer_window: usize,
     peer_mss: usize,
-    dup_ack_count: u32,
-    /// NewReno recovery point: recovery ends when snd_una passes this offset.
-    recover: u64,
-    cc: CongestionControl,
+    cc: Box<dyn CongestionControl>,
     rtt: RttEstimator,
-    rto_expiry: Option<SimTime>,
-    /// Number of consecutive RTO expirations without progress.
-    rto_backoffs: u32,
 
     // ---- Handshake / close state ----
     syn_sent_at: Option<SimTime>,
@@ -189,7 +174,7 @@ impl TcpConnection {
         });
         let send_buf = SendBuffer::new(config.send_buffer);
         let recv_buf = ReceiveBuffer::new(config.recv_buffer, opts.unordered_receive);
-        let cc = CongestionControl::new(config.cc, config.mss, config.initial_cwnd_segments);
+        let cc = cc::build(config.cc, config.mss, config.initial_cwnd_segments);
         let rtt = RttEstimator::new(config.min_rto, config.max_rto);
         TcpConnection {
             config,
@@ -200,17 +185,12 @@ impl TcpConnection {
             iss: SeqNum(isn),
             send_buf,
             snd_una: 0,
-            resend_cursor: None,
-            resend_until: 0,
-            unacked: VecDeque::new(),
+            reliability: Reliability::new(),
+            recovery: RecoveryState::new(),
             peer_window: 65535,
             peer_mss: 536,
-            dup_ack_count: 0,
-            recover: 0,
             cc,
             rtt,
-            rto_expiry: None,
-            rto_backoffs: 0,
             syn_sent_at: None,
             syn_acked: false,
             close_requested: false,
@@ -235,7 +215,7 @@ impl TcpConnection {
         self.state = TcpState::SynSent;
         self.handshake_pending = true;
         self.syn_sent_at = Some(now);
-        self.rto_expiry = Some(now + self.rtt.rto());
+        self.reliability.arm_rto(now + self.rtt.rto());
     }
 
     /// Begin a passive open (server side).
@@ -372,6 +352,12 @@ impl TcpConnection {
     /// Current congestion window in bytes.
     pub fn cwnd(&self) -> usize {
         self.cc.cwnd()
+    }
+
+    /// The congestion-control algorithm's own counters (recovery episodes,
+    /// timeouts as the algorithm saw them).
+    pub fn cc_stats(&self) -> &crate::cc::CcStats {
+        self.cc.stats()
     }
 
     /// Free space in the send buffer.
@@ -511,7 +497,7 @@ impl TcpConnection {
         self.state = TcpState::SynRcvd;
         self.handshake_pending = true;
         self.syn_sent_at = Some(now);
-        self.rto_expiry = Some(now + self.rtt.rto());
+        self.reliability.arm_rto(now + self.rtt.rto());
     }
 
     fn on_segment_syn_sent(&mut self, seg: &TcpSegment, now: SimTime) {
@@ -535,8 +521,8 @@ impl TcpConnection {
             self.rtt.on_sample(now.saturating_since(sent));
         }
         self.state = TcpState::Established;
-        self.rto_expiry = None;
-        self.rto_backoffs = 0;
+        self.reliability.clear_rto();
+        self.reliability.reset_backoffs();
         // Complete the handshake with an ACK.
         self.ack_pending = AckPending::Immediate;
     }
@@ -561,8 +547,8 @@ impl TcpConnection {
                 self.rtt.on_sample(now.saturating_since(sent));
             }
             self.state = TcpState::Established;
-            self.rto_expiry = None;
-            self.rto_backoffs = 0;
+            self.reliability.clear_rto();
+            self.reliability.reset_backoffs();
         }
 
         self.peer_window = seg.window as usize;
@@ -652,10 +638,14 @@ impl TcpConnection {
             return;
         }
 
-        // Record SACK information on the scoreboard.
-        if !seg.sack_blocks().is_empty() {
-            self.apply_sack(seg.sack_blocks());
-        }
+        // Record SACK information on the scoreboard. SACK blocks beyond the
+        // cumulative point are also the RFC 6582 §4 evidence that a duplicate
+        // ACK marks a genuine fresh hole (see `on_duplicate_ack`).
+        let sack_evidence = if seg.sack_blocks().is_empty() {
+            false
+        } else {
+            self.apply_sack(seg.sack_blocks())
+        };
 
         if data_ack_off > self.snd_una {
             self.on_new_ack(data_ack_off, now);
@@ -665,7 +655,7 @@ impl TcpConnection {
             && !seg.flags.fin
             && !seg.flags.syn
         {
-            self.on_duplicate_ack(now);
+            self.on_duplicate_ack(now, sack_evidence);
         }
 
         // Close-related state transitions driven by our FIN being acked.
@@ -682,100 +672,103 @@ impl TcpConnection {
             // With the FIN acknowledged and no data outstanding there is
             // nothing left to retransmit.
             if self.snd_una >= self.send_buf.end_offset() {
-                self.rto_expiry = None;
+                self.reliability.clear_rto();
             }
         }
     }
 
-    fn apply_sack(&mut self, blocks: &[SackBlock]) {
+    /// Record SACK blocks on the scoreboard. Returns whether any valid block
+    /// covers data beyond the cumulative ACK point — proof that newer data is
+    /// reaching the receiver, which `on_duplicate_ack` uses as the RFC 6582
+    /// §4 heuristic. This must come from the blocks themselves, not the
+    /// scoreboard: after an RTO the scoreboard is cleared for go-back-N, so
+    /// SACKed ranges not yet re-sent have no record to mark.
+    fn apply_sack(&mut self, blocks: &[SackBlock]) -> bool {
+        let mut beyond_cumulative = false;
         for block in blocks {
             let start = self.offset_of_ack(block.start);
             let end = self.offset_of_ack(block.end);
             if end <= start || end > self.snd_max_offset() + 1 {
                 continue;
             }
-            for rec in self.unacked.iter_mut() {
-                if rec.start >= start && rec.end <= end {
-                    rec.sacked = true;
-                }
+            if end > self.snd_una {
+                beyond_cumulative = true;
             }
+            self.reliability.mark_sacked(start, end);
         }
+        beyond_cumulative
     }
 
     fn on_new_ack(&mut self, ack_off: u64, now: SimTime) {
         let newly_acked = (ack_off - self.snd_una) as usize;
         self.stats.bytes_acked += newly_acked as u64;
-        self.dup_ack_count = 0;
+        self.recovery.on_new_ack();
 
-        // Retire acknowledged transmission records and sample RTT from a
-        // record that was never retransmitted (Karn's rule).
-        let mut rtt_sampled = false;
-        while let Some(front) = self.unacked.front() {
-            if front.end <= ack_off {
-                let rec = self.unacked.pop_front().expect("front exists");
-                if !rec.retransmitted && !rtt_sampled {
-                    self.rtt.on_sample(now.saturating_since(rec.sent_at));
-                    rtt_sampled = true;
-                }
-            } else {
-                break;
-            }
+        // Retire acknowledged transmission records; Karn's rule permits an
+        // RTT sample only from a record that was never retransmitted.
+        if let Some(sent_at) = self.reliability.retire_acked(ack_off) {
+            self.rtt.on_sample(now.saturating_since(sent_at));
         }
 
         self.snd_una = ack_off;
         self.send_buf.acknowledge(ack_off);
-        self.rto_backoffs = 0;
+        self.reliability.reset_backoffs();
 
         if self.cc.in_recovery() {
-            if ack_off >= self.recover {
-                // Full acknowledgment: leave recovery.
-                self.cc.on_exit_recovery();
-                self.resend_cursor = None;
+            if self.recovery.full_ack_covers(ack_off) {
+                // Full acknowledgment: leave recovery. The flight size *after*
+                // retiring feeds RFC 6582 §3.2 step 3's conservative deflation
+                // (`min(ssthresh, max(flight, MSS) + MSS)`), which prevents a
+                // post-recovery burst when little data is left outstanding.
+                let flight = self.reliability.flight_charge();
+                self.cc.on_exit_recovery(flight);
+                self.reliability.clear_resend();
             } else {
                 // Partial ACK (NewReno): retransmit the next lost segment.
+                // The one-byte range is a sentinel — the emit path sends one
+                // full segment starting at `snd_una` (see `reliability.rs`).
                 self.cc.on_partial_ack(newly_acked);
-                self.resend_cursor = Some(self.snd_una);
-                self.resend_until = self.snd_una + 1;
+                self.reliability
+                    .schedule_resend(self.snd_una, self.snd_una + 1);
             }
         } else {
-            self.cc.on_ack(newly_acked);
+            self.cc.on_ack(newly_acked, now, self.rtt.srtt());
         }
 
         // Restart the retransmission timer.
-        self.rto_expiry = if self.unacked.is_empty() && self.snd_una >= self.snd_max_offset() {
-            None
+        if !self.reliability.has_unacked() && self.snd_una >= self.snd_max_offset() {
+            self.reliability.clear_rto();
         } else {
-            Some(now + self.rtt.rto())
-        };
+            self.reliability.arm_rto(now + self.rtt.rto());
+        }
     }
 
-    fn on_duplicate_ack(&mut self, now: SimTime) {
+    fn on_duplicate_ack(&mut self, now: SimTime, sack_evidence: bool) {
         self.stats.dup_acks += 1;
-        self.dup_ack_count += 1;
+        let run = self.recovery.on_dup_ack();
         if self.cc.in_recovery() {
             self.cc.on_dup_ack_in_recovery();
             return;
         }
-        if self.dup_ack_count == 3 {
+        // RFC 6582 §3.2 step 1: enter fast retransmit on the third duplicate
+        // ACK only if the cumulative ACK point has passed the recover point,
+        // or (the §4 heuristic, via SACK) the duplicates carry SACK blocks
+        // proving newer data is reaching the receiver — a genuine fresh hole.
+        // A *bare* duplicate-ACK burst for data sent before the last
+        // congestion event (arriving just after recovery exit, or the echoes
+        // of a go-back-N retransmission after an RTO) must not cut cwnd
+        // again.
+        if run == 3 && self.recovery.may_enter(self.snd_una, sack_evidence) {
             // Fast retransmit: resend the first unacknowledged segment and
             // enter NewReno recovery.
-            let flight = self.flight_charge();
-            self.cc.on_enter_recovery(flight);
-            self.recover = self.snd_max_offset();
-            self.resend_cursor = Some(self.snd_una);
-            self.resend_until = self.snd_una + 1;
+            let flight = self.reliability.flight_charge();
+            self.cc.on_enter_recovery(flight, now);
+            self.recovery.arm(self.snd_max_offset());
+            self.reliability
+                .schedule_resend(self.snd_una, self.snd_una + 1);
             self.stats.fast_retransmits += 1;
-            self.rto_expiry = Some(now + self.rtt.rto());
+            self.reliability.arm_rto(now + self.rtt.rto());
         }
-    }
-
-    /// Bytes charged against the congestion window for in-flight data.
-    fn flight_charge(&self) -> usize {
-        self.unacked
-            .iter()
-            .filter(|r| !r.sacked)
-            .map(|r| r.charge)
-            .sum()
     }
 
     // ------------------------------------------------------------------
@@ -793,7 +786,7 @@ impl TcpConnection {
                 });
             }
         };
-        consider(self.rto_expiry);
+        consider(self.reliability.rto_expiry());
         consider(self.time_wait_expiry);
         if let AckPending::Delayed(t) = self.ack_pending {
             consider(Some(t));
@@ -804,23 +797,26 @@ impl TcpConnection {
     fn on_rto(&mut self, now: SimTime) {
         self.stats.timeouts += 1;
         self.events.push(ConnEvent::RtoFired);
-        let flight = self.flight_charge();
-        self.cc.on_rto(flight);
+        let flight = self.reliability.flight_charge();
+        self.cc.on_rto(flight, now);
         self.rtt.backoff();
-        self.rto_backoffs += 1;
-        self.dup_ack_count = 0;
+        self.reliability.note_backoff();
+        // The timeout is a congestion event: move the recover point up to
+        // snd_max (RFC 6582 §3.2 step 4) so the duplicate ACKs that the
+        // go-back-N retransmissions elicit cannot re-cut the window.
+        self.recovery.on_rto(self.snd_max_offset());
         // Go-back-N: retransmission restarts from the cumulative ACK point
         // and re-covers everything outstanding (window permitting); the
         // scoreboard is rebuilt as segments are re-sent.
-        self.unacked.clear();
+        self.reliability.clear_unacked();
         if self.snd_una < self.snd_max_offset() {
-            self.resend_cursor = Some(self.snd_una);
-            self.resend_until = self.snd_max_offset();
+            self.reliability
+                .schedule_resend(self.snd_una, self.snd_max_offset());
         }
         if matches!(self.state, TcpState::SynSent | TcpState::SynRcvd) {
             self.handshake_pending = true;
         }
-        self.rto_expiry = Some(now + self.rtt.rto());
+        self.reliability.arm_rto(now + self.rtt.rto());
     }
 
     /// Advance timers and produce any segments that should be transmitted now.
@@ -831,11 +827,11 @@ impl TcpConnection {
         // Nothing is ever retransmitted once the connection has terminated;
         // dropping the timer also lets callers' event loops go idle.
         if matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
-            self.rto_expiry = None;
+            self.reliability.clear_rto();
         }
 
         // Retransmission / handshake timer.
-        if let Some(expiry) = self.rto_expiry {
+        if let Some(expiry) = self.reliability.rto_expiry() {
             if now >= expiry && !matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
                 self.on_rto(now);
             }
@@ -989,28 +985,34 @@ impl TcpConnection {
         // after an RTO the cursor walks the whole outstanding range
         // (go-back-N), pausing whenever the congestion window is full and
         // resuming on later polls as ACKs open it again.
-        if let Some(cursor) = self.resend_cursor {
+        if let Some(cursor) = self.reliability.resend_cursor() {
             let mut offset = cursor.max(self.snd_una);
-            let limit = self.resend_until.min(self.snd_max_offset());
+            let limit = self.reliability.resend_until().min(self.snd_max_offset());
             let mut sent_any = false;
             loop {
                 if offset >= limit {
-                    self.resend_cursor = None;
+                    self.reliability.clear_resend();
                     break;
                 }
                 // Skip ranges the peer has already SACKed.
-                if self.is_sacked(offset) {
-                    offset = self.next_unsacked_offset(offset).unwrap_or(limit);
+                if self.reliability.is_sacked(offset) {
+                    offset = self
+                        .reliability
+                        .next_unsacked_offset(offset)
+                        .unwrap_or(limit);
                     continue;
                 }
-                if self.flight_charge() >= effective_window {
+                if self.reliability.flight_charge() >= effective_window {
                     // Window-limited: remember where to resume.
-                    self.resend_cursor = Some(offset);
+                    self.reliability.pause_resend_at(offset);
                     break;
                 }
+                // A full segment starting at the cursor, regardless of how
+                // short the scheduled range is (the partial-ACK sentinel) or
+                // where the original segment boundaries fell.
                 let max_len = mss.min((self.snd_max_offset() - offset) as usize);
                 let Some(data) = self.send_buf.data_at(offset, max_len, respect_boundaries) else {
-                    self.resend_cursor = None;
+                    self.reliability.clear_resend();
                     break;
                 };
                 let end = offset + data.len() as u64;
@@ -1021,8 +1023,8 @@ impl TcpConnection {
                 sent_any = true;
                 offset = end;
             }
-            if sent_any && self.rto_expiry.is_none() {
-                self.rto_expiry = Some(now + self.rtt.rto());
+            if sent_any {
+                self.reliability.ensure_rto(now + self.rtt.rto());
             }
         }
 
@@ -1033,7 +1035,7 @@ impl TcpConnection {
             if available == 0 {
                 break;
             }
-            let flight = self.flight_charge();
+            let flight = self.reliability.flight_charge();
             if flight >= effective_window {
                 break;
             }
@@ -1054,9 +1056,7 @@ impl TcpConnection {
             out.push(seg);
             self.send_buf.mark_transmitted(end);
             self.record_transmission(next, end, charge, now, false);
-            if self.rto_expiry.is_none() {
-                self.rto_expiry = Some(now + self.rtt.rto());
-            }
+            self.reliability.ensure_rto(now + self.rtt.rto());
         }
     }
 
@@ -1072,28 +1072,8 @@ impl TcpConnection {
             self.stats.retransmissions += 1;
             self.events.push(ConnEvent::Retransmit);
         }
-        self.unacked.push_back(TxRecord {
-            start,
-            end,
-            charge,
-            sent_at: now,
-            retransmitted,
-            sacked: false,
-        });
-    }
-
-    fn is_sacked(&self, offset: u64) -> bool {
-        self.unacked
-            .iter()
-            .any(|r| r.sacked && offset >= r.start && offset < r.end)
-    }
-
-    fn next_unsacked_offset(&self, offset: u64) -> Option<u64> {
-        self.unacked
-            .iter()
-            .filter(|r| r.sacked && offset >= r.start && offset < r.end)
-            .map(|r| r.end)
-            .max()
+        self.reliability
+            .record_transmission(start, end, charge, now, retransmitted);
     }
 
     fn maybe_emit_fin(&mut self, now: SimTime, out: &mut Vec<TcpSegment>) {
@@ -1122,652 +1102,6 @@ impl TcpConnection {
             TcpState::CloseWait => self.state = TcpState::LastAck,
             _ => {}
         }
-        if self.rto_expiry.is_none() {
-            self.rto_expiry = Some(now + self.rtt.rto());
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::CcAlgorithm;
-
-    /// Drive two connections against each other through an in-memory "wire"
-    /// that can drop chosen data segments. Returns when both sides go idle.
-    struct Harness {
-        client: TcpConnection,
-        server: TcpConnection,
-        now: SimTime,
-        /// One-way delay of the wire.
-        delay: SimDuration,
-        /// In-flight segments: (arrival time, to_server?, segment)
-        wire: Vec<(SimTime, bool, TcpSegment)>,
-        /// Data-segment indices (1-based count of data segments sent by the
-        /// client) to drop once.
-        drop_client_data: Vec<u64>,
-        client_data_count: u64,
-    }
-
-    impl Harness {
-        fn new(client_opts: SocketOptions, server_opts: SocketOptions) -> Self {
-            Harness::with_isn(client_opts, server_opts, 1000)
-        }
-
-        fn with_isn(client_opts: SocketOptions, server_opts: SocketOptions, isn: u32) -> Self {
-            let cfg = TcpConfig::default().with_fixed_isn(isn);
-            let mut client = TcpConnection::new(10000, 80, cfg.clone(), client_opts);
-            let mut server = TcpConnection::new(80, 10000, cfg, server_opts);
-            client.open(SimTime::ZERO);
-            server.listen();
-            Harness {
-                client,
-                server,
-                now: SimTime::ZERO,
-                delay: SimDuration::from_millis(30),
-                wire: Vec::new(),
-                drop_client_data: Vec::new(),
-                client_data_count: 0,
-            }
-        }
-
-        fn transfer(&mut self) {
-            // Collect outgoing segments from both endpoints.
-            for seg in self.client.poll(self.now) {
-                let is_data = !seg.payload.is_empty();
-                if is_data {
-                    self.client_data_count += 1;
-                    if self.drop_client_data.contains(&self.client_data_count) {
-                        continue;
-                    }
-                }
-                self.wire.push((self.now + self.delay, true, seg));
-            }
-            for seg in self.server.poll(self.now) {
-                self.wire.push((self.now + self.delay, false, seg));
-            }
-        }
-
-        /// Advance time to the next event and deliver due segments.
-        fn step(&mut self) -> bool {
-            self.transfer();
-            // Find next event time: wire arrival or connection timer.
-            let mut next: Option<SimTime> = None;
-            let mut consider = |t: Option<SimTime>| {
-                if let Some(t) = t {
-                    next = Some(match next {
-                        Some(n) => n.min(t),
-                        None => t,
-                    });
-                }
-            };
-            consider(self.wire.iter().map(|(t, _, _)| *t).min());
-            consider(self.client.next_timer());
-            consider(self.server.next_timer());
-            let Some(next) = next else { return false };
-            self.now = self.now.max(next);
-            // Deliver all due segments.
-            let due: Vec<(SimTime, bool, TcpSegment)> = {
-                let mut due = vec![];
-                let mut keep = vec![];
-                for item in self.wire.drain(..) {
-                    if item.0 <= self.now {
-                        due.push(item);
-                    } else {
-                        keep.push(item);
-                    }
-                }
-                self.wire = keep;
-                due
-            };
-            for (_, to_server, seg) in due {
-                if to_server {
-                    self.server.on_segment(&seg, self.now);
-                } else {
-                    self.client.on_segment(&seg, self.now);
-                }
-            }
-            true
-        }
-
-        fn run_until(&mut self, deadline: SimTime) {
-            let mut guard = 0u32;
-            while self.now < deadline {
-                if !self.step() {
-                    break;
-                }
-                guard += 1;
-                assert!(guard < 500_000, "harness stopped making progress");
-            }
-        }
-
-        fn run_until_idle(&mut self, max_time: SimTime) {
-            let mut guard = 0u32;
-            loop {
-                self.transfer();
-                if self.wire.is_empty()
-                    && self.client.next_timer().is_none()
-                    && self.server.next_timer().is_none()
-                {
-                    break;
-                }
-                if !self.step() || self.now >= max_time {
-                    break;
-                }
-                guard += 1;
-                assert!(guard < 500_000, "harness stopped making progress");
-            }
-        }
-
-        fn drain_server_bytes(&mut self) -> Vec<u8> {
-            let mut chunks = vec![];
-            while let Some(c) = self.server.read() {
-                chunks.push(c);
-            }
-            // Reassemble by offset (handles unordered delivery).
-            let mut out = vec![];
-            chunks.sort_by_key(|c| c.offset);
-            for c in chunks {
-                let off = c.offset as usize;
-                if out.len() < off + c.len() {
-                    out.resize(off + c.len(), 0);
-                }
-                out[off..off + c.len()].copy_from_slice(&c.data);
-            }
-            out
-        }
-    }
-
-    #[test]
-    fn three_way_handshake_establishes_both_sides() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(500));
-        assert_eq!(h.client.state(), TcpState::Established);
-        assert_eq!(h.server.state(), TcpState::Established);
-        assert!(
-            h.client.srtt().is_some(),
-            "client sampled RTT from handshake"
-        );
-    }
-
-    #[test]
-    fn bulk_transfer_without_loss_delivers_all_bytes_in_order() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(200));
-        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
-        h.client.write(&data).unwrap();
-        h.run_until_idle(SimTime::from_secs(30));
-        let received = h.drain_server_bytes();
-        assert_eq!(received.len(), data.len());
-        assert_eq!(received, data);
-        assert_eq!(h.client.stats().retransmissions, 0);
-    }
-
-    #[test]
-    fn lost_segment_is_recovered_by_fast_retransmit() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(200));
-        let data: Vec<u8> = (0..60_000u32).map(|i| (i % 253) as u8).collect();
-        h.client.write(&data).unwrap();
-        h.drop_client_data = vec![5];
-        h.run_until_idle(SimTime::from_secs(60));
-        let received = h.drain_server_bytes();
-        assert_eq!(received, data, "all data eventually delivered despite loss");
-        assert!(h.client.stats().retransmissions >= 1);
-        assert!(
-            h.client.stats().fast_retransmits >= 1,
-            "loss with plenty of following data should trigger fast retransmit, stats={:?}",
-            h.client.stats()
-        );
-    }
-
-    #[test]
-    fn lost_segment_at_tail_is_recovered_by_rto() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(200));
-        // Two-segment write, drop the last data segment: not enough dupacks,
-        // so recovery must come from the retransmission timeout.
-        let data: Vec<u8> = vec![7u8; 2000];
-        h.client.write(&data).unwrap();
-        h.drop_client_data = vec![2];
-        h.run_until_idle(SimTime::from_secs(120));
-        let received = h.drain_server_bytes();
-        assert_eq!(received, data);
-        assert!(
-            h.client.stats().timeouts >= 1,
-            "stats={:?}",
-            h.client.stats()
-        );
-    }
-
-    #[test]
-    fn standard_receiver_blocks_delivery_behind_a_hole() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(200));
-        let data: Vec<u8> = (0..4000u32).map(|i| (i % 250) as u8).collect();
-        h.client.write(&data).unwrap();
-        h.drop_client_data = vec![1];
-        // Run just long enough for the first window of segments to arrive but
-        // not long enough for loss recovery (RTO is at least 200 ms away).
-        h.run_until(h.now + SimDuration::from_millis(150));
-        // Standard TCP: nothing readable, the first segment is missing.
-        assert!(
-            !h.server.readable(),
-            "hole blocks all delivery on standard TCP"
-        );
-    }
-
-    #[test]
-    fn unordered_receiver_delivers_past_a_hole_immediately() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::utcp());
-        h.run_until(SimTime::from_millis(200));
-        let data: Vec<u8> = (0..4000u32).map(|i| (i % 250) as u8).collect();
-        h.client.write(&data).unwrap();
-        h.drop_client_data = vec![1];
-        h.run_until(h.now + SimDuration::from_millis(150));
-        // uTCP: segments after the hole are already available, with offsets.
-        assert!(h.server.readable(), "uTCP delivers out-of-order data early");
-        let mut saw_out_of_order = false;
-        while let Some(c) = h.server.read() {
-            if !c.in_order {
-                saw_out_of_order = true;
-                assert!(c.offset > 0);
-                let expected: Vec<u8> = (c.offset..c.offset + c.len() as u64)
-                    .map(|i| (i % 250) as u8)
-                    .collect();
-                assert_eq!(&c.data[..], &expected[..], "offset metadata is accurate");
-            }
-        }
-        assert!(saw_out_of_order);
-    }
-
-    #[test]
-    fn wire_format_is_identical_for_utcp() {
-        // Run the same deterministic transfer with and without uTCP options on
-        // the receiver and compare every segment the *sender* puts on the wire
-        // as well as the receiver's ACK stream lengths: uTCP must not change
-        // wire-visible behaviour when no loss occurs.
-        fn run(receiver_opts: SocketOptions) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
-            let mut h = Harness::new(SocketOptions::standard(), receiver_opts);
-            let mut client_wire: Vec<Vec<u8>> = vec![];
-            let mut server_wire: Vec<Vec<u8>> = vec![];
-            h.run_until(SimTime::from_millis(200));
-            h.client.write(&vec![42u8; 30_000]).unwrap();
-            // Manually step so we can capture segments.
-            for _ in 0..2000 {
-                for seg in h.client.poll(h.now) {
-                    client_wire.push(seg.encode());
-                    h.wire.push((h.now + h.delay, true, seg));
-                }
-                for seg in h.server.poll(h.now) {
-                    server_wire.push(seg.encode());
-                    h.wire.push((h.now + h.delay, false, seg));
-                }
-                let next = h
-                    .wire
-                    .iter()
-                    .map(|(t, _, _)| *t)
-                    .min()
-                    .into_iter()
-                    .chain(h.client.next_timer())
-                    .chain(h.server.next_timer())
-                    .min();
-                let Some(next) = next else { break };
-                h.now = h.now.max(next);
-                let mut keep = vec![];
-                for (t, to_server, seg) in h.wire.drain(..) {
-                    if t <= h.now {
-                        if to_server {
-                            h.server.on_segment(&seg, h.now);
-                        } else {
-                            h.client.on_segment(&seg, h.now);
-                        }
-                    } else {
-                        keep.push((t, to_server, seg));
-                    }
-                }
-                h.wire = keep;
-                while h.server.read().is_some() {}
-            }
-            (client_wire, server_wire)
-        }
-        let (tcp_client, tcp_server) = run(SocketOptions::standard());
-        let (utcp_client, utcp_server) = run(SocketOptions::utcp());
-        assert_eq!(tcp_client, utcp_client, "sender wire behaviour unchanged");
-        assert_eq!(tcp_server, utcp_server, "receiver ACK stream unchanged");
-    }
-
-    #[test]
-    fn unordered_send_prioritization_reorders_untransmitted_data() {
-        let cfg = TcpConfig::default().with_fixed_isn(1);
-        let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::utcp());
-        c.open(SimTime::ZERO);
-        // Complete handshake manually.
-        let syn = &c.poll(SimTime::ZERO)[0];
-        let mut synack = TcpSegment::bare(2, 1, SeqNum(5000), syn.seq + 1, TcpFlags::SYN_ACK);
-        synack.options = vec![TcpOption::Mss(1448), TcpOption::SackPermitted];
-        synack.window = 1 << 20;
-        c.on_segment(&synack, SimTime::from_millis(1));
-        assert!(c.is_established());
-        // Ten low-priority bulk writes; the initial congestion window only
-        // lets the first three leave immediately.
-        for _ in 0..10 {
-            c.write_with_meta(&[0u8; 1448], WriteMeta::with_priority(0))
-                .unwrap();
-        }
-        let first = c.poll(SimTime::from_millis(2));
-        assert_eq!(first.iter().filter(|s| !s.payload.is_empty()).count(), 3);
-        // A high-priority message written afterwards must pass the seven bulk
-        // writes still waiting in the send queue (but not the three already
-        // transmitted).
-        c.write_with_meta(b"URGENT", WriteMeta::with_priority(9))
-            .unwrap();
-        let mut ack = TcpSegment::bare(
-            2,
-            1,
-            SeqNum(5001),
-            first.last().unwrap().seq_end(),
-            TcpFlags::ACK,
-        );
-        ack.window = 1 << 20;
-        c.on_segment(&ack, SimTime::from_millis(60));
-        let next = c.poll(SimTime::from_millis(60));
-        let data_segs: Vec<&TcpSegment> = next.iter().filter(|s| !s.payload.is_empty()).collect();
-        assert!(!data_segs.is_empty());
-        assert_eq!(
-            data_segs[0].payload.as_ref(),
-            b"URGENT",
-            "urgent data leads the next flight, ahead of queued bulk"
-        );
-        // The remaining bulk data still follows afterwards.
-        assert!(data_segs[1..]
-            .iter()
-            .any(|s| s.payload.iter().all(|&b| b == 0)));
-    }
-
-    #[test]
-    fn cc_disabled_sends_entire_window_at_once() {
-        let cfg = TcpConfig::default()
-            .with_fixed_isn(1)
-            .with_cc(CcAlgorithm::None);
-        let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::standard());
-        c.open(SimTime::ZERO);
-        let syn = &c.poll(SimTime::ZERO)[0];
-        let mut synack = TcpSegment::bare(2, 1, SeqNum(5000), syn.seq + 1, TcpFlags::SYN_ACK);
-        synack.options = vec![TcpOption::Mss(1448), TcpOption::SackPermitted];
-        synack.window = 1 << 20;
-        c.on_segment(&synack, SimTime::from_millis(1));
-        c.write(&vec![0u8; 100 * 1448]).unwrap();
-        let segs = c.poll(SimTime::from_millis(2));
-        // Without congestion control, the whole backlog goes out (peer window
-        // permitting) in a single poll.
-        assert_eq!(
-            segs.iter().map(|s| s.payload.len()).sum::<usize>(),
-            100 * 1448
-        );
-    }
-
-    #[test]
-    fn orderly_close_reaches_closed_states_on_both_sides() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(200));
-        h.client.write(b"goodbye").unwrap();
-        h.client.close();
-        h.run_until(SimTime::from_millis(400));
-        h.server.close();
-        h.run_until_idle(SimTime::from_secs(10));
-        assert_eq!(h.drain_server_bytes(), b"goodbye");
-        assert!(h.client.is_closed(), "client state: {:?}", h.client.state());
-        assert!(h.server.is_closed(), "server state: {:?}", h.server.state());
-    }
-
-    #[test]
-    fn write_before_connect_fails() {
-        let mut c = TcpConnection::new(1, 2, TcpConfig::default(), SocketOptions::standard());
-        assert_eq!(c.write(b"x"), Err(TcpError::NotConnected));
-    }
-
-    #[test]
-    fn write_after_close_fails() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(200));
-        h.client.close();
-        assert_eq!(h.client.write(b"x"), Err(TcpError::Closed));
-    }
-
-    #[test]
-    fn send_buffer_backpressure_reports_full() {
-        let cfg = TcpConfig::default()
-            .with_buffers(1000, 65536)
-            .with_fixed_isn(3);
-        let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::standard());
-        c.open(SimTime::ZERO);
-        let _ = c.poll(SimTime::ZERO);
-        // Can't transmit (no handshake reply), so the buffer fills and then
-        // reports backpressure.
-        assert!(c.write(&vec![0u8; 900]).is_ok());
-        assert_eq!(c.write(&[0u8; 200]), Err(TcpError::BufferFull));
-    }
-
-    #[test]
-    fn duplicate_acks_are_counted() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(200));
-        let data: Vec<u8> = vec![1u8; 80_000];
-        h.client.write(&data).unwrap();
-        h.drop_client_data = vec![3];
-        h.run_until_idle(SimTime::from_secs(60));
-        assert!(h.client.stats().dup_acks >= 3);
-        assert_eq!(h.drain_server_bytes(), data);
-    }
-
-    #[test]
-    fn transfer_across_the_sequence_wrap_is_exact() {
-        // Both endpoints' ISNs sit just below 2^32, so data sequence numbers
-        // (and the ACK stream back) wrap mid-transfer. 60 kB cross the wrap
-        // regardless of where inside the first segment it lands.
-        for isn in [u32::MAX, u32::MAX - 1, u32::MAX - 1448, u32::MAX - 30_000] {
-            let mut h =
-                Harness::with_isn(SocketOptions::standard(), SocketOptions::standard(), isn);
-            h.run_until(SimTime::from_millis(200));
-            assert_eq!(h.client.state(), TcpState::Established, "isn={isn}");
-            let data: Vec<u8> = (0..60_000u32).map(|i| (i % 249) as u8).collect();
-            h.client.write(&data).unwrap();
-            h.run_until_idle(SimTime::from_secs(30));
-            assert_eq!(h.drain_server_bytes(), data, "isn={isn}");
-            assert_eq!(h.client.stats().retransmissions, 0, "isn={isn}");
-        }
-    }
-
-    #[test]
-    fn loss_recovery_works_across_the_sequence_wrap() {
-        // Drop a mid-stream segment whose retransmission lands on the other
-        // side of the 2^32 boundary: SACK blocks and the fast-retransmit
-        // cursor must all survive the wrap.
-        let mut h = Harness::with_isn(
-            SocketOptions::standard(),
-            SocketOptions::standard(),
-            u32::MAX - 4000,
-        );
-        h.run_until(SimTime::from_millis(200));
-        let data: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
-        h.client.write(&data).unwrap();
-        h.drop_client_data = vec![3];
-        h.run_until_idle(SimTime::from_secs(60));
-        assert_eq!(h.drain_server_bytes(), data);
-        assert!(h.client.stats().retransmissions >= 1);
-    }
-
-    #[test]
-    fn unordered_delivery_offsets_are_correct_across_the_wrap() {
-        // A uTCP receiver tags chunks with 64-bit stream offsets derived from
-        // wrapped 32-bit sequence numbers; a hole right at the boundary must
-        // not corrupt them.
-        let mut h = Harness::with_isn(
-            SocketOptions::standard(),
-            SocketOptions::utcp(),
-            u32::MAX - 2000,
-        );
-        h.run_until(SimTime::from_millis(200));
-        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 247) as u8).collect();
-        h.client.write(&data).unwrap();
-        h.drop_client_data = vec![2];
-        h.run_until_idle(SimTime::from_secs(60));
-        assert_eq!(h.drain_server_bytes(), data, "offset-keyed reassembly");
-        assert!(h.server.stats().segments_received > 0);
-    }
-
-    #[test]
-    fn karns_rule_skips_samples_from_retransmitted_segments() {
-        let cfg = TcpConfig::default()
-            .with_fixed_isn(42)
-            .with_delayed_ack(false);
-        let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::standard());
-        c.open(SimTime::ZERO);
-        let syn = &c.poll(SimTime::ZERO)[0];
-        let mut synack = TcpSegment::bare(2, 1, SeqNum(9000), syn.seq + 1, TcpFlags::SYN_ACK);
-        synack.options = vec![TcpOption::Mss(1448), TcpOption::SackPermitted];
-        synack.window = 1 << 20;
-        c.on_segment(&synack, SimTime::from_millis(50));
-        assert_eq!(c.rtt_samples(), 1, "handshake RTT sampled");
-        let srtt_after_handshake = c.srtt().unwrap();
-
-        // One data segment, never acknowledged: the RTO fires and the
-        // retransmission eventually gets ACKed. Karn's rule forbids sampling
-        // that ACK (the send time is ambiguous).
-        c.write(&[1u8; 500]).unwrap();
-        let segs = c.poll(SimTime::from_millis(50));
-        assert_eq!(segs.iter().filter(|s| !s.payload.is_empty()).count(), 1);
-        let rto_at = c.next_timer().expect("RTO armed");
-        let resent = c.poll(rto_at);
-        assert!(
-            resent.iter().any(|s| !s.payload.is_empty()),
-            "RTO must retransmit"
-        );
-        assert_eq!(c.stats().timeouts, 1);
-        let mut ack = TcpSegment::bare(2, 1, SeqNum(9001), segs[0].seq_end(), TcpFlags::ACK);
-        ack.window = 1 << 20;
-        c.on_segment(&ack, rto_at + SimDuration::from_millis(400));
-        assert_eq!(
-            c.rtt_samples(),
-            1,
-            "the retransmitted segment's ACK must not be sampled (Karn)"
-        );
-        assert_eq!(c.srtt(), Some(srtt_after_handshake), "estimate untouched");
-
-        // A fresh, cleanly acknowledged segment samples again.
-        let now = rto_at + SimDuration::from_millis(500);
-        c.write(&[2u8; 500]).unwrap();
-        let segs = c.poll(now);
-        let data_seg = segs.iter().find(|s| !s.payload.is_empty()).unwrap();
-        let mut ack2 = TcpSegment::bare(2, 1, SeqNum(9001), data_seg.seq_end(), TcpFlags::ACK);
-        ack2.window = 1 << 20;
-        c.on_segment(&ack2, now + SimDuration::from_millis(80));
-        assert_eq!(c.rtt_samples(), 2, "clean transmission samples normally");
-    }
-
-    #[test]
-    fn rto_backoff_is_exponential_and_resets_on_progress() {
-        let cfg = TcpConfig::default().with_fixed_isn(7);
-        let mut c = TcpConnection::new(1, 2, cfg, SocketOptions::standard());
-        c.open(SimTime::ZERO);
-        let _syn = c.poll(SimTime::ZERO);
-        // No SYN-ACK ever arrives: consecutive handshake RTOs must double.
-        let t1 = c.next_timer().expect("first RTO");
-        let _ = c.poll(t1);
-        let t2 = c.next_timer().expect("second RTO");
-        let _ = c.poll(t2);
-        let t3 = c.next_timer().expect("third RTO");
-        let gap1 = t2.saturating_since(t1);
-        let gap2 = t3.saturating_since(t2);
-        assert_eq!(
-            gap2,
-            gap1.saturating_mul(2),
-            "RTO doubles per expiry: {gap1} then {gap2}"
-        );
-        assert_eq!(c.stats().timeouts, 2);
-    }
-
-    #[test]
-    fn readiness_events_fire_on_edges() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.client.set_event_interest(true);
-        h.server.set_event_interest(true);
-        assert_eq!(h.client.readiness(), Readiness::default());
-        h.run_until(SimTime::from_millis(200));
-        let client_events = h.client.take_events();
-        assert!(
-            client_events.contains(&ConnEvent::Established),
-            "events={client_events:?}"
-        );
-        assert!(h.client.readiness().writable);
-        assert!(!h.client.readiness().readable);
-
-        h.client.write(b"ping").unwrap();
-        h.run_until(h.now + SimDuration::from_millis(200));
-        assert!(h.server.readiness().readable);
-        assert!(h.server.take_events().contains(&ConnEvent::Readable));
-
-        h.client.close();
-        h.server.close();
-        h.run_until_idle(SimTime::from_secs(20));
-        assert!(h.client.take_events().contains(&ConnEvent::Closed));
-        assert!(h.client.readiness().closed);
-    }
-
-    #[test]
-    fn rto_event_fires_on_timeout() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.client.set_event_interest(true);
-        h.run_until(SimTime::from_millis(200));
-        h.client.write(&[7u8; 2000]).unwrap();
-        h.drop_client_data = vec![2];
-        h.run_until_idle(SimTime::from_secs(120));
-        let events = h.client.take_events();
-        assert!(events.contains(&ConnEvent::RtoFired));
-        assert!(
-            events.contains(&ConnEvent::Retransmit),
-            "recovering the dropped segment must surface a Retransmit edge"
-        );
-    }
-
-    #[test]
-    fn events_are_not_recorded_without_interest() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(200));
-        h.client.write(b"data").unwrap();
-        h.run_until(h.now + SimDuration::from_millis(200));
-        assert!(!h.client.has_events());
-        assert!(!h.server.has_events());
-        assert!(h.server.take_events().is_empty());
-    }
-
-    #[test]
-    fn writable_event_fires_when_a_full_buffer_drains() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(200));
-        h.client.set_event_interest(true);
-        let _ = h.client.take_events();
-        // Fill the send buffer completely, then let ACKs drain it.
-        let free = h.client.send_buffer_free();
-        h.client.write(&vec![0u8; free]).unwrap();
-        assert!(!h.client.readiness().writable);
-        h.run_until_idle(SimTime::from_secs(60));
-        assert!(
-            h.client.take_events().contains(&ConnEvent::Writable),
-            "ACKs freeing a full buffer must surface a Writable edge"
-        );
-    }
-
-    #[test]
-    fn stats_track_bytes_sent_and_acked() {
-        let mut h = Harness::new(SocketOptions::standard(), SocketOptions::standard());
-        h.run_until(SimTime::from_millis(200));
-        let data = vec![9u8; 10_000];
-        h.client.write(&data).unwrap();
-        h.run_until_idle(SimTime::from_secs(10));
-        assert_eq!(h.client.stats().bytes_sent, 10_000);
-        assert_eq!(h.client.stats().bytes_acked, 10_000);
-        assert_eq!(h.server.stats().bytes_received, 10_000);
+        self.reliability.ensure_rto(now + self.rtt.rto());
     }
 }

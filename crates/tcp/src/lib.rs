@@ -32,13 +32,15 @@ pub mod config;
 pub mod connection;
 pub mod delivered;
 pub mod event;
+pub mod recovery;
 pub mod recvbuf;
+pub mod reliability;
 pub mod rtt;
 pub mod segment;
 pub mod sendbuf;
 pub mod seq;
 
-pub use cc::{CcStats, CongestionControl};
+pub use cc::{CcStats, CongestionControl, Cubic, NewReno, NoCc};
 pub use config::{CcAlgorithm, SocketOptions, TcpConfig, WriteMeta};
 pub use connection::{ConnStats, TcpConnection, TcpError, TcpState};
 pub use delivered::DeliveredChunk;

@@ -1,0 +1,310 @@
+//! Reliability bookkeeping: the transmitted-but-unacknowledged scoreboard,
+//! the retransmission cursor, and the RTO timer — the `tcp_reliability` seam
+//! of the mlwip-style modular control path.
+//!
+//! The connection decides *when* to retransmit (fast retransmit, NewReno
+//! partial ACKs, go-back-N after an RTO); this module remembers *what* is
+//! outstanding: per-transmission records for flight accounting, Karn-safe RTT
+//! sampling, and the SACK scoreboard, plus where a scheduled retransmission
+//! pass left off and when the retransmission timer fires.
+
+use minion_simnet::SimTime;
+use std::collections::VecDeque;
+
+/// A transmitted-but-unacknowledged range, used for flight accounting, RTT
+/// sampling, and the SACK scoreboard.
+#[derive(Clone, Debug)]
+struct TxRecord {
+    start: u64,
+    end: u64,
+    /// Window charge: payload bytes, or a full MSS under skbuff accounting.
+    charge: usize,
+    sent_at: SimTime,
+    retransmitted: bool,
+    sacked: bool,
+}
+
+/// Outstanding-data state of one connection's send direction.
+#[derive(Clone, Debug, Default)]
+pub struct Reliability {
+    /// Transmitted, unacknowledged ranges, in transmission order.
+    unacked: VecDeque<TxRecord>,
+    /// Offset from which the next retransmission should read, when one has
+    /// been scheduled (RTO or fast retransmit).
+    resend_cursor: Option<u64>,
+    /// Exclusive upper bound of the scheduled retransmission. Fast retransmit
+    /// and NewReno partial ACKs schedule `(snd_una, snd_una + 1)`: a
+    /// one-*byte* sentinel range, not a one-byte retransmission — the emit
+    /// path always reads a full segment (up to one MSS) starting at the
+    /// cursor and stops once the cursor passes this bound, so the sentinel
+    /// yields exactly one full-sized segment. An RTO schedules
+    /// `(snd_una, snd_max)`: go-back-N over everything outstanding.
+    resend_until: u64,
+    /// When the retransmission (or handshake) timer fires next.
+    rto_expiry: Option<SimTime>,
+    /// Number of consecutive RTO expirations without progress.
+    rto_backoffs: u32,
+}
+
+impl Reliability {
+    /// Fresh state: nothing outstanding, no timer armed.
+    pub fn new() -> Self {
+        Reliability::default()
+    }
+
+    // ---- Transmission records -----------------------------------------
+
+    /// Record one (re)transmission of `[start, end)` charging `charge` bytes
+    /// against the congestion window.
+    pub fn record_transmission(
+        &mut self,
+        start: u64,
+        end: u64,
+        charge: usize,
+        sent_at: SimTime,
+        retransmitted: bool,
+    ) {
+        self.unacked.push_back(TxRecord {
+            start,
+            end,
+            charge,
+            sent_at,
+            retransmitted,
+            sacked: false,
+        });
+    }
+
+    /// Retire every record fully covered by a cumulative ACK at `ack_off`.
+    /// Returns the send time of the first retired record that was never
+    /// retransmitted — the only RTT sample Karn's rule permits — if any.
+    pub fn retire_acked(&mut self, ack_off: u64) -> Option<SimTime> {
+        let mut sample = None;
+        while let Some(front) = self.unacked.front() {
+            if front.end <= ack_off {
+                let rec = self.unacked.pop_front().expect("front exists");
+                if !rec.retransmitted && sample.is_none() {
+                    sample = Some(rec.sent_at);
+                }
+            } else {
+                break;
+            }
+        }
+        sample
+    }
+
+    /// Bytes charged against the congestion window for in-flight data
+    /// (SACKed ranges have left the network and do not count).
+    pub fn flight_charge(&self) -> usize {
+        self.unacked
+            .iter()
+            .filter(|r| !r.sacked)
+            .map(|r| r.charge)
+            .sum()
+    }
+
+    /// Whether any transmission records are outstanding.
+    pub fn has_unacked(&self) -> bool {
+        !self.unacked.is_empty()
+    }
+
+    /// Drop every transmission record (go-back-N rebuilds the scoreboard as
+    /// segments are re-sent).
+    pub fn clear_unacked(&mut self) {
+        self.unacked.clear();
+    }
+
+    /// Mark every record fully contained in `[start, end)` as SACKed.
+    pub fn mark_sacked(&mut self, start: u64, end: u64) {
+        for rec in self.unacked.iter_mut() {
+            if rec.start >= start && rec.end <= end {
+                rec.sacked = true;
+            }
+        }
+    }
+
+    /// Whether any outstanding record is SACKed — evidence that data beyond
+    /// the cumulative ACK point is reaching the receiver (every record below
+    /// it has been retired), i.e. that a duplicate-ACK run marks a genuine
+    /// fresh hole rather than stale duplicates of pre-congestion-event
+    /// segments.
+    pub fn has_sacked(&self) -> bool {
+        self.unacked.iter().any(|r| r.sacked)
+    }
+
+    /// Whether `offset` falls inside a SACKed record.
+    pub fn is_sacked(&self, offset: u64) -> bool {
+        self.unacked
+            .iter()
+            .any(|r| r.sacked && offset >= r.start && offset < r.end)
+    }
+
+    /// The first offset at or after `offset` not covered by SACKed records,
+    /// chaining across adjacent ones — where a retransmission pass should
+    /// skip to. `None` when `offset` itself is not SACKed.
+    pub fn next_unsacked_offset(&self, offset: u64) -> Option<u64> {
+        let mut cur = offset;
+        let mut advanced = false;
+        loop {
+            let next = self
+                .unacked
+                .iter()
+                .filter(|r| r.sacked && cur >= r.start && cur < r.end)
+                .map(|r| r.end)
+                .max();
+            match next {
+                Some(end) => {
+                    cur = end;
+                    advanced = true;
+                }
+                None => break,
+            }
+        }
+        advanced.then_some(cur)
+    }
+
+    // ---- Retransmission cursor -----------------------------------------
+
+    /// Schedule a retransmission pass over `[from, until)`. See
+    /// [`Reliability::resend_until`] for the one-byte-sentinel convention
+    /// used by fast retransmit and partial ACKs.
+    pub fn schedule_resend(&mut self, from: u64, until: u64) {
+        self.resend_cursor = Some(from);
+        self.resend_until = until;
+    }
+
+    /// Where the scheduled retransmission pass stands, if one is active.
+    pub fn resend_cursor(&self) -> Option<u64> {
+        self.resend_cursor
+    }
+
+    /// Exclusive upper bound of the scheduled pass.
+    pub fn resend_until(&self) -> u64 {
+        self.resend_until
+    }
+
+    /// Window-limited mid-pass: remember where to resume on a later poll.
+    pub fn pause_resend_at(&mut self, offset: u64) {
+        self.resend_cursor = Some(offset);
+    }
+
+    /// The pass is complete (or obsolete).
+    pub fn clear_resend(&mut self) {
+        self.resend_cursor = None;
+    }
+
+    // ---- RTO timer -------------------------------------------------------
+
+    /// When the retransmission timer fires, if armed.
+    pub fn rto_expiry(&self) -> Option<SimTime> {
+        self.rto_expiry
+    }
+
+    /// (Re)arm the retransmission timer.
+    pub fn arm_rto(&mut self, at: SimTime) {
+        self.rto_expiry = Some(at);
+    }
+
+    /// Arm the retransmission timer only if it is not already running.
+    pub fn ensure_rto(&mut self, at: SimTime) {
+        if self.rto_expiry.is_none() {
+            self.rto_expiry = Some(at);
+        }
+    }
+
+    /// Disarm the retransmission timer.
+    pub fn clear_rto(&mut self) {
+        self.rto_expiry = None;
+    }
+
+    /// Consecutive RTO expirations without forward progress.
+    pub fn rto_backoffs(&self) -> u32 {
+        self.rto_backoffs
+    }
+
+    /// One more RTO expired without progress.
+    pub fn note_backoff(&mut self) {
+        self.rto_backoffs += 1;
+    }
+
+    /// Forward progress: the backoff run is over.
+    pub fn reset_backoffs(&mut self) {
+        self.rto_backoffs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn retire_returns_the_karn_safe_sample() {
+        let mut r = Reliability::new();
+        r.record_transmission(0, 1448, 1448, t(10), true); // retransmitted
+        r.record_transmission(1448, 2896, 1448, t(20), false);
+        r.record_transmission(2896, 4344, 1448, t(30), false);
+        // Covers the first two records: the retransmitted one yields no
+        // sample (Karn), the clean one does.
+        assert_eq!(r.retire_acked(2896), Some(t(20)));
+        assert!(r.has_unacked());
+        assert_eq!(r.flight_charge(), 1448);
+        // Nothing newly covered: no sample.
+        assert_eq!(r.retire_acked(2896), None);
+    }
+
+    #[test]
+    fn partially_covered_records_stay() {
+        let mut r = Reliability::new();
+        r.record_transmission(0, 1448, 1448, t(1), false);
+        assert_eq!(r.retire_acked(1000), None, "mid-record ACK retires nothing");
+        assert_eq!(r.flight_charge(), 1448);
+    }
+
+    #[test]
+    fn sack_marks_only_fully_contained_records() {
+        let mut r = Reliability::new();
+        r.record_transmission(0, 1448, 1448, t(1), false);
+        r.record_transmission(1448, 2896, 1448, t(2), false);
+        r.record_transmission(2896, 4344, 1448, t(3), false);
+        r.mark_sacked(1448, 4344);
+        assert!(!r.is_sacked(0));
+        assert!(r.is_sacked(1448));
+        assert!(r.is_sacked(4343));
+        assert_eq!(r.flight_charge(), 1448, "SACKed ranges left the network");
+        assert_eq!(r.next_unsacked_offset(1500), Some(4344));
+        assert_eq!(r.next_unsacked_offset(0), None);
+    }
+
+    #[test]
+    fn resend_pass_pauses_and_resumes() {
+        let mut r = Reliability::new();
+        r.schedule_resend(100, 101);
+        assert_eq!(r.resend_cursor(), Some(100));
+        assert_eq!(r.resend_until(), 101);
+        r.pause_resend_at(100);
+        assert_eq!(r.resend_cursor(), Some(100));
+        r.clear_resend();
+        assert_eq!(r.resend_cursor(), None);
+    }
+
+    #[test]
+    fn rto_timer_arming_and_backoffs() {
+        let mut r = Reliability::new();
+        assert_eq!(r.rto_expiry(), None);
+        r.ensure_rto(t(100));
+        r.ensure_rto(t(50));
+        assert_eq!(r.rto_expiry(), Some(t(100)), "ensure does not re-arm");
+        r.arm_rto(t(50));
+        assert_eq!(r.rto_expiry(), Some(t(50)));
+        r.note_backoff();
+        r.note_backoff();
+        assert_eq!(r.rto_backoffs(), 2);
+        r.reset_backoffs();
+        assert_eq!(r.rto_backoffs(), 0);
+        r.clear_rto();
+        assert_eq!(r.rto_expiry(), None);
+    }
+}

@@ -2,6 +2,7 @@
 
 use minion_engine::{fnv1a, FNV_OFFSET_BASIS};
 use minion_simnet::{LossConfig, SimDuration};
+use minion_tcp::CcAlgorithm;
 
 /// The loss process applied to the path toward the receiver.
 #[derive(Clone, Debug, PartialEq)]
@@ -144,6 +145,8 @@ pub struct CellSpec {
     /// (pass-through path only), asserting exactly-once delivery and
     /// per-stream order per flow.
     pub flows: usize,
+    /// Congestion control algorithm on the sending endpoints.
+    pub cc: CcAlgorithm,
     /// Simulation seed for this cell.
     pub seed: u64,
 }
@@ -167,11 +170,16 @@ impl CellSpec {
             self.rate_bps,
             self.middlebox.label(),
         );
-        if self.flows > 1 {
-            format!("{base}/flows{}", self.flows)
-        } else {
-            base
+        let mut label = base;
+        // Labels predating the cc axis stay stable (NewReno is the default).
+        if self.cc != CcAlgorithm::NewReno {
+            label.push_str("/cc=");
+            label.push_str(self.cc.label());
         }
+        if self.flows > 1 {
+            label.push_str(&format!("/flows{}", self.flows));
+        }
+        label
     }
 
     /// The cell's seed as a **stable hash of its raw axis coordinates**
@@ -214,6 +222,11 @@ impl CellSpec {
             }
         }
         fnv1a(&mut h, &(self.flows as u64).to_be_bytes());
+        // Hashed only off the default so every pre-cc-axis cell keeps the
+        // seed it has always had (the same stability rule as the label).
+        if self.cc != CcAlgorithm::NewReno {
+            fnv1a(&mut h, self.cc.label().as_bytes());
+        }
         fnv1a(&mut h, &(self.datagrams as u64).to_be_bytes());
         fnv1a(&mut h, &(self.datagram_len as u64).to_be_bytes());
         h
@@ -252,6 +265,9 @@ pub struct MatrixSpec {
     pub datagram_len: usize,
     /// Concurrent-flow axis (see [`CellSpec::flows`]).
     pub flows: Vec<usize>,
+    /// Congestion-control axis (see [`CellSpec::cc`]); `[NewReno]` keeps the
+    /// historical single-algorithm matrix.
+    pub ccs: Vec<CcAlgorithm>,
     /// Base seed; each cell derives its own fixed seed from this and a
     /// stable hash of its axis coordinates ([`CellSpec::coordinate_seed`]),
     /// so seeds are independent of expansion/execution order and adding or
@@ -280,6 +296,7 @@ impl Default for MatrixSpec {
             datagrams: 24,
             datagram_len: 900,
             flows: vec![1],
+            ccs: vec![CcAlgorithm::NewReno],
             base_seed: 0x5eed_0001,
         }
     }
@@ -300,6 +317,7 @@ impl MatrixSpec {
             datagrams: 12,
             datagram_len: 160,
             flows: vec![1, 64, 1024],
+            ccs: vec![CcAlgorithm::NewReno],
             base_seed: 0x5eed_10ad,
         }
     }
@@ -314,20 +332,23 @@ impl MatrixSpec {
                         for &rate_bps in &self.rates_bps {
                             for middlebox in &self.middleboxes {
                                 for &flows in &self.flows {
-                                    let mut cell = CellSpec {
-                                        protocol: *protocol,
-                                        receiver_stack: *receiver_stack,
-                                        loss: loss.clone(),
-                                        rtt_ms,
-                                        rate_bps,
-                                        middlebox: *middlebox,
-                                        datagrams: self.datagrams,
-                                        datagram_len: self.datagram_len,
-                                        flows,
-                                        seed: 0,
-                                    };
-                                    cell.seed = cell.coordinate_seed(self.base_seed);
-                                    out.push(cell);
+                                    for &cc in &self.ccs {
+                                        let mut cell = CellSpec {
+                                            protocol: *protocol,
+                                            receiver_stack: *receiver_stack,
+                                            loss: loss.clone(),
+                                            rtt_ms,
+                                            rate_bps,
+                                            middlebox: *middlebox,
+                                            datagrams: self.datagrams,
+                                            datagram_len: self.datagram_len,
+                                            flows,
+                                            cc,
+                                            seed: 0,
+                                        };
+                                        cell.seed = cell.coordinate_seed(self.base_seed);
+                                        out.push(cell);
+                                    }
                                 }
                             }
                         }

@@ -57,6 +57,7 @@ pub mod world;
 
 pub use axes::{CellSpec, LossAxis, MatrixSpec, MiddleboxAxis, PayloadProtocol, StackMode};
 pub use load::{load_scenario_of, run_load_cell};
+pub use minion_tcp::CcAlgorithm;
 pub use runner::{
     default_threads, run_cell, run_matrix, run_matrix_once, run_matrix_once_with_stats,
     run_matrix_threads, summarize, verify_cell, CellReport,

@@ -46,6 +46,7 @@ pub fn load_scenario_of(spec: &CellSpec) -> LoadScenario {
         queue_bytes: 1 << 20,
         loss: spec.loss.to_loss_config(),
         receiver_utcp: spec.receiver_stack == StackMode::Utcp,
+        cc: spec.cc,
         seed: spec.seed,
         deadline: SimDuration::from_secs(300),
         first_flow: 0,

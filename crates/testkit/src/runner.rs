@@ -74,16 +74,18 @@ pub fn cell_payload(spec: &CellSpec, i: usize) -> Vec<u8> {
 }
 
 fn configs(spec: &CellSpec) -> (MinionConfig, MinionConfig) {
-    let sender = MinionConfig::with_utcp()
+    let mut sender = MinionConfig::with_utcp()
         .with_psk(b"matrix-cell-psk")
         .with_seed(spec.seed ^ 0xa11c_e5ee);
     let receiver_base = match spec.receiver_stack {
         StackMode::Standard => MinionConfig::without_utcp(),
         StackMode::Utcp => MinionConfig::with_utcp(),
     };
-    let receiver = receiver_base
+    let mut receiver = receiver_base
         .with_psk(b"matrix-cell-psk")
         .with_seed(spec.seed ^ 0xb0b5_eed5);
+    sender.tcp = sender.tcp.with_cc(spec.cc);
+    receiver.tcp = receiver.tcp.with_cc(spec.cc);
     (sender, receiver)
 }
 

@@ -4,8 +4,8 @@
 //! every cell run twice under its fixed seed to prove determinism.
 
 use minion_repro::testkit::{
-    run_matrix, summarize, CellSpec, LossAxis, MatrixSpec, MiddleboxAxis, PayloadProtocol,
-    StackMode,
+    run_matrix, summarize, CcAlgorithm, CellSpec, LossAxis, MatrixSpec, MiddleboxAxis,
+    PayloadProtocol, StackMode,
 };
 
 fn assert_distinct_labels(cells: &[CellSpec]) {
@@ -66,6 +66,7 @@ fn rtt_and_middlebox_sweep_under_deterministic_loss() {
         datagrams: 24,
         datagram_len: 900,
         flows: vec![1],
+        ccs: vec![CcAlgorithm::NewReno],
         base_seed: 0x5eed_0002,
     };
     let cells = spec.cells();
@@ -96,6 +97,7 @@ fn bottleneck_rate_sweep_under_bursty_loss() {
         datagrams: 24,
         datagram_len: 900,
         flows: vec![1],
+        ccs: vec![CcAlgorithm::NewReno],
         base_seed: 0x5eed_0003,
     };
     let cells = spec.cells();
