@@ -39,14 +39,24 @@
 //! not inferred. With `--backend os` a kernel-TCP row rides along (ordered
 //! baseline; loss shaping and uTCP receivers are sim-only). `--trace-out`
 //! dumps the uTCP run's lifecycle trace ring (SYN, first-byte, record
-//! deliveries, retransmits, RTO fires, FIN) as JSONL.
+//! deliveries, retransmits, RTO fires, FIN) as JSONL, closed by a
+//! `{"summary":true,...}` line carrying recorded/held/dropped counts so
+//! ring truncation is visible in the dump itself. `--trace-flow N` focuses
+//! that trace on one global flow index: only its events enter the bounded
+//! ring, so a run with many flows can trace a single flow at full event
+//! granularity.
+//!
+//! The `"cc_obs"` section rides on the same per-algorithm replays as
+//! `"cc"`: cwnd/ssthresh trajectory samples (virtual-time, bounded ring)
+//! and recovery-duration/-depth histograms per algorithm — NewReno vs CUBIC
+//! window dynamics as data, not two goodput numbers.
 //!
 //! Usage (one binary for CI and local runs):
 //!
 //! ```text
 //! load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N]
 //!             [--cc newreno,cubic,none] [--out BENCH_engine.json]
-//!             [--trace-out TRACE.jsonl]
+//!             [--trace-out TRACE.jsonl] [--trace-flow N]
 //! ```
 
 use minion_bench::cli;
@@ -210,6 +220,7 @@ struct Args {
     ccs: Vec<CcAlgorithm>,
     out: String,
     trace_out: Option<String>,
+    trace_flow: Option<u32>,
 }
 
 fn parse_args() -> Args {
@@ -221,9 +232,10 @@ fn parse_args() -> Args {
     let mut ccs = CcAlgorithm::ALL.to_vec();
     let mut out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
     let mut trace_out: Option<String> = None;
+    let mut trace_flow: Option<u32> = None;
     let mut args = cli::CliArgs::new(
         "load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N] \
-         [--cc newreno,cubic,none] [--out FILE] [--trace-out FILE]",
+         [--cc newreno,cubic,none] [--out FILE] [--trace-out FILE] [--trace-flow N]",
     );
     while let Some(arg) = args.next_flag() {
         match arg.as_str() {
@@ -233,6 +245,15 @@ fn parse_args() -> Args {
             "--cc" => ccs = cli::parse_cc_list(&args.value("--cc"), "--cc"),
             "--out" => out = args.value("--out"),
             "--trace-out" => trace_out = Some(args.value("--trace-out")),
+            // Flow indices are 0-based, so 0 is a valid focus (unlike the
+            // count flags, which require >= 1).
+            "--trace-flow" => {
+                let v = args.value("--trace-flow");
+                trace_flow =
+                    Some(v.parse::<u32>().unwrap_or_else(|_| {
+                        panic!("--trace-flow expects a flow index, got {v:?}")
+                    }));
+            }
             other => args.unknown(other),
         }
     }
@@ -250,6 +271,7 @@ fn parse_args() -> Args {
         ccs,
         out,
         trace_out,
+        trace_flow,
     }
 }
 
@@ -259,6 +281,9 @@ struct OsRow {
     report: LoadReport,
     syscalls: u64,
     wall_seconds: f64,
+    /// Readiness-edges-per-`epoll_wait` distribution (batching profile),
+    /// captured before the transport is dropped.
+    wait_batch: minion_engine::Histogram,
 }
 
 /// Run `flows` concurrent flows through [`OsTransport`] and gate the result
@@ -278,6 +303,7 @@ fn run_os(flows: usize) -> OsRow {
     let report = scenario.run_on(&mut transport);
     let wall_seconds = t0.elapsed().as_secs_f64();
     let syscalls = minion_engine::Transport::syscalls(&transport);
+    let wait_batch = transport.wait_batch_histogram().clone();
     assert!(
         report.goodput_bps >= OS_GOODPUT_FLOOR_BPS,
         "[{}] os goodput {} bps below the {} bps envelope floor",
@@ -296,6 +322,7 @@ fn run_os(flows: usize) -> OsRow {
         report,
         syscalls,
         wall_seconds,
+        wait_batch,
     }
 }
 
@@ -321,6 +348,10 @@ fn os_row_json(row: &OsRow) -> String {
             "      \"events_per_sec\": {eps},\n",
             "      \"syscalls\": {syscalls},\n",
             "      \"syscalls_per_flow\": {spf:.1},\n",
+            "      \"wait_batches\": {waits},\n",
+            "      \"wait_batch_p50\": {wait_p50},\n",
+            "      \"wait_batch_p99\": {wait_p99},\n",
+            "      \"wait_batch_max\": {wait_max},\n",
             "      \"wall_ms\": {wall_ms:.3},\n",
             "      \"deterministic\": false\n",
             "    }}"
@@ -336,6 +367,10 @@ fn os_row_json(row: &OsRow) -> String {
         eps = events_per_wall_sec,
         syscalls = row.syscalls,
         spf = row.syscalls as f64 / r.flows.max(1) as f64,
+        waits = row.wait_batch.count(),
+        wait_p50 = row.wait_batch.p50(),
+        wait_p99 = row.wait_batch.p99(),
+        wait_max = row.wait_batch.max(),
         wall_ms = row.wall_seconds * 1000.0,
     )
 }
@@ -399,18 +434,33 @@ fn obs_row_json(receiver: &str, report: &LoadReport) -> String {
 /// ([`LoadScenario::obs_comparison`]) and build the `"obs"` section:
 /// sim rows for both receivers (deterministic, sharded at `threads`), plus
 /// a kernel-TCP row when the OS backend was requested. Returns the section
-/// JSON and the uTCP run's report (whose trace `--trace-out` dumps).
-fn obs_section(threads: usize, backend: cli::Backend) -> (String, LoadReport) {
+/// JSON and the uTCP run's report (whose trace `--trace-out` dumps,
+/// focused on `trace_flow` when given).
+fn obs_section(
+    threads: usize,
+    backend: cli::Backend,
+    trace_flow: Option<u32>,
+) -> (String, LoadReport) {
     let tcp = LoadScenario::obs_comparison(false).run_sharded(threads);
-    let utcp = LoadScenario::obs_comparison(true).run_sharded(threads);
+    let utcp = LoadScenario {
+        trace_flow,
+        ..LoadScenario::obs_comparison(true)
+    }
+    .run_sharded(threads);
     println!(
-        "obs: delivery delay under loss ({} records): ordered mean {:.3} ms p99 {:.3} ms | \
-         unordered mean {:.3} ms p99 {:.3} ms",
+        "obs: delivery delay under loss ({} records): ordered mean {:.3} ms p99 {:.3} ms \
+         p999 {:.3} ms | unordered mean {:.3} ms p99 {:.3} ms p999 {:.3} ms",
         tcp.obs.delivery_delay.count(),
         tcp.obs.delivery_delay.mean() as f64 / 1e6,
         tcp.obs.delivery_delay.p99() as f64 / 1e6,
+        tcp.obs.delivery_delay.p999() as f64 / 1e6,
         utcp.obs.delivery_delay.mean() as f64 / 1e6,
         utcp.obs.delivery_delay.p99() as f64 / 1e6,
+        utcp.obs.delivery_delay.p999() as f64 / 1e6,
+    );
+    assert!(
+        tcp.obs.delivery_delay.p99() > utcp.obs.delivery_delay.p99(),
+        "ordered-TCP p99 must strictly exceed uTCP p99 under the canonical loss scenario"
     );
     let rows = [obs_row_json("tcp", &tcp), obs_row_json("utcp", &utcp)];
     let os_rows = if backend == cli::Backend::Os {
@@ -446,57 +496,116 @@ fn obs_section(threads: usize, backend: cli::Backend) -> (String, LoadReport) {
     (section, utcp)
 }
 
-/// The `"cc"` section: the canonical lossy comparison scenario
-/// ([`LoadScenario::obs_comparison`], uTCP receiver) replayed once per
-/// congestion-control algorithm, each run behind the usual two-run
-/// determinism gate. Goodput next to fast-recovery and timeout counts is
-/// the figure the pluggable-cc axis exists for: how each sender recovers
-/// from the identical loss process.
-fn cc_section(ccs: &[CcAlgorithm], threads: usize) -> String {
-    let rows = ccs
-        .iter()
-        .map(|&cc| {
-            let scenario = LoadScenario {
-                cc,
-                ..LoadScenario::obs_comparison(true)
-            };
-            let report = verify_load_sharded(&scenario, threads);
-            let fast_retransmits: u64 = report.per_flow.iter().map(|f| f.fast_retransmits).sum();
-            let retransmissions: u64 = report.per_flow.iter().map(|f| f.retransmissions).sum();
-            let rto_fires: u64 = report.per_flow.iter().map(|f| f.rto_fires).sum();
-            println!(
-                "cc={}: goodput {:.2} Mbit/s, {} fast recoveries, {} retransmissions, {} RTOs",
-                cc.label(),
-                report.goodput_bps as f64 / 1e6,
-                fast_retransmits,
-                retransmissions,
-                rto_fires,
-            );
-            format!(
-                concat!(
-                    "    {{\n",
-                    "      \"algorithm\": \"{algo}\",\n",
-                    "      \"label\": \"{label}\",\n",
-                    "      \"goodput_bps\": {goodput},\n",
-                    "      \"completion_sim_ms\": {completion_ms:.3},\n",
-                    "      \"fast_retransmits\": {fast},\n",
-                    "      \"retransmissions\": {retx},\n",
-                    "      \"rto_fires\": {rto},\n",
-                    "      \"deterministic\": true\n",
-                    "    }}"
-                ),
-                algo = cc.label(),
-                label = json_escape(&report.label),
-                goodput = report.goodput_bps,
-                completion_ms = report.completion_us as f64 / 1000.0,
-                fast = fast_retransmits,
-                retx = retransmissions,
-                rto = rto_fires,
-            )
-        })
+/// How many cwnd/ssthresh trajectory samples a `"cc_obs"` row embeds (the
+/// tail of the merged ring; the full ring holds up to
+/// `DEFAULT_CC_SAMPLE_CAP` — counts in the row say what was elided).
+const CC_OBS_TRAJECTORY_ROWS: usize = 64;
+
+/// One `"cc_obs"` row: the window telemetry of one algorithm's replay —
+/// trajectory ring counts, cwnd distribution, and recovery-episode
+/// duration/depth histograms.
+fn cc_obs_row_json(algo: &str, report: &LoadReport) -> String {
+    let cc = &report.obs.cc_obs;
+    let held = cc.len();
+    let trajectory = cc
+        .samples()
+        .skip(held.saturating_sub(CC_OBS_TRAJECTORY_ROWS))
+        .map(|s| format!("        {}", s.to_json()))
         .collect::<Vec<_>>()
         .join(",\n");
-    format!("  \"cc\": [\n{rows}\n  ]")
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"algorithm\": \"{algo}\",\n",
+            "      \"cwnd_samples\": {recorded},\n",
+            "      \"cwnd_samples_held\": {held},\n",
+            "      \"cwnd_samples_dropped\": {dropped},\n",
+            "      \"cwnd_p50_bytes\": {cwnd_p50},\n",
+            "      \"cwnd_p99_bytes\": {cwnd_p99},\n",
+            "      \"cwnd_max_bytes\": {cwnd_max},\n",
+            "      \"recovery_episodes\": {episodes},\n",
+            "      \"recovery_duration_p50_ns\": {dur_p50},\n",
+            "      \"recovery_duration_p99_ns\": {dur_p99},\n",
+            "      \"recovery_duration_max_ns\": {dur_max},\n",
+            "      \"recovery_cuts\": {cuts},\n",
+            "      \"recovery_depth_p99_bytes\": {depth_p99},\n",
+            "      \"trajectory_tail\": [\n{trajectory}\n      ]\n",
+            "    }}"
+        ),
+        algo = algo,
+        recorded = cc.recorded(),
+        held = held,
+        dropped = cc.dropped(),
+        cwnd_p50 = cc.cwnd_hist().p50(),
+        cwnd_p99 = cc.cwnd_hist().p99(),
+        cwnd_max = cc.cwnd_hist().max(),
+        episodes = cc.recovery_duration().count(),
+        dur_p50 = cc.recovery_duration().p50(),
+        dur_p99 = cc.recovery_duration().p99(),
+        dur_max = cc.recovery_duration().max(),
+        cuts = cc.recovery_depth().count(),
+        depth_p99 = cc.recovery_depth().p99(),
+        trajectory = trajectory,
+    )
+}
+
+/// The `"cc"` and `"cc_obs"` sections: the canonical lossy comparison
+/// scenario ([`LoadScenario::obs_comparison`], uTCP receiver) replayed once
+/// per congestion-control algorithm, each run behind the usual two-run
+/// determinism gate. `"cc"` is goodput next to fast-recovery and timeout
+/// counts — how each sender recovers from the identical loss process —
+/// and `"cc_obs"` is the same runs' window telemetry: cwnd/ssthresh
+/// trajectories and recovery-episode histograms per algorithm.
+fn cc_sections(ccs: &[CcAlgorithm], threads: usize) -> (String, String) {
+    let mut rows = Vec::new();
+    let mut obs_rows = Vec::new();
+    for &cc in ccs {
+        let scenario = LoadScenario {
+            cc,
+            ..LoadScenario::obs_comparison(true)
+        };
+        let report = verify_load_sharded(&scenario, threads);
+        let fast_retransmits: u64 = report.per_flow.iter().map(|f| f.fast_retransmits).sum();
+        let retransmissions: u64 = report.per_flow.iter().map(|f| f.retransmissions).sum();
+        let rto_fires: u64 = report.per_flow.iter().map(|f| f.rto_fires).sum();
+        println!(
+            "cc={}: goodput {:.2} Mbit/s, {} fast recoveries, {} retransmissions, {} RTOs, \
+             {} cwnd samples, {} recovery episodes",
+            cc.label(),
+            report.goodput_bps as f64 / 1e6,
+            fast_retransmits,
+            retransmissions,
+            rto_fires,
+            report.obs.cc_obs.recorded(),
+            report.obs.cc_obs.recovery_duration().count(),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"algorithm\": \"{algo}\",\n",
+                "      \"label\": \"{label}\",\n",
+                "      \"goodput_bps\": {goodput},\n",
+                "      \"completion_sim_ms\": {completion_ms:.3},\n",
+                "      \"fast_retransmits\": {fast},\n",
+                "      \"retransmissions\": {retx},\n",
+                "      \"rto_fires\": {rto},\n",
+                "      \"deterministic\": true\n",
+                "    }}"
+            ),
+            algo = cc.label(),
+            label = json_escape(&report.label),
+            goodput = report.goodput_bps,
+            completion_ms = report.completion_us as f64 / 1000.0,
+            fast = fast_retransmits,
+            retx = retransmissions,
+            rto = rto_fires,
+        ));
+        obs_rows.push(cc_obs_row_json(cc.label(), &report));
+    }
+    (
+        format!("  \"cc\": [\n{}\n  ]", rows.join(",\n")),
+        format!("  \"cc_obs\": [\n{}\n  ]", obs_rows.join(",\n")),
+    )
 }
 
 fn main() {
@@ -542,23 +651,33 @@ fn main() {
     };
 
     // The head-of-line-blocking comparison: the figure the paper is about.
-    let (obs, utcp_report) = obs_section(threads, backend);
+    let (obs, utcp_report) = obs_section(threads, backend, args.trace_flow);
     if let Some(path) = &args.trace_out {
-        let jsonl = utcp_report.obs.trace.to_jsonl();
+        let jsonl = utcp_report.obs.trace.to_jsonl_with_summary();
         cli::write_output("--trace-out", path, &jsonl);
-        println!(
-            "wrote {path} ({} trace events)",
-            utcp_report.obs.trace.recorded()
-        );
+        let filter = &utcp_report.obs.trace_filter;
+        match filter.flow {
+            Some(flow) => println!(
+                "wrote {path} ({} trace events; focused on flow {flow}: \
+                 {} admitted, {} suppressed)",
+                utcp_report.obs.trace.recorded(),
+                filter.admitted,
+                filter.suppressed
+            ),
+            None => println!(
+                "wrote {path} ({} trace events)",
+                utcp_report.obs.trace.recorded()
+            ),
+        }
     }
 
     // The congestion-control comparison: same lossy workload, each sender.
-    let cc = cc_section(&args.ccs, threads);
+    let (cc, cc_obs) = cc_sections(&args.ccs, threads);
 
     let body = rows.iter().map(row_json).collect::<Vec<_>>().join(",\n");
     let demux = demux_bench_json();
     let json = format!(
-        "{{\n  \"bench\": \"engine_load\",\n{demux},\n{obs},\n{cc},\n{os_section}  \"scenarios\": [\n{body}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"engine_load\",\n{demux},\n{obs},\n{cc},\n{cc_obs},\n{os_section}  \"scenarios\": [\n{body}\n  ]\n}}\n"
     );
     cli::write_output("--out", &out, &json);
     println!("wrote {out}");

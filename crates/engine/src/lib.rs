@@ -38,7 +38,7 @@ pub mod wheel;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use metrics::{fnv1a, EngineMetrics, FlowMetrics, LoadReport, FNV_OFFSET_BASIS};
-pub use obs::{LoadObs, LOAD_COUNTER_NAMES, LOAD_GAUGE_NAMES};
+pub use obs::{LoadObs, TraceFilter, LOAD_COUNTER_NAMES, LOAD_GAUGE_NAMES};
 pub use pool::{BufferPool, PoolStats};
 pub use runtime::{Engine, EngineHostId, FlowId, ENGINE_PHASES};
 pub use scenario::{verify_load, verify_load_sharded, LoadScenario, LOAD_PORT, SHARD_FLOWS};
@@ -49,6 +49,6 @@ pub use wheel::TimerWheel;
 // testkit, bench) reach them through the engine without a direct
 // `minion-obs` dependency.
 pub use minion_obs::{
-    Absorb, Counter, CounterSet, Gauge, GaugeSet, Histogram, NonDeterministic, PhaseProfile,
-    TraceEvent, TraceKind, TraceRing,
+    Absorb, CcObs, Counter, CounterSet, CwndSample, Gauge, GaugeSet, Histogram, NonDeterministic,
+    PhaseProfile, TraceEvent, TraceKind, TraceRing,
 };

@@ -7,8 +7,8 @@
 //! (unordered delivery keeps later records out of earlier losses' shadow).
 //! It bundles:
 //!
-//! * [`Histogram`]s — delivery delay (send-enqueue → app-deliver), RTO fire
-//!   latency (connect → RTO), and buffer-pool dwell, all in nanoseconds of
+//! * [`Histogram`]s — delivery delay (send-enqueue → app-deliver), RTO wait
+//!   (per-timer arm → fire), and buffer-pool dwell, all in nanoseconds of
 //!   backend time (virtual on sim, monotonic on os);
 //! * a [`CounterSet`]/[`GaugeSet`] over fixed slot names (see
 //!   [`LOAD_COUNTER_NAMES`]);
@@ -21,7 +21,7 @@
 //! the same discipline the rest of the report already obeys.
 
 use crate::metrics::{fnv1a, FNV_OFFSET_BASIS};
-use minion_obs::{Absorb, CounterSet, GaugeSet, Histogram, TraceRing};
+use minion_obs::{Absorb, CcObs, CounterSet, GaugeSet, Histogram, TraceEvent, TraceRing};
 
 /// Counter slots of [`LoadObs::counters`] (fixed at compile time so sharded
 /// and serial registries always line up slot for slot).
@@ -61,7 +61,8 @@ pub const G_COVERAGE_RANGES_HIGH_WATER: usize = 0;
 pub struct LoadObs {
     /// Per-record delivery delay: send-enqueue → app-deliver, nanoseconds.
     pub delivery_delay: Histogram,
-    /// RTO fire latency: flow connect → RTO fire, nanoseconds.
+    /// RTO wait: how long each fired retransmission timer was armed
+    /// (arm → fire, nanoseconds) — the realized timeout, including backoff.
     pub rto_wait: Histogram,
     /// Buffer-pool dwell of send-stream buffers (take → give), nanoseconds.
     pub pool_dwell: Histogram,
@@ -72,6 +73,11 @@ pub struct LoadObs {
     /// Lifecycle trace, bounded to the last
     /// [`DEFAULT_TRACE_CAP`](minion_obs::DEFAULT_TRACE_CAP) events.
     pub trace: TraceRing,
+    /// Per-flow trace admission filter + admitted/suppressed accounting.
+    pub trace_filter: TraceFilter,
+    /// Congestion-control window telemetry merged over the run's client
+    /// flows, in flow order.
+    pub cc_obs: CcObs,
 }
 
 impl Default for LoadObs {
@@ -83,6 +89,8 @@ impl Default for LoadObs {
             counters: CounterSet::new(LOAD_COUNTER_NAMES),
             gauges: GaugeSet::new(LOAD_GAUGE_NAMES),
             trace: TraceRing::default(),
+            trace_filter: TraceFilter::default(),
+            cc_obs: CcObs::default(),
         }
     }
 }
@@ -95,10 +103,75 @@ impl Absorb for LoadObs {
         self.counters.absorb(&other.counters);
         self.gauges.absorb(&other.gauges);
         self.trace.absorb(&other.trace);
+        self.trace_filter.absorb(&other.trace_filter);
+        self.cc_obs.absorb(&other.cc_obs);
+    }
+}
+
+/// Per-flow trace admission: when focused on one flow, only its events
+/// enter the [`TraceRing`], so a 1k-flow run can trace a single flow at
+/// full event granularity without drowning the bounded ring. Counts what
+/// it admits and suppresses so filtered dumps stay honest about coverage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TraceFilter {
+    /// Global flow index to focus on; `None` admits every flow.
+    pub flow: Option<u32>,
+    /// Events that passed the filter.
+    pub admitted: u64,
+    /// Events rejected by the focus.
+    pub suppressed: u64,
+}
+
+impl TraceFilter {
+    /// A filter focused on one global flow index (`None` admits all).
+    pub fn focused(flow: Option<u32>) -> Self {
+        TraceFilter {
+            flow,
+            admitted: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Decide (and count) whether `ev` enters the trace ring.
+    pub fn admit(&mut self, ev: &TraceEvent) -> bool {
+        let ok = self.flow.is_none_or(|f| f == ev.flow);
+        if ok {
+            self.admitted += 1;
+        } else {
+            self.suppressed += 1;
+        }
+        ok
+    }
+}
+
+impl Absorb for TraceFilter {
+    /// Counters add; the focus config must agree. A pristine filter
+    /// (nothing counted) adopts `other`'s focus so `TraceFilter::default()`
+    /// is a true merge identity; all shards of one scenario inherit the
+    /// same focus, so mismatched non-pristine configs are a bug — loudly.
+    fn absorb(&mut self, other: &Self) {
+        if self.admitted == 0 && self.suppressed == 0 {
+            self.flow = other.flow;
+        } else if other.admitted != 0 || other.suppressed != 0 {
+            assert_eq!(
+                self.flow, other.flow,
+                "merging trace filters with different focus"
+            );
+        }
+        self.admitted += other.admitted;
+        self.suppressed += other.suppressed;
     }
 }
 
 impl LoadObs {
+    /// Offer a lifecycle event to the trace ring through the per-flow
+    /// filter: suppressed events are counted, admitted ones recorded.
+    pub fn trace_event(&mut self, ev: TraceEvent) {
+        if self.trace_filter.admit(&ev) {
+            self.trace.push(ev);
+        }
+    }
+
     /// Order-sensitive FNV-1a fingerprint of the trace ring's event stream
     /// (the compact form the determinism gates compare).
     pub fn trace_fingerprint(&self) -> u64 {
@@ -125,12 +198,17 @@ mod tests {
         o.pool_dwell.record(0);
         o.counters.inc(C_RECORDS_DELIVERED);
         o.gauges.observe(G_COVERAGE_RANGES_HIGH_WATER, base);
-        o.trace.push(TraceEvent {
+        let ev = TraceEvent {
             t_ns: base,
             flow: base as u32,
             seq: 0,
             kind: TraceKind::Syn,
-        });
+        };
+        if o.trace_filter.admit(&ev) {
+            o.trace.push(ev);
+        }
+        o.cc_obs.record_window(base, 14_400, 7_200);
+        o.cc_obs.record_recovery(base + 500, 7_200);
         o
     }
 
@@ -151,6 +229,73 @@ mod tests {
         let mut back = a.clone();
         back.absorb(&LoadObs::default());
         assert_eq!(back, a, "a ⊕ default == a");
+    }
+
+    #[test]
+    fn trace_filter_admits_only_the_focused_flow_and_counts() {
+        let mut f = TraceFilter::focused(Some(7));
+        let mk = |flow: u32| TraceEvent {
+            t_ns: 1,
+            flow,
+            seq: 0,
+            kind: TraceKind::Syn,
+        };
+        assert!(f.admit(&mk(7)));
+        assert!(!f.admit(&mk(8)));
+        assert!(!f.admit(&mk(0)));
+        assert_eq!((f.admitted, f.suppressed), (1, 2));
+        let mut open = TraceFilter::focused(None);
+        assert!(open.admit(&mk(8)));
+        assert_eq!((open.admitted, open.suppressed), (1, 0));
+    }
+
+    #[test]
+    fn trace_filter_absorb_is_associative_and_order_stable() {
+        let mk = |adm: u64, sup: u64| {
+            let mut f = TraceFilter::focused(Some(3));
+            f.admitted = adm;
+            f.suppressed = sup;
+            f
+        };
+        let (a, b, c) = (mk(1, 2), mk(3, 4), mk(5, 6));
+        let mut left = a;
+        left.absorb(&b);
+        left.absorb(&c);
+        let mut bc = b;
+        bc.absorb(&c);
+        let mut right = a;
+        right.absorb(&bc);
+        assert_eq!(left, right, "associative");
+        assert_eq!((left.admitted, left.suppressed), (9, 12));
+        // order-stability: counters are commutative sums, so shard order
+        // cannot change the merged value
+        let mut rev = c;
+        rev.absorb(&b);
+        rev.absorb(&a);
+        assert_eq!(rev, left);
+        // pristine identity adopts the focus
+        let mut id = TraceFilter::default();
+        id.absorb(&a);
+        assert_eq!(id, a);
+        let mut back = a;
+        back.absorb(&TraceFilter::default());
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "different focus")]
+    fn trace_filter_absorb_rejects_mismatched_focus() {
+        let mut a = TraceFilter::focused(Some(1));
+        let mut b = TraceFilter::focused(Some(2));
+        let ev = TraceEvent {
+            t_ns: 1,
+            flow: 1,
+            seq: 0,
+            kind: TraceKind::Syn,
+        };
+        a.admit(&ev);
+        b.admit(&ev);
+        a.absorb(&b);
     }
 
     #[test]

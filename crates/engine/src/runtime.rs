@@ -255,6 +255,17 @@ impl Engine {
             .clone()
     }
 
+    /// Congestion-control window telemetry of a flow (cwnd/ssthresh
+    /// trajectory, recovery histograms), recorded on the virtual clock.
+    pub fn flow_cc_obs(&self, flow: FlowId) -> minion_obs::CcObs {
+        let slot = &self.flows[flow.index()];
+        self.hosts[slot.host]
+            .tcp_connection(slot.handle)
+            .expect("flow handle is valid")
+            .cc_obs()
+            .clone()
+    }
+
     /// Readiness snapshot of a flow.
     pub fn flow_readiness(&self, flow: FlowId) -> minion_tcp::Readiness {
         let slot = &self.flows[flow.index()];
@@ -563,6 +574,6 @@ mod tests {
         assert!(e
             .take_events()
             .iter()
-            .any(|&(f, ev)| f == cf && ev == ConnEvent::RtoFired));
+            .any(|&(f, ev)| f == cf && matches!(ev, ConnEvent::RtoFired { .. })));
     }
 }

@@ -81,6 +81,10 @@ pub struct LoadScenario {
     pub seed: u64,
     /// Virtual-time budget; the run panics if flows are incomplete at it.
     pub deadline: SimDuration,
+    /// Focus the lifecycle trace on one **global** flow index: only its
+    /// events enter the bounded trace ring (suppressed events are still
+    /// counted by the filter). `None` traces every flow.
+    pub trace_flow: Option<u32>,
     /// Global index of this scenario's first flow. `0` for a whole scenario;
     /// a shard produced by [`LoadScenario::shard`] carries its offset here so
     /// stream contents and per-flow metrics keep their global flow indices.
@@ -101,6 +105,7 @@ impl Default for LoadScenario {
             cc: CcAlgorithm::NewReno,
             seed: 0x10ad_5eed,
             deadline: SimDuration::from_secs(300),
+            trace_flow: None,
             first_flow: 0,
         }
     }
@@ -236,6 +241,7 @@ impl LoadScenario {
         };
         let mut pool = BufferPool::new(self.record_len * self.records_per_flow + 64, 8);
         let mut obs = LoadObs::default();
+        obs.trace_filter = crate::obs::TraceFilter::focused(self.trace_flow);
 
         // Open every flow and offer its whole stream. A transport may accept
         // only a prefix (or nothing, while the connect is in flight): the
@@ -248,7 +254,7 @@ impl LoadScenario {
             let global_flow = self.first_flow + flow;
             let (id, pair_key) = transport.connect();
             let now_ns = ns_of(transport.now());
-            obs.trace.push(TraceEvent {
+            obs.trace_event(TraceEvent {
                 t_ns: now_ns,
                 flow: global_flow as u32,
                 seq: 0,
@@ -261,7 +267,6 @@ impl LoadScenario {
             let written = transport.write(id, &stream);
             let mut state = FlowState::new(id, expected_len, self.record_bounds(global_flow));
             state.pair_key = pair_key;
-            state.syn_ns = now_ns;
             let enqueued = state.mark_enqueued(written as u64, now_ns);
             obs.counters.add(C_RECORDS_ENQUEUED, enqueued);
             states.push(state);
@@ -319,10 +324,10 @@ impl LoadScenario {
                 let now_ns = ns_of(transport.now());
                 let state = &mut states[flow];
                 match ev {
-                    ConnEvent::RtoFired => {
-                        obs.rto_wait.record(now_ns.saturating_sub(state.syn_ns));
+                    ConnEvent::RtoFired { wait_us } => {
+                        obs.rto_wait.record(wait_us.saturating_mul(1_000));
                         obs.counters.inc(C_RTO_EDGES);
-                        obs.trace.push(TraceEvent {
+                        obs.trace_event(TraceEvent {
                             t_ns: now_ns,
                             flow: (self.first_flow + flow) as u32,
                             seq: state.rto_seq,
@@ -332,7 +337,7 @@ impl LoadScenario {
                     }
                     ConnEvent::Retransmit => {
                         obs.counters.inc(C_RETRANSMIT_EDGES);
-                        obs.trace.push(TraceEvent {
+                        obs.trace_event(TraceEvent {
                             t_ns: now_ns,
                             flow: (self.first_flow + flow) as u32,
                             seq: state.rtx_seq,
@@ -340,6 +345,7 @@ impl LoadScenario {
                         });
                         state.rtx_seq += 1;
                     }
+                    ConnEvent::Established => state.rebase_enqueue(now_ns),
                     _ => {}
                 }
             }
@@ -381,7 +387,7 @@ impl LoadScenario {
                     }
                     if !state.first_chunk_seen {
                         state.first_chunk_seen = true;
-                        obs.trace.push(TraceEvent {
+                        obs.trace_event(TraceEvent {
                             t_ns: now_ns,
                             flow: (self.first_flow + flow) as u32,
                             seq: 0,
@@ -411,7 +417,7 @@ impl LoadScenario {
                         obs.delivery_delay
                             .record(now_ns.saturating_sub(r.enqueue_ns));
                         obs.counters.inc(C_RECORDS_DELIVERED);
-                        obs.trace.push(TraceEvent {
+                        obs.trace_event(TraceEvent {
                             t_ns: now_ns,
                             flow: (self.first_flow + flow) as u32,
                             seq: rec as u32,
@@ -448,7 +454,7 @@ impl LoadScenario {
         // Orderly close both sides and drive the FIN exchanges.
         let fin_ns = ns_of(transport.now());
         for (flow, state) in states.iter().enumerate() {
-            obs.trace.push(TraceEvent {
+            obs.trace_event(TraceEvent {
                 t_ns: fin_ns,
                 flow: (self.first_flow + flow) as u32,
                 seq: 0,
@@ -495,6 +501,7 @@ impl LoadScenario {
             let flow_records = parse_records(&got, global_flow as u32)
                 .unwrap_or_else(|e| panic!("[{label}] flow {global_flow}: {e}"));
             let stats = transport.flow_stats(state.client);
+            obs.cc_obs.absorb(&transport.flow_cc_obs(state.client));
             let mut fingerprint: u64 = FNV_OFFSET_BASIS;
             fnv1a(&mut fingerprint, &got);
             per_flow.push(FlowMetrics {
@@ -734,9 +741,6 @@ struct FlowState {
     completion_us: Option<u64>,
     /// Per-record delivery-delay tracking (obs).
     records: Vec<RecordTrack>,
-    /// Backend time (ns) the connect was issued (SYN trace timestamp and
-    /// the zero point of the RTO-latency histogram).
-    syn_ns: u64,
     first_chunk_seen: bool,
     /// Per-flow sequence numbers of traced RTO / retransmit edges.
     rto_seq: u32,
@@ -764,10 +768,24 @@ impl FlowState {
                     delivered: false,
                 })
                 .collect(),
-            syn_ns: 0,
             first_chunk_seen: false,
             rto_seq: 0,
             rtx_seq: 0,
+        }
+    }
+
+    /// Re-baseline records stamped before the connection was established:
+    /// the driver offers whole streams at connect time, so without this a
+    /// lost SYN charges its ~1 s handshake RTO to every record of the flow
+    /// — identically under both receiver modes — burying the ordered-vs-
+    /// unordered tail separation under connection-setup noise. Delivery
+    /// delay measures the transport's *delivery* path, so the clock starts
+    /// no earlier than the moment data could first move.
+    fn rebase_enqueue(&mut self, established_ns: u64) {
+        for r in &mut self.records {
+            if r.enqueued && r.enqueue_ns < established_ns {
+                r.enqueue_ns = established_ns;
+            }
         }
     }
 
@@ -997,7 +1015,12 @@ mod tests {
             tcp.obs.delivery_delay.mean(),
             utcp.obs.delivery_delay.mean(),
         );
-        assert!(tcp.obs.delivery_delay.p99() >= utcp.obs.delivery_delay.p99());
+        assert!(
+            tcp.obs.delivery_delay.p99() > utcp.obs.delivery_delay.p99(),
+            "interpolated p99 must strictly separate ordered TCP ({}) from uTCP ({})",
+            tcp.obs.delivery_delay.p99(),
+            utcp.obs.delivery_delay.p99()
+        );
         // Unordered delivery fragments stream coverage; ordered never does.
         assert!(utcp.obs.gauges.get(G_COVERAGE_RANGES_HIGH_WATER) > 1);
         assert_eq!(tcp.obs.gauges.get(G_COVERAGE_RANGES_HIGH_WATER), 1);

@@ -127,6 +127,14 @@ pub trait Transport {
     /// Sender-side stats of a flow.
     fn flow_stats(&self, flow: FlowId) -> TransportFlowStats;
 
+    /// Sender-side congestion-control window telemetry of a flow
+    /// (cwnd/ssthresh trajectory + recovery histograms). Backends that
+    /// cannot observe the kernel's window (the OS backend) return an empty
+    /// recorder.
+    fn flow_cc_obs(&self, _flow: FlowId) -> minion_obs::CcObs {
+        minion_obs::CcObs::default()
+    }
+
     /// Aggregate runtime counters (events, packets/syscalls, bytes).
     fn metrics(&self) -> EngineMetrics;
 
@@ -296,6 +304,10 @@ impl Transport for SimTransport {
             fast_retransmits: stats.fast_retransmits,
             rto_fires: stats.timeouts,
         }
+    }
+
+    fn flow_cc_obs(&self, flow: FlowId) -> minion_obs::CcObs {
+        self.engine.flow_cc_obs(flow)
     }
 
     fn metrics(&self) -> EngineMetrics {

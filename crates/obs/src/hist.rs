@@ -1,17 +1,30 @@
-//! Log2-bucketed histograms with exact, order-independent merge.
+//! Two-level HDR histograms with exact, order-independent merge.
 //!
 //! An HDR-style histogram trades per-bucket resolution for a fixed memory
 //! footprint and an *exact* merge: two histograms over the same bucket
 //! boundaries combine by slot-wise addition, so sharded runs merge to the
-//! byte-identical histogram a serial run would have produced. 64 buckets
-//! cover the full `u64` range:
+//! byte-identical histogram a serial run would have produced.
 //!
-//! * bucket 0 holds exactly the value `0` (zero-duration samples are real —
-//!   a record covered by the same chunk that carried its first byte has zero
-//!   delivery delay on the virtual clock);
-//! * bucket `i` (1..=63) holds values in `[2^(i-1), 2^i - 1]`, with bucket
-//!   63 absorbing everything from `2^62` up to and including `u64::MAX`
-//!   (saturation, not overflow).
+//! The layout is two-level: a **log2 major** axis crossed with a **linear
+//! minor** axis, HDR-histogram style. 64 major buckets cover the full `u64`
+//! range, and each major bucket is split into [`SUB_BUCKETS`] = 16 linear
+//! sub-buckets, for [`SLOTS`] = 1024 fixed slots (~8 KiB):
+//!
+//! * major bucket 0 holds exactly the value `0` (zero-duration samples are
+//!   real — a record covered by the same chunk that carried its first byte
+//!   has zero delivery delay on the virtual clock);
+//! * major bucket `i` (1..=63) holds values in `[2^(i-1), 2^i - 1]`, with
+//!   bucket 63 absorbing everything from `2^62` up to and including
+//!   `u64::MAX` (saturation, not overflow). Within a major bucket the range
+//!   is split into 16 equal linear sub-ranges — for the narrow low buckets
+//!   (`i <= 5`, width ≤ 16) every *value* gets its own exact slot.
+//!
+//! The two-level split bounds the relative quantile error at ~3% (one part
+//! in 16 of an octave) instead of the flat layout's ~50% (a whole octave),
+//! and [`Histogram::quantile_milli`] linearly interpolates *within* the
+//! resolved slot, which is what lets p99/p999 of delivery delay separate
+//! ordered TCP from uTCP under loss instead of collapsing into the same
+//! power-of-two bound.
 //!
 //! All samples are recorded in **nanoseconds** regardless of clock source:
 //! the sim's virtual clock ticks in microseconds and the OS backend's
@@ -21,14 +34,27 @@
 
 use crate::absorb::Absorb;
 
-/// Number of buckets; covers the full `u64` range (see module docs).
+/// Number of log2 major buckets; covers the full `u64` range (see module
+/// docs).
 pub const BUCKETS: usize = 64;
 
-/// A fixed-footprint log2 histogram of `u64` samples (nanoseconds, by
-/// convention).
+/// Linear sub-buckets per major bucket (a power of two).
+pub const SUB_BUCKETS: usize = 16;
+
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 4;
+
+/// Total fixed slots: [`BUCKETS`] × [`SUB_BUCKETS`].
+pub const SLOTS: usize = BUCKETS * SUB_BUCKETS;
+
+/// A fixed-footprint two-level (log2 major × linear minor) histogram of
+/// `u64` samples (nanoseconds, by convention).
+///
+/// The slot array is boxed so embedding a `Histogram` (or several — see
+/// `CcObs`) in per-connection state moves a pointer, not 8 KiB.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: [u64; BUCKETS],
+    slots: Box<[u64; SLOTS]>,
     count: u64,
     /// Saturating sum of all samples (used for the mean, never for
     /// quantiles).
@@ -40,7 +66,7 @@ pub struct Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: [0; BUCKETS],
+            slots: Box::new([0; SLOTS]),
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -49,20 +75,54 @@ impl Default for Histogram {
     }
 }
 
-/// Bucket index of a value: 0 for zero, else `min(63, 64 - clz(v))`.
-fn bucket_of(value: u64) -> usize {
+/// Major bucket index of a value: 0 for zero, else `min(63, 64 - clz(v))`.
+fn major_of(value: u64) -> usize {
     if value == 0 {
         return 0;
     }
     ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
 }
 
-/// Inclusive upper bound of a bucket (the quantile representative).
-fn bucket_upper(index: usize) -> u64 {
-    match index {
-        0 => 0,
-        63 => u64::MAX,
-        i => (1u64 << i) - 1,
+/// Flat slot index of a value under the two-level layout.
+fn slot_of(value: u64) -> usize {
+    let major = major_of(value);
+    if major == 0 {
+        return 0;
+    }
+    let lo = 1u64 << (major - 1);
+    let sub = if (major - 1) as u32 <= SUB_BITS {
+        // Width ≤ 16: every value has its own exact sub-slot.
+        (value - lo) as usize
+    } else {
+        // Width 2^(major-1): 16 equal linear sub-ranges. Only major 63 can
+        // exceed sub-index 15 (its range is wider than 2^62); clamp so
+        // everything up to u64::MAX saturates into the last slot.
+        let shift = (major - 1) as u32 - SUB_BITS;
+        (((value - lo) >> shift) as usize).min(SUB_BUCKETS - 1)
+    };
+    major * SUB_BUCKETS + sub
+}
+
+/// Inclusive `[lo, hi]` value bounds of a flat slot.
+fn slot_bounds(slot: usize) -> (u64, u64) {
+    let major = slot / SUB_BUCKETS;
+    let sub = slot % SUB_BUCKETS;
+    if major == 0 {
+        return (0, 0);
+    }
+    let lo = 1u64 << (major - 1);
+    if (major - 1) as u32 <= SUB_BITS {
+        // Exact-value slots (slots past the bucket width are never hit).
+        let v = lo + sub as u64;
+        (v, v)
+    } else if major == BUCKETS - 1 && sub == SUB_BUCKETS - 1 {
+        // The saturation slot absorbs everything up to u64::MAX.
+        let shift = (major - 1) as u32 - SUB_BITS;
+        (lo + ((sub as u64) << shift), u64::MAX)
+    } else {
+        let shift = (major - 1) as u32 - SUB_BITS;
+        let slot_lo = lo + ((sub as u64) << shift);
+        (slot_lo, slot_lo + (1u64 << shift) - 1)
     }
 }
 
@@ -74,7 +134,7 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, value: u64) {
-        self.buckets[bucket_of(value)] += 1;
+        self.slots[slot_of(value)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
@@ -110,32 +170,42 @@ impl Histogram {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
-    /// The raw bucket slots (tests, serialization).
-    pub fn buckets(&self) -> &[u64; BUCKETS] {
-        &self.buckets
+    /// The raw flat slot array, `major * SUB_BUCKETS + sub` order (tests,
+    /// serialization).
+    pub fn slots(&self) -> &[u64; SLOTS] {
+        &self.slots
     }
 
     /// Value at a quantile given in **milli-percent** (`50_000` = p50,
-    /// `99_000` = p99, `99_900` = p999). Returns the inclusive upper bound
-    /// of the bucket holding the sample of that rank, clamped to the
-    /// observed max — pure integer math, so identical on every platform.
-    /// Returns 0 on an empty histogram.
+    /// `99_000` = p99, `99_900` = p999).
+    ///
+    /// Integer-rank selection (ceil(count·q/100000), clamped into
+    /// `[1, count]`) resolves the slot; the return value then **linearly
+    /// interpolates** between the slot's inclusive value bounds by the
+    /// rank's position among the slot's samples, clamped to the observed
+    /// `[min, max]`. Pure integer math (u128 intermediate), so identical on
+    /// every platform, and monotone in `q`. Returns 0 on an empty
+    /// histogram.
     pub fn quantile_milli(&self, q_milli: u64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        // Rank of the target sample, 1-based, ceil(count * q / 100_000),
-        // clamped into [1, count].
         let rank = self
             .count
             .saturating_mul(q_milli)
             .div_ceil(100_000)
             .clamp(1, self.count);
         let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
+        for (slot, &n) in self.slots.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return bucket_upper(i).min(self.max);
+                let (slot_lo, slot_hi) = slot_bounds(slot);
+                // Position of the target rank among this slot's n samples,
+                // 1-based: k = n yields slot_hi, k = 1 sits near slot_lo.
+                let k = rank - (seen - n);
+                let span = (slot_hi - slot_lo) as u128;
+                let interp = slot_lo + ((span * k as u128) / n as u128) as u64;
+                return interp.clamp(self.min, self.max);
             }
         }
         self.max
@@ -159,7 +229,7 @@ impl Histogram {
 
 impl Absorb for Histogram {
     fn absorb(&mut self, other: &Self) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
             *a += *b;
         }
         self.count += other.count;
@@ -174,11 +244,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn zero_duration_samples_land_in_bucket_zero() {
+    fn zero_duration_samples_land_in_slot_zero() {
         let mut h = Histogram::new();
         h.record(0);
         h.record(0);
-        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.slots()[0], 2);
         assert_eq!(h.count(), 2);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
@@ -187,13 +257,18 @@ mod tests {
     }
 
     #[test]
-    fn max_value_saturates_into_top_bucket() {
+    fn max_value_saturates_into_top_slot() {
         let mut h = Histogram::new();
         h.record(u64::MAX);
-        h.record(1u64 << 62); // lower edge of the top bucket
-        h.record((1u64 << 62) - 1); // just below → bucket 62
-        assert_eq!(h.buckets()[63], 2);
-        assert_eq!(h.buckets()[62], 1);
+        h.record(1u64 << 62); // lower edge of the top major bucket
+        h.record((1u64 << 62) - 1); // just below → major bucket 62
+        assert_eq!(h.slots()[SLOTS - 1], 1, "u64::MAX saturates, no overflow");
+        assert_eq!(h.slots()[63 * SUB_BUCKETS], 1, "2^62 → first sub-slot");
+        assert_eq!(
+            h.slots()[62 * SUB_BUCKETS + SUB_BUCKETS - 1],
+            1,
+            "2^62 - 1 → last sub-slot of major 62"
+        );
         assert_eq!(h.max(), u64::MAX);
         // sum saturates instead of wrapping
         assert_eq!(h.sum(), u64::MAX);
@@ -201,16 +276,60 @@ mod tests {
     }
 
     #[test]
-    fn bucket_boundaries_are_exact_powers_of_two() {
+    fn major_bucket_boundaries_are_exact_powers_of_two() {
         for i in 1..63usize {
             let lo = 1u64 << (i - 1);
             let hi = (1u64 << i) - 1;
-            assert_eq!(bucket_of(lo), i, "lower edge of bucket {i}");
-            assert_eq!(bucket_of(hi), i, "upper edge of bucket {i}");
+            assert_eq!(major_of(lo), i, "lower edge of major bucket {i}");
+            assert_eq!(major_of(hi), i, "upper edge of major bucket {i}");
+            // …and within the bucket the sub-slots tile it exactly: the
+            // lower edge is sub 0, the upper edge is sub 15 (or the exact
+            // top value for the narrow buckets).
+            assert_eq!(slot_of(lo), i * SUB_BUCKETS, "sub 0 at the lower edge");
+            let top = slot_of(hi);
+            assert_eq!(top / SUB_BUCKETS, i);
+            if i > 5 {
+                assert_eq!(top % SUB_BUCKETS, SUB_BUCKETS - 1);
+            }
         }
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(major_of(0), 0);
+        assert_eq!(major_of(1), 1);
+        assert_eq!(major_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn sub_bucket_boundaries_are_linear_within_a_major_bucket() {
+        // Major bucket 10 covers [512, 1023]; sub-width 32.
+        for sub in 0..SUB_BUCKETS as u64 {
+            let lo = 512 + sub * 32;
+            let hi = lo + 31;
+            assert_eq!(slot_of(lo), 10 * SUB_BUCKETS + sub as usize);
+            assert_eq!(slot_of(hi), 10 * SUB_BUCKETS + sub as usize);
+            assert_eq!(slot_bounds(10 * SUB_BUCKETS + sub as usize), (lo, hi));
+        }
+        // Narrow buckets give every value its own exact slot: major 3 is
+        // [4, 7].
+        for v in 4..8u64 {
+            assert_eq!(slot_bounds(slot_of(v)), (v, v));
+        }
+        // And every *reachable* slot's bounds round-trip through slot_of.
+        // (Major 0 has a single value, and narrow major buckets with width
+        // < 16 leave their trailing sub-slots permanently empty.)
+        for slot in 0..SLOTS {
+            let major = slot / SUB_BUCKETS;
+            let sub = slot % SUB_BUCKETS;
+            let reachable = match major {
+                0 => sub == 0,
+                1..=5 => (sub as u64) < (1u64 << (major - 1)),
+                _ => true,
+            };
+            if !reachable {
+                continue;
+            }
+            let (lo, hi) = slot_bounds(slot);
+            assert_eq!(slot_of(lo), slot, "slot {slot} lower bound");
+            assert_eq!(slot_of(hi), slot, "slot {slot} upper bound");
+        }
     }
 
     #[test]
@@ -258,8 +377,10 @@ mod tests {
     #[test]
     fn quantiles_use_integer_rank_math() {
         let mut h = Histogram::new();
-        // 100 samples of 1, 1 sample of 1000 → p50 in bucket 1, p999 in
-        // bucket of 1000 (bucket 10, upper bound 1023, clamped to max 1000).
+        // 100 samples of 1, 1 sample of 1000 → p50 picks rank 50 (value 1),
+        // p999 picks rank 101 (the 1000 sample — its slot holds exactly one
+        // sample, so interpolation returns the slot's upper bound clamped to
+        // the observed max).
         for _ in 0..100 {
             h.record(1);
         }
@@ -271,17 +392,65 @@ mod tests {
     }
 
     #[test]
+    fn interpolated_quantiles_resolve_within_an_octave() {
+        // The flat 64-bucket layout collapsed everything in [2^19, 2^20)
+        // to the same upper bound. Two populations inside one octave must
+        // now produce different p99s.
+        let mut low = Histogram::new();
+        let mut high = Histogram::new();
+        for _ in 0..1000 {
+            low.record(550_000); // ~2^19.07
+            high.record(980_000); // ~2^19.9, same major bucket
+        }
+        assert_eq!(major_of(550_000), major_of(980_000), "same octave");
+        assert!(
+            low.p99() < high.p99(),
+            "sub-bucket resolution separates {} vs {}",
+            low.p99(),
+            high.p99()
+        );
+        // Interpolation clamps to observed bounds: a single-value
+        // population reports that value at every quantile.
+        assert_eq!(low.p50(), 550_000);
+        assert_eq!(low.p999(), 550_000);
+    }
+
+    #[test]
+    fn interpolated_quantiles_are_monotone_in_q() {
+        let mut h = Histogram::new();
+        // A spread population across several octaves plus in-octave spread.
+        let mut x = 1u64;
+        for i in 0..4096u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record((x >> 40) + i);
+        }
+        let mut last = 0u64;
+        for q in (0..=100_000u64).step_by(250) {
+            let v = h.quantile_milli(q);
+            assert!(
+                v >= last,
+                "quantile must be monotone: q={q} gave {v} after {last}"
+            );
+            last = v;
+        }
+        assert_eq!(h.quantile_milli(100_000), h.max());
+        assert!(h.quantile_milli(0) >= h.min());
+    }
+
+    #[test]
     fn sim_and_os_clock_units_normalize_to_nanoseconds() {
         // Both backends hand the recorder microseconds; the scenario layer
         // multiplies by 1_000 before recording. A 40ms sim RTT and a 40ms
-        // wall-clock interval must land in the same bucket.
+        // wall-clock interval must land in the same slot.
         let sim_us: u64 = 40_000; // virtual µs
         let os_us: u64 = 40_000; // monotonic µs since transport creation
         let mut sim = Histogram::new();
         let mut os = Histogram::new();
         sim.record(sim_us * 1_000);
         os.record(os_us * 1_000);
-        assert_eq!(sim.buckets(), os.buckets());
-        assert_eq!(bucket_of(40_000_000), bucket_of(sim_us * 1_000));
+        assert_eq!(sim.slots(), os.slots());
+        assert_eq!(slot_of(40_000_000), slot_of(sim_us * 1_000));
     }
 }

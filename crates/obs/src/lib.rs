@@ -13,8 +13,9 @@
 //! |---|---|---|
 //! | [`Counter`] / [`CounterSet`] | monotone event counts, fixed name slots | slot-wise saturating add |
 //! | [`Gauge`] / [`GaugeSet`] | high-water marks | slot-wise max |
-//! | [`Histogram`] | log2-bucketed `u64` samples (ns) | exact slot-wise add |
+//! | [`Histogram`] | two-level (log2 major × 16 linear minor) `u64` samples (ns) | exact slot-wise add |
 //! | [`TraceRing`] | last-N lifecycle [`TraceEvent`]s | concatenate in shard order, trim |
+//! | [`CcObs`] | cwnd/ssthresh trajectory ring + recovery histograms | ring concat in shard order, histograms slot-wise |
 //! | [`PhaseProfile`] | wall-clock time per loop phase | slot-wise add, **excluded from equality** via [`NonDeterministic`] |
 //!
 //! Everything mergeable implements [`Absorb`]; sharded runs fold per-shard
@@ -31,13 +32,15 @@
 #![warn(missing_docs)]
 
 mod absorb;
+mod cc;
 mod counter;
 mod hist;
 mod span;
 mod trace;
 
 pub use absorb::{merge_ordered, Absorb};
+pub use cc::{CcObs, CwndSample, DEFAULT_CC_SAMPLE_CAP};
 pub use counter::{Counter, CounterSet, Gauge, GaugeSet};
-pub use hist::{Histogram, BUCKETS};
+pub use hist::{Histogram, BUCKETS, SLOTS, SUB_BUCKETS};
 pub use span::{NonDeterministic, PhaseProfile};
 pub use trace::{TraceEvent, TraceKind, TraceRing, DEFAULT_TRACE_CAP};

@@ -159,6 +159,24 @@ impl TraceRing {
         }
         out
     }
+
+    /// [`Self::to_jsonl`] followed by one summary line carrying the ring's
+    /// accounting, so dump consumers can *see* truncation: the merge keeps
+    /// the last `cap` of the shard-order concatenation, silently shedding
+    /// the earliest events of the earliest shards, and `dropped > 0` is the
+    /// only evidence. The summary line is distinguishable from events by
+    /// its `"summary"` key (events carry `"kind"`).
+    pub fn to_jsonl_with_summary(&self) -> String {
+        let mut out = self.to_jsonl();
+        out.push_str(&format!(
+            "{{\"summary\":true,\"recorded\":{},\"held\":{},\"dropped\":{},\"cap\":{}}}\n",
+            self.recorded,
+            self.events.len(),
+            self.dropped,
+            self.cap
+        ));
+        out
+    }
 }
 
 impl Absorb for TraceRing {

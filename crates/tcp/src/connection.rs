@@ -33,6 +33,7 @@ use crate::segment::{SackBlock, TcpFlags, TcpOption, TcpSegment};
 use crate::sendbuf::SendBuffer;
 use crate::seq::SeqNum;
 use bytes::Bytes;
+use minion_obs::CcObs;
 use minion_simnet::{SimDuration, SimTime};
 
 /// Errors surfaced by the socket-level API.
@@ -163,6 +164,17 @@ pub struct TcpConnection {
     /// Edge events for poll-driven drivers (gated; see [`crate::ConnEvent`]).
     events: EventQueue,
     stats: ConnStats,
+
+    // ---- Window telemetry (deterministic, virtual-time) ----
+    /// Per-connection cwnd/ssthresh trajectory + recovery histograms.
+    cc_obs: CcObs,
+    /// Last `(cwnd, ssthresh)` recorded, so the trajectory samples window
+    /// *transitions* rather than every ACK.
+    cc_obs_last: Option<(u64, u64)>,
+    /// When the current fast-recovery episode began, with the window cut
+    /// (cwnd-before − ssthresh-after) stamped at entry; resolved into the
+    /// recovery histograms on exit (or when an RTO truncates the episode).
+    recovery_entered: Option<(SimTime, u64)>,
 }
 
 impl TcpConnection {
@@ -205,6 +217,9 @@ impl TcpConnection {
             handshake_pending: false,
             events: EventQueue::default(),
             stats: ConnStats::default(),
+            cc_obs: CcObs::default(),
+            cc_obs_last: None,
+            recovery_entered: None,
         }
     }
 
@@ -215,7 +230,8 @@ impl TcpConnection {
         self.state = TcpState::SynSent;
         self.handshake_pending = true;
         self.syn_sent_at = Some(now);
-        self.reliability.arm_rto(now + self.rtt.rto());
+        self.reliability.arm_rto(now, now + self.rtt.rto());
+        self.note_window(now);
     }
 
     /// Begin a passive open (server side).
@@ -360,6 +376,38 @@ impl TcpConnection {
         self.cc.stats()
     }
 
+    /// The deterministic window telemetry recorded at congestion-control
+    /// transitions: cwnd/ssthresh trajectory samples on the virtual clock
+    /// plus recovery-duration/-depth histograms.
+    pub fn cc_obs(&self) -> &CcObs {
+        &self.cc_obs
+    }
+
+    /// Record a trajectory sample if the window actually moved since the
+    /// last one (called at cc transition sites, so the per-ACK cost is one
+    /// comparison).
+    fn note_window(&mut self, now: SimTime) {
+        let cur = (self.cc.cwnd() as u64, self.cc.ssthresh() as u64);
+        if self.cc_obs_last != Some(cur) {
+            self.cc_obs
+                .record_window(now.as_micros().saturating_mul(1_000), cur.0, cur.1);
+            self.cc_obs_last = Some(cur);
+        }
+    }
+
+    /// Close out the active fast-recovery episode (normal exit or RTO
+    /// truncation), feeding the duration and entry-stamped depth histograms.
+    fn finish_recovery_episode(&mut self, now: SimTime) {
+        if let Some((entered, depth)) = self.recovery_entered.take() {
+            self.cc_obs.record_recovery(
+                now.saturating_since(entered)
+                    .as_micros()
+                    .saturating_mul(1_000),
+                depth,
+            );
+        }
+    }
+
     /// Free space in the send buffer.
     pub fn send_buffer_free(&self) -> usize {
         self.send_buf.free_space()
@@ -497,7 +545,8 @@ impl TcpConnection {
         self.state = TcpState::SynRcvd;
         self.handshake_pending = true;
         self.syn_sent_at = Some(now);
-        self.reliability.arm_rto(now + self.rtt.rto());
+        self.reliability.arm_rto(now, now + self.rtt.rto());
+        self.note_window(now);
     }
 
     fn on_segment_syn_sent(&mut self, seg: &TcpSegment, now: SimTime) {
@@ -722,6 +771,7 @@ impl TcpConnection {
                 // post-recovery burst when little data is left outstanding.
                 let flight = self.reliability.flight_charge();
                 self.cc.on_exit_recovery(flight);
+                self.finish_recovery_episode(now);
                 self.reliability.clear_resend();
             } else {
                 // Partial ACK (NewReno): retransmit the next lost segment.
@@ -734,12 +784,13 @@ impl TcpConnection {
         } else {
             self.cc.on_ack(newly_acked, now, self.rtt.srtt());
         }
+        self.note_window(now);
 
         // Restart the retransmission timer.
         if !self.reliability.has_unacked() && self.snd_una >= self.snd_max_offset() {
             self.reliability.clear_rto();
         } else {
-            self.reliability.arm_rto(now + self.rtt.rto());
+            self.reliability.arm_rto(now, now + self.rtt.rto());
         }
     }
 
@@ -762,12 +813,18 @@ impl TcpConnection {
             // Fast retransmit: resend the first unacknowledged segment and
             // enter NewReno recovery.
             let flight = self.reliability.flight_charge();
+            let cwnd_before = self.cc.cwnd() as u64;
             self.cc.on_enter_recovery(flight, now);
+            // Stamp the episode: exit (or a truncating RTO) resolves it into
+            // the recovery-duration/-depth histograms.
+            let depth = cwnd_before.saturating_sub(self.cc.ssthresh() as u64);
+            self.recovery_entered = Some((now, depth));
+            self.note_window(now);
             self.recovery.arm(self.snd_max_offset());
             self.reliability
                 .schedule_resend(self.snd_una, self.snd_una + 1);
             self.stats.fast_retransmits += 1;
-            self.reliability.arm_rto(now + self.rtt.rto());
+            self.reliability.arm_rto(now, now + self.rtt.rto());
         }
     }
 
@@ -796,9 +853,24 @@ impl TcpConnection {
 
     fn on_rto(&mut self, now: SimTime) {
         self.stats.timeouts += 1;
-        self.events.push(ConnEvent::RtoFired);
+        // Per-timer arm→fire wait: the arm time is re-stamped on every ACK
+        // that re-arms the timer, so this measures the timer instance that
+        // actually fired, not the connection's lifetime.
+        let wait_us = self
+            .reliability
+            .rto_armed_at()
+            .map(|armed| now.saturating_since(armed).as_micros())
+            .unwrap_or(0);
+        self.events.push(ConnEvent::RtoFired { wait_us });
         let flight = self.reliability.flight_charge();
+        let cwnd_before = self.cc.cwnd() as u64;
         self.cc.on_rto(flight, now);
+        // The timeout truncates any fast-recovery episode and is itself a
+        // window cut worth a depth sample.
+        self.finish_recovery_episode(now);
+        self.cc_obs
+            .record_cut_depth(cwnd_before.saturating_sub(self.cc.ssthresh() as u64));
+        self.note_window(now);
         self.rtt.backoff();
         self.reliability.note_backoff();
         // The timeout is a congestion event: move the recover point up to
@@ -816,7 +888,7 @@ impl TcpConnection {
         if matches!(self.state, TcpState::SynSent | TcpState::SynRcvd) {
             self.handshake_pending = true;
         }
-        self.reliability.arm_rto(now + self.rtt.rto());
+        self.reliability.arm_rto(now, now + self.rtt.rto());
     }
 
     /// Advance timers and produce any segments that should be transmitted now.
@@ -1024,7 +1096,7 @@ impl TcpConnection {
                 offset = end;
             }
             if sent_any {
-                self.reliability.ensure_rto(now + self.rtt.rto());
+                self.reliability.ensure_rto(now, now + self.rtt.rto());
             }
         }
 
@@ -1056,7 +1128,7 @@ impl TcpConnection {
             out.push(seg);
             self.send_buf.mark_transmitted(end);
             self.record_transmission(next, end, charge, now, false);
-            self.reliability.ensure_rto(now + self.rtt.rto());
+            self.reliability.ensure_rto(now, now + self.rtt.rto());
         }
     }
 
@@ -1102,6 +1174,6 @@ impl TcpConnection {
             TcpState::CloseWait => self.state = TcpState::LastAck,
             _ => {}
         }
-        self.reliability.ensure_rto(now + self.rtt.rto());
+        self.reliability.ensure_rto(now, now + self.rtt.rto());
     }
 }

@@ -24,7 +24,14 @@ pub enum ConnEvent {
     /// The connection reached a closed state (orderly close or reset).
     Closed,
     /// A retransmission timeout fired.
-    RtoFired,
+    RtoFired {
+        /// How long the fired timer instance had been armed, arm→fire in
+        /// virtual microseconds (per-timer, not SYN→fire: re-arming on ACK
+        /// progress re-stamps the base). Deterministic, so it rides the
+        /// event safely. Note two back-to-back fires with different waits
+        /// do not collapse in the queue (they compare unequal).
+        wait_us: u64,
+    },
     /// A data segment was retransmitted (RTO or fast retransmit). Note the
     /// queue collapses *consecutive* duplicates, so a burst of back-to-back
     /// retransmissions may surface as a single edge — observers treat this

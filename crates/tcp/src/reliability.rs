@@ -42,6 +42,12 @@ pub struct Reliability {
     resend_until: u64,
     /// When the retransmission (or handshake) timer fires next.
     rto_expiry: Option<SimTime>,
+    /// When the currently-armed timer was (re)armed — the base of the
+    /// arm→fire wait the observability layer reports. Stamped by
+    /// [`Reliability::arm_rto`] / [`Reliability::ensure_rto`], cleared with
+    /// the timer, so the wait measures *this* timer instance, not the
+    /// connection's lifetime.
+    rto_armed_at: Option<SimTime>,
     /// Number of consecutive RTO expirations without progress.
     rto_backoffs: u32,
 }
@@ -199,21 +205,30 @@ impl Reliability {
         self.rto_expiry
     }
 
-    /// (Re)arm the retransmission timer.
-    pub fn arm_rto(&mut self, at: SimTime) {
+    /// (Re)arm the retransmission timer to fire at `at`, stamping `now` as
+    /// the arm time.
+    pub fn arm_rto(&mut self, now: SimTime, at: SimTime) {
         self.rto_expiry = Some(at);
+        self.rto_armed_at = Some(now);
     }
 
     /// Arm the retransmission timer only if it is not already running.
-    pub fn ensure_rto(&mut self, at: SimTime) {
+    pub fn ensure_rto(&mut self, now: SimTime, at: SimTime) {
         if self.rto_expiry.is_none() {
             self.rto_expiry = Some(at);
+            self.rto_armed_at = Some(now);
         }
+    }
+
+    /// When the currently-armed timer was (re)armed, if one is running.
+    pub fn rto_armed_at(&self) -> Option<SimTime> {
+        self.rto_armed_at
     }
 
     /// Disarm the retransmission timer.
     pub fn clear_rto(&mut self) {
         self.rto_expiry = None;
+        self.rto_armed_at = None;
     }
 
     /// Consecutive RTO expirations without forward progress.
@@ -294,11 +309,14 @@ mod tests {
     fn rto_timer_arming_and_backoffs() {
         let mut r = Reliability::new();
         assert_eq!(r.rto_expiry(), None);
-        r.ensure_rto(t(100));
-        r.ensure_rto(t(50));
+        assert_eq!(r.rto_armed_at(), None);
+        r.ensure_rto(t(1), t(100));
+        r.ensure_rto(t(2), t(50));
         assert_eq!(r.rto_expiry(), Some(t(100)), "ensure does not re-arm");
-        r.arm_rto(t(50));
+        assert_eq!(r.rto_armed_at(), Some(t(1)), "nor re-stamp the arm time");
+        r.arm_rto(t(10), t(50));
         assert_eq!(r.rto_expiry(), Some(t(50)));
+        assert_eq!(r.rto_armed_at(), Some(t(10)), "re-arming re-stamps");
         r.note_backoff();
         r.note_backoff();
         assert_eq!(r.rto_backoffs(), 2);
@@ -306,5 +324,6 @@ mod tests {
         assert_eq!(r.rto_backoffs(), 0);
         r.clear_rto();
         assert_eq!(r.rto_expiry(), None);
+        assert_eq!(r.rto_armed_at(), None, "disarm clears the stamp");
     }
 }

@@ -862,7 +862,18 @@ fn rto_event_fires_on_timeout() {
     h.drop_client_data = vec![2];
     h.run_until_idle(SimTime::from_secs(120));
     let events = h.client.take_events();
-    assert!(events.contains(&ConnEvent::RtoFired));
+    let waits: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            ConnEvent::RtoFired { wait_us } => Some(*wait_us),
+            _ => None,
+        })
+        .collect();
+    assert!(!waits.is_empty());
+    assert!(
+        waits.iter().all(|&w| w > 0),
+        "arm->fire wait must be a positive per-timer delta: {waits:?}"
+    );
     assert!(
         events.contains(&ConnEvent::Retransmit),
         "recovering the dropped segment must surface a Retransmit edge"

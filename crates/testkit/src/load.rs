@@ -49,6 +49,7 @@ pub fn load_scenario_of(spec: &CellSpec) -> LoadScenario {
         cc: spec.cc,
         seed: spec.seed,
         deadline: SimDuration::from_secs(300),
+        trace_flow: None,
         first_flow: 0,
     }
 }
@@ -96,6 +97,9 @@ pub fn run_load_cell(spec: &CellSpec) -> CellReport {
         delivery_delay_mean_ns: report.obs.delivery_delay.mean(),
         trace_events: report.obs.trace.recorded(),
         trace_fingerprint: report.obs.trace_fingerprint(),
+        cc_cwnd_samples: report.obs.cc_obs.recorded(),
+        cc_recovery_events: report.obs.cc_obs.recovery_duration().count(),
+        cc_recovery_p99_ns: report.obs.cc_obs.recovery_duration().p99(),
     }
 }
 
@@ -148,5 +152,8 @@ mod tests {
         assert!(report.delivery_delay_mean_ns > 0);
         assert!(report.trace_events > 0);
         assert_ne!(report.trace_fingerprint, 0);
+        // Every flow records at least its initial window, so the cc
+        // telemetry columns are live on the engine path.
+        assert!(report.cc_cwnd_samples >= cell.flows as u64);
     }
 }

@@ -55,6 +55,14 @@ pub struct CellReport {
     /// Order-sensitive fingerprint of the lifecycle trace (multi-flow
     /// cells only) — part of the two-run and any-thread-count identity.
     pub trace_fingerprint: u64,
+    /// Congestion-window transition samples recorded across the cell's
+    /// client flows (multi-flow cells only).
+    pub cc_cwnd_samples: u64,
+    /// Recovery episodes completed across the cell's client flows
+    /// (multi-flow cells only).
+    pub cc_recovery_events: u64,
+    /// p99 of recovery-episode duration in virtual ns (multi-flow only).
+    pub cc_recovery_p99_ns: u64,
 }
 
 // The shared fingerprint function (single definition — the determinism gates
@@ -419,6 +427,9 @@ pub fn run_cell(spec: &CellSpec) -> CellReport {
         delivery_delay_mean_ns: 0,
         trace_events: 0,
         trace_fingerprint: 0,
+        cc_cwnd_samples: 0,
+        cc_recovery_events: 0,
+        cc_recovery_p99_ns: 0,
     };
 
     // Invariant 3: an adversarial middlebox must actually have exercised its
