@@ -40,11 +40,26 @@
 //! baseline; loss shaping and uTCP receivers are sim-only). `--trace-out`
 //! dumps the uTCP run's lifecycle trace ring (SYN, first-byte, record
 //! deliveries, retransmits, RTO fires, FIN) as JSONL, closed by a
-//! `{"summary":true,...}` line carrying recorded/held/dropped counts so
-//! ring truncation is visible in the dump itself. `--trace-flow N` focuses
-//! that trace on one global flow index: only its events enter the bounded
-//! ring, so a run with many flows can trace a single flow at full event
-//! granularity.
+//! `{"summary":true,...}` line carrying recorded/held/dropped counts (plus
+//! admitted/suppressed from the attached filters) so ring truncation is
+//! visible in the dump itself. `--trace-flow N` focuses that trace on one
+//! global flow index, and `--trace-kind retransmit,rto` slices it to an
+//! event-kind subset; both predicates compose, and both apply to the
+//! streaming path below as well.
+//!
+//! `--trace-stream FILE` runs the flight-recorder scenario
+//! ([`LoadScenario::flight_recorder`]: 1024 flows × 64 records under 2%
+//! loss — more lifecycle events than the trace ring can hold) with a
+//! zero-drop streaming sink: every shard spills its slice to
+//! `FILE.shardNNNNN`, the driver merges them by `(t_ns, shard)` into one
+//! ordered JSONL at `FILE` (byte-identical at any `--threads`), and the
+//! report gains a `"trace_stream"` section asserting `dropped == 0` while
+//! the offered event count exceeds the ring cap. The `"flow_delay"`
+//! section rides the same obs comparison: per-flow delivery-delay digests
+//! ([`minion_engine::FlowDelayMap`]) surfacing the worst flows by p99 next
+//! to the global distribution — under ordered TCP the worst flow's tail
+//! strictly exceeds the global one (head-of-line blocking concentrates on
+//! unlucky flows), and the driver asserts exactly that.
 //!
 //! The `"cc_obs"` section rides on the same per-algorithm replays as
 //! `"cc"`: cwnd/ssthresh trajectory samples (virtual-time, bounded ring)
@@ -57,10 +72,11 @@
 //! load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N]
 //!             [--cc newreno,cubic,none] [--out BENCH_engine.json]
 //!             [--trace-out TRACE.jsonl] [--trace-flow N]
+//!             [--trace-kind retransmit,rto] [--trace-stream TRACE.jsonl]
 //! ```
 
 use minion_bench::cli;
-use minion_engine::{verify_load_sharded, LoadReport, LoadScenario};
+use minion_engine::{verify_load_sharded, KindSet, LoadReport, LoadScenario, DEFAULT_TRACE_CAP};
 use minion_osnet::OsTransport;
 use minion_simnet::{NodeId, SimDuration};
 use minion_stack::{SocketHandle, TupleTable};
@@ -221,6 +237,8 @@ struct Args {
     out: String,
     trace_out: Option<String>,
     trace_flow: Option<u32>,
+    trace_kinds: KindSet,
+    trace_stream: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -233,9 +251,12 @@ fn parse_args() -> Args {
     let mut out = std::env::var("BENCH_ENGINE_OUT").unwrap_or_else(|_| "BENCH_engine.json".into());
     let mut trace_out: Option<String> = None;
     let mut trace_flow: Option<u32> = None;
+    let mut trace_kinds = KindSet::all();
+    let mut trace_stream: Option<String> = None;
     let mut args = cli::CliArgs::new(
         "load_engine [--backend sim|os] [--flows 1,64,1024] [--threads N] \
-         [--cc newreno,cubic,none] [--out FILE] [--trace-out FILE] [--trace-flow N]",
+         [--cc newreno,cubic,none] [--out FILE] [--trace-out FILE] [--trace-flow N] \
+         [--trace-kind retransmit,rto] [--trace-stream FILE]",
     );
     while let Some(arg) = args.next_flag() {
         match arg.as_str() {
@@ -254,6 +275,10 @@ fn parse_args() -> Args {
                         panic!("--trace-flow expects a flow index, got {v:?}")
                     }));
             }
+            "--trace-kind" => {
+                trace_kinds = cli::parse_trace_kinds(&args.value("--trace-kind"), "--trace-kind")
+            }
+            "--trace-stream" => trace_stream = Some(args.value("--trace-stream")),
             other => args.unknown(other),
         }
     }
@@ -264,6 +289,12 @@ fn parse_args() -> Args {
     if let Some(path) = &trace_out {
         cli::validate_out_path("--trace-out", path);
     }
+    // The stream path also names the per-shard spill files, which are
+    // created mid-run — a missing directory must fail here, not after the
+    // first shard finishes.
+    if let Some(path) = &trace_stream {
+        cli::validate_out_path("--trace-stream", path);
+    }
     Args {
         flows,
         threads: threads.unwrap_or(1),
@@ -272,6 +303,8 @@ fn parse_args() -> Args {
         out,
         trace_out,
         trace_flow,
+        trace_kinds,
+        trace_stream,
     }
 }
 
@@ -430,20 +463,72 @@ fn obs_row_json(receiver: &str, report: &LoadReport) -> String {
     )
 }
 
+/// How many worst-flows-by-p99 rows a `"flow_delay"` row embeds.
+const FLOW_DELAY_TOP_K: usize = 8;
+
+/// One row of the `"flow_delay"` section: one receiver's per-flow
+/// delivery-delay attribution — the global distribution next to the
+/// worst flows by p99 (the top-K of the bounded
+/// [`minion_engine::FlowDelayMap`]).
+fn flow_delay_row_json(receiver: &str, report: &LoadReport) -> String {
+    let map = &report.obs.flow_delay;
+    let global = &report.obs.delivery_delay;
+    let top = map
+        .top_k(FLOW_DELAY_TOP_K)
+        .iter()
+        .map(|(flow, d)| {
+            format!(
+                "          {{ \"flow\": {flow}, \"count\": {}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {} }}",
+                d.count(),
+                d.p50(),
+                d.p99(),
+                d.max()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"receiver\": \"{receiver}\",\n",
+            "        \"flows_tracked\": {tracked},\n",
+            "        \"overflow_samples\": {overflow},\n",
+            "        \"total_samples\": {total},\n",
+            "        \"global_p50_ns\": {gp50},\n",
+            "        \"global_p99_ns\": {gp99},\n",
+            "        \"global_max_ns\": {gmax},\n",
+            "        \"worst_flows_by_p99\": [\n{top}\n        ]\n",
+            "      }}"
+        ),
+        receiver = receiver,
+        tracked = map.len(),
+        overflow = map.overflow_samples(),
+        total = map.total_samples(),
+        gp50 = global.p50(),
+        gp99 = global.p99(),
+        gmax = global.max(),
+        top = top,
+    )
+}
+
 /// Run the canonical ordered-vs-unordered comparison
-/// ([`LoadScenario::obs_comparison`]) and build the `"obs"` section:
-/// sim rows for both receivers (deterministic, sharded at `threads`), plus
-/// a kernel-TCP row when the OS backend was requested. Returns the section
-/// JSON and the uTCP run's report (whose trace `--trace-out` dumps,
-/// focused on `trace_flow` when given).
+/// ([`LoadScenario::obs_comparison`]) and build the `"obs"` and
+/// `"flow_delay"` sections: sim rows for both receivers (deterministic,
+/// sharded at `threads`), plus a kernel-TCP row when the OS backend was
+/// requested. Returns both section JSONs and the uTCP run's report (whose
+/// trace `--trace-out` dumps, sliced by `trace_flow` / `trace_kinds` when
+/// given).
 fn obs_section(
     threads: usize,
     backend: cli::Backend,
     trace_flow: Option<u32>,
-) -> (String, LoadReport) {
+    trace_kinds: KindSet,
+) -> (String, String, LoadReport) {
     let tcp = LoadScenario::obs_comparison(false).run_sharded(threads);
     let utcp = LoadScenario {
         trace_flow,
+        trace_kinds,
         ..LoadScenario::obs_comparison(true)
     }
     .run_sharded(threads);
@@ -461,6 +546,25 @@ fn obs_section(
     assert!(
         tcp.obs.delivery_delay.p99() > utcp.obs.delivery_delay.p99(),
         "ordered-TCP p99 must strictly exceed uTCP p99 under the canonical loss scenario"
+    );
+    // Head-of-line blocking is not spread evenly: the unlucky flows soak up
+    // the stalls, so the worst flow's p99 must sit strictly above the
+    // all-flows p99 on the ordered receiver. If this ever fails, the
+    // per-flow attribution stopped attributing.
+    let worst = tcp.obs.flow_delay.top_k(1);
+    assert!(
+        !worst.is_empty() && worst[0].1.p99() > tcp.obs.delivery_delay.p99(),
+        "worst-flow p99 ({}) must strictly exceed the global p99 ({}) under ordered TCP",
+        worst.first().map(|(_, d)| d.p99()).unwrap_or(0),
+        tcp.obs.delivery_delay.p99()
+    );
+    println!(
+        "flow_delay: ordered worst flow #{} p99 {:.3} ms vs global p99 {:.3} ms \
+         ({} flows tracked)",
+        worst[0].0,
+        worst[0].1.p99() as f64 / 1e6,
+        tcp.obs.delivery_delay.p99() as f64 / 1e6,
+        tcp.obs.flow_delay.len(),
     );
     let rows = [obs_row_json("tcp", &tcp), obs_row_json("utcp", &utcp)];
     let os_rows = if backend == cli::Backend::Os {
@@ -493,7 +597,101 @@ fn obs_section(
         sim = rows.join(",\n"),
         os = os_rows,
     );
-    (section, utcp)
+    let flow_delay = format!(
+        concat!(
+            "  \"flow_delay\": {{\n",
+            "    \"cap\": {cap},\n",
+            "    \"top_k\": {k},\n",
+            "    \"sim\": [\n{rows}\n    ]\n",
+            "  }}"
+        ),
+        cap = tcp.obs.flow_delay.cap(),
+        k = FLOW_DELAY_TOP_K,
+        rows = [
+            flow_delay_row_json("tcp", &tcp),
+            flow_delay_row_json("utcp", &utcp)
+        ]
+        .join(",\n"),
+    );
+    (section, flow_delay, utcp)
+}
+
+/// Run the flight-recorder scenario with the zero-drop streaming sink and
+/// build the `"trace_stream"` section: 1024 flows × 64 records under 2%
+/// loss spill per-shard JSONL slices merged into one `(t_ns, shard)`-ordered
+/// file at `path`. The section is the stream's own accounting — and the
+/// driver gates on the two properties the ring cannot offer: nothing
+/// dropped, and more events offered than the ring holds.
+fn trace_stream_section(path: &str, kinds: KindSet, threads: usize) -> String {
+    let scenario = LoadScenario {
+        trace_stream: Some(path.to_string()),
+        trace_kinds: kinds,
+        ..LoadScenario::flight_recorder(true)
+    };
+    let shards = scenario.shard_count();
+    let flows = scenario.flows;
+    let rpf = scenario.records_per_flow;
+    let t0 = Instant::now();
+    let report = scenario.run_sharded(threads);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let stream = &report.obs.stream;
+    let filter = &report.obs.trace_filter;
+    let offered = filter.admitted + filter.suppressed;
+    assert_eq!(
+        stream.dropped, 0,
+        "the streaming sink must never drop an admitted event"
+    );
+    assert_eq!(
+        stream.emitted, filter.admitted,
+        "every admitted event reaches the stream (trailers are not events)"
+    );
+    assert!(
+        offered > DEFAULT_TRACE_CAP as u64,
+        "the flight-recorder run must offer more events ({offered}) than the \
+         trace ring holds ({DEFAULT_TRACE_CAP}); otherwise it proves nothing"
+    );
+    println!(
+        "trace stream: wrote {path} ({} events from {} offered across {shards} shard(s); \
+         {} suppressed by the kind/flow slice; ring cap {DEFAULT_TRACE_CAP}; wall {:.1} ms)",
+        filter.admitted,
+        offered,
+        filter.suppressed,
+        wall_seconds * 1000.0
+    );
+    format!(
+        concat!(
+            "  \"trace_stream\": {{\n",
+            "    \"path\": \"{path}\",\n",
+            "    \"flows\": {flows},\n",
+            "    \"records_per_flow\": {rpf},\n",
+            "    \"shards\": {shards},\n",
+            "    \"threads\": {threads},\n",
+            "    \"kinds\": \"{kinds}\",\n",
+            "    \"offered\": {offered},\n",
+            "    \"admitted\": {admitted},\n",
+            "    \"suppressed\": {suppressed},\n",
+            "    \"emitted\": {emitted},\n",
+            "    \"dropped\": {dropped},\n",
+            "    \"flushes\": {flushes},\n",
+            "    \"ring_cap\": {cap},\n",
+            "    \"wall_ms\": {wall_ms:.3}\n",
+            "  }}"
+        ),
+        path = json_escape(path),
+        flows = flows,
+        rpf = rpf,
+        shards = shards,
+        threads = threads,
+        kinds = kinds.labels(),
+        offered = offered,
+        admitted = filter.admitted,
+        suppressed = filter.suppressed,
+        emitted = stream.emitted,
+        dropped = stream.dropped,
+        flushes = stream.flushes,
+        cap = DEFAULT_TRACE_CAP,
+        wall_ms = wall_seconds * 1000.0,
+    )
 }
 
 /// How many cwnd/ssthresh trajectory samples a `"cc_obs"` row embeds (the
@@ -651,33 +849,49 @@ fn main() {
     };
 
     // The head-of-line-blocking comparison: the figure the paper is about.
-    let (obs, utcp_report) = obs_section(threads, backend, args.trace_flow);
+    let (obs, flow_delay, utcp_report) =
+        obs_section(threads, backend, args.trace_flow, args.trace_kinds);
     if let Some(path) = &args.trace_out {
-        let jsonl = utcp_report.obs.trace.to_jsonl_with_summary();
-        cli::write_output("--trace-out", path, &jsonl);
         let filter = &utcp_report.obs.trace_filter;
-        match filter.flow {
-            Some(flow) => println!(
-                "wrote {path} ({} trace events; focused on flow {flow}: \
+        let jsonl = utcp_report
+            .obs
+            .trace
+            .to_jsonl_with_summary(filter.admitted, filter.suppressed);
+        cli::write_output("--trace-out", path, &jsonl);
+        if filter.flow.is_some() || !filter.kinds.is_all() {
+            println!(
+                "wrote {path} ({} trace events; sliced to flow {:?} kinds {}: \
                  {} admitted, {} suppressed)",
                 utcp_report.obs.trace.recorded(),
+                filter.flow,
+                filter.kinds.labels(),
                 filter.admitted,
                 filter.suppressed
-            ),
-            None => println!(
+            );
+        } else {
+            println!(
                 "wrote {path} ({} trace events)",
                 utcp_report.obs.trace.recorded()
-            ),
+            );
         }
     }
+
+    // The flight recorder: every lifecycle event on disk, not a ring's
+    // worth. Opt-in (--trace-stream) because it writes a multi-megabyte
+    // artifact.
+    let trace_stream = args
+        .trace_stream
+        .as_deref()
+        .map(|path| trace_stream_section(path, args.trace_kinds, threads));
 
     // The congestion-control comparison: same lossy workload, each sender.
     let (cc, cc_obs) = cc_sections(&args.ccs, threads);
 
     let body = rows.iter().map(row_json).collect::<Vec<_>>().join(",\n");
     let demux = demux_bench_json();
+    let stream_section = trace_stream.map(|s| format!("{s},\n")).unwrap_or_default();
     let json = format!(
-        "{{\n  \"bench\": \"engine_load\",\n{demux},\n{obs},\n{cc},\n{cc_obs},\n{os_section}  \"scenarios\": [\n{body}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"engine_load\",\n{demux},\n{obs},\n{flow_delay},\n{stream_section}{cc},\n{cc_obs},\n{os_section}  \"scenarios\": [\n{body}\n  ]\n}}\n"
     );
     cli::write_output("--out", &out, &json);
     println!("wrote {out}");

@@ -52,6 +52,40 @@ fn trace_out_into_missing_directory_fails_with_a_clear_error() {
 }
 
 #[test]
+fn trace_stream_into_missing_directory_fails_with_a_clear_error() {
+    // The stream path also names the mid-run per-shard spill files, so a
+    // typo'd directory must fail at parse time — before the 1024-flow
+    // flight-recorder run, and before any shard tries to create its spill.
+    let (ok, stderr) = run_load_engine(&[
+        "--flows",
+        "1",
+        "--trace-stream",
+        "/no-such-stream-dir-7f3a/trace.jsonl",
+    ]);
+    assert!(!ok, "a missing --trace-stream directory must fail the run");
+    assert!(
+        stderr.contains("--trace-stream") && stderr.contains("does not exist"),
+        "error must name the flag and the missing directory, got:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("/no-such-stream-dir-7f3a"),
+        "error must echo the offending path, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn unknown_trace_kinds_fail_at_parse_time_with_the_valid_list() {
+    let (ok, stderr) = run_load_engine(&["--flows", "1", "--trace-kind", "retransmit,handshake"]);
+    assert!(!ok, "an unknown --trace-kind entry must fail the run");
+    assert!(
+        stderr.contains("--trace-kind")
+            && stderr.contains("unknown trace kind \"handshake\"")
+            && stderr.contains("valid kinds: syn|first_byte|record|retransmit|rto|fin"),
+        "error must name the flag, the bad kind, and every valid kind, got:\n{stderr}"
+    );
+}
+
+#[test]
 fn unknown_flags_fail_with_usage() {
     let (ok, stderr) = run_load_engine(&["--no-such-flag"]);
     assert!(!ok);

@@ -49,6 +49,8 @@ pub use wheel::TimerWheel;
 // testkit, bench) reach them through the engine without a direct
 // `minion-obs` dependency.
 pub use minion_obs::{
-    Absorb, CcObs, Counter, CounterSet, CwndSample, Gauge, GaugeSet, Histogram, NonDeterministic,
-    PhaseProfile, TraceEvent, TraceKind, TraceRing,
+    merge_stream_files, Absorb, CcObs, Counter, CounterSet, CwndSample, DelayDigest, FilteredSink,
+    FlowDelayMap, Gauge, GaugeSet, Histogram, KindSet, MergedStream, NonDeterministic,
+    PhaseProfile, StreamSink, StreamStats, Tee, TraceEvent, TraceKind, TracePredicate, TraceRing,
+    TraceSink, DEFAULT_TRACE_CAP,
 };

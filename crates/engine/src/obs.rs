@@ -21,7 +21,10 @@
 //! the same discipline the rest of the report already obeys.
 
 use crate::metrics::{fnv1a, FNV_OFFSET_BASIS};
-use minion_obs::{Absorb, CcObs, CounterSet, GaugeSet, Histogram, TraceEvent, TraceRing};
+use minion_obs::{
+    Absorb, CcObs, CounterSet, FlowDelayMap, GaugeSet, Histogram, KindSet, StreamStats, TraceEvent,
+    TraceRing,
+};
 
 /// Counter slots of [`LoadObs::counters`] (fixed at compile time so sharded
 /// and serial registries always line up slot for slot).
@@ -75,6 +78,14 @@ pub struct LoadObs {
     pub trace: TraceRing,
     /// Per-flow trace admission filter + admitted/suppressed accounting.
     pub trace_filter: TraceFilter,
+    /// Accounting of the zero-drop streaming sink, when the run spilled
+    /// its trace to a file (all-zero otherwise). The sink itself holds an
+    /// OS writer and never enters this mergeable state — only its
+    /// deterministic counters do.
+    pub stream: StreamStats,
+    /// Per-flow delivery-delay digests: who owns the tail, not just how
+    /// fat it is.
+    pub flow_delay: FlowDelayMap,
     /// Congestion-control window telemetry merged over the run's client
     /// flows, in flow order.
     pub cc_obs: CcObs,
@@ -90,6 +101,8 @@ impl Default for LoadObs {
             gauges: GaugeSet::new(LOAD_GAUGE_NAMES),
             trace: TraceRing::default(),
             trace_filter: TraceFilter::default(),
+            stream: StreamStats::default(),
+            flow_delay: FlowDelayMap::default(),
             cc_obs: CcObs::default(),
         }
     }
@@ -104,18 +117,26 @@ impl Absorb for LoadObs {
         self.gauges.absorb(&other.gauges);
         self.trace.absorb(&other.trace);
         self.trace_filter.absorb(&other.trace_filter);
+        self.stream.absorb(&other.stream);
+        self.flow_delay.absorb(&other.flow_delay);
         self.cc_obs.absorb(&other.cc_obs);
     }
 }
 
-/// Per-flow trace admission: when focused on one flow, only its events
-/// enter the [`TraceRing`], so a 1k-flow run can trace a single flow at
-/// full event granularity without drowning the bounded ring. Counts what
-/// it admits and suppresses so filtered dumps stay honest about coverage.
+/// Flow × kind trace admission: when focused on one flow and/or a kind
+/// slice, only matching events enter the trace sinks, so a 1k-flow run
+/// can trace a single flow (or just the `retransmit,rto` recovery
+/// events) at full granularity without drowning the bounded ring. Counts
+/// what it admits and suppresses so filtered dumps stay honest about
+/// coverage. The scenario driver applies the predicate through
+/// `minion_obs::FilteredSink`; this struct is the mergeable *record* of
+/// the predicate config plus its accounting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct TraceFilter {
     /// Global flow index to focus on; `None` admits every flow.
     pub flow: Option<u32>,
+    /// Kinds to admit; `KindSet::all()` (the default) admits every kind.
+    pub kinds: KindSet,
     /// Events that passed the filter.
     pub admitted: u64,
     /// Events rejected by the focus.
@@ -127,14 +148,22 @@ impl TraceFilter {
     pub fn focused(flow: Option<u32>) -> Self {
         TraceFilter {
             flow,
-            admitted: 0,
-            suppressed: 0,
+            ..TraceFilter::default()
+        }
+    }
+
+    /// A filter over both predicate axes.
+    pub fn sliced(flow: Option<u32>, kinds: KindSet) -> Self {
+        TraceFilter {
+            flow,
+            kinds,
+            ..TraceFilter::default()
         }
     }
 
     /// Decide (and count) whether `ev` enters the trace ring.
     pub fn admit(&mut self, ev: &TraceEvent) -> bool {
-        let ok = self.flow.is_none_or(|f| f == ev.flow);
+        let ok = self.flow.is_none_or(|f| f == ev.flow) && self.kinds.contains(ev.kind);
         if ok {
             self.admitted += 1;
         } else {
@@ -145,17 +174,22 @@ impl TraceFilter {
 }
 
 impl Absorb for TraceFilter {
-    /// Counters add; the focus config must agree. A pristine filter
-    /// (nothing counted) adopts `other`'s focus so `TraceFilter::default()`
+    /// Counters add; the predicate config must agree. A pristine filter
+    /// (nothing counted) adopts `other`'s config so `TraceFilter::default()`
     /// is a true merge identity; all shards of one scenario inherit the
-    /// same focus, so mismatched non-pristine configs are a bug — loudly.
+    /// same predicate, so mismatched non-pristine configs are a bug — loudly.
     fn absorb(&mut self, other: &Self) {
         if self.admitted == 0 && self.suppressed == 0 {
             self.flow = other.flow;
+            self.kinds = other.kinds;
         } else if other.admitted != 0 || other.suppressed != 0 {
             assert_eq!(
                 self.flow, other.flow,
                 "merging trace filters with different focus"
+            );
+            assert_eq!(
+                self.kinds, other.kinds,
+                "merging trace filters with different kind slices"
             );
         }
         self.admitted += other.admitted;
@@ -247,6 +281,42 @@ mod tests {
         let mut open = TraceFilter::focused(None);
         assert!(open.admit(&mk(8)));
         assert_eq!((open.admitted, open.suppressed), (1, 0));
+    }
+
+    #[test]
+    fn trace_filter_slices_by_kind_and_flow_together() {
+        use minion_obs::KindSet;
+        let mut f = TraceFilter::sliced(
+            Some(7),
+            KindSet::of(&[TraceKind::Retransmit, TraceKind::RtoFired]),
+        );
+        let mk = |flow: u32, kind: TraceKind| TraceEvent {
+            t_ns: 1,
+            flow,
+            seq: 0,
+            kind,
+        };
+        assert!(f.admit(&mk(7, TraceKind::Retransmit)));
+        assert!(!f.admit(&mk(7, TraceKind::Syn)), "kind outside the slice");
+        assert!(!f.admit(&mk(8, TraceKind::Retransmit)), "flow out of focus");
+        assert_eq!((f.admitted, f.suppressed), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind slices")]
+    fn trace_filter_absorb_rejects_mismatched_kind_slices() {
+        use minion_obs::KindSet;
+        let mut a = TraceFilter::sliced(None, KindSet::of(&[TraceKind::Retransmit]));
+        let mut b = TraceFilter::sliced(None, KindSet::of(&[TraceKind::Syn]));
+        let ev = TraceEvent {
+            t_ns: 1,
+            flow: 1,
+            seq: 0,
+            kind: TraceKind::Retransmit,
+        };
+        a.admit(&ev);
+        b.admit(&ev);
+        a.absorb(&b);
     }
 
     #[test]

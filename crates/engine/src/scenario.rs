@@ -36,11 +36,15 @@ use crate::runtime::FlowId;
 use crate::transport::{SimTransport, Transport};
 use bytes::Bytes;
 use minion_exec::Executor;
-use minion_obs::{Absorb, NonDeterministic, PhaseProfile, TraceEvent, TraceKind};
+use minion_obs::{
+    merge_stream_files, shard_trailer_json, Absorb, FilteredSink, KindSet, NonDeterministic,
+    PhaseProfile, StreamSink, Tee, TraceEvent, TraceKind, TracePredicate, TraceRing, TraceSink,
+};
 use minion_simnet::LossConfig;
 use minion_simnet::{SimDuration, SimTime};
 use minion_tcp::{CcAlgorithm, ConnEvent};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 /// Nanoseconds of backend time (virtual µs on sim, monotonic µs on os —
 /// both normalized to ns so the two backends' histograms share units).
@@ -82,9 +86,23 @@ pub struct LoadScenario {
     /// Virtual-time budget; the run panics if flows are incomplete at it.
     pub deadline: SimDuration,
     /// Focus the lifecycle trace on one **global** flow index: only its
-    /// events enter the bounded trace ring (suppressed events are still
-    /// counted by the filter). `None` traces every flow.
+    /// events enter the trace sinks (suppressed events are still counted
+    /// by the filter). `None` traces every flow.
     pub trace_flow: Option<u32>,
+    /// Kind slice of the lifecycle trace: only these event kinds enter
+    /// the trace sinks. [`KindSet::all`] (the default) traces every kind;
+    /// `--trace-kind retransmit,rto` narrows the stream to recovery
+    /// events the same way `trace_flow` narrows it to one flow.
+    pub trace_kinds: KindSet,
+    /// Spill every admitted trace event to this JSONL path through a
+    /// zero-drop [`StreamSink`] (the ring still records in parallel, so
+    /// in-memory consumers are unaffected). A shard produced by
+    /// [`LoadScenario::shard`] spills to `"{path}.shard{s:05}"`;
+    /// [`LoadScenario::run_sharded`] then k-way-merges the shard files
+    /// into `path` ordered by `(t_ns, shard)` — byte-identical at any
+    /// thread count. An unsharded [`LoadScenario::run`] writes `path`
+    /// directly as a single-shard stream. `None` disables spilling.
+    pub trace_stream: Option<String>,
     /// Global index of this scenario's first flow. `0` for a whole scenario;
     /// a shard produced by [`LoadScenario::shard`] carries its offset here so
     /// stream contents and per-flow metrics keep their global flow indices.
@@ -106,6 +124,8 @@ impl Default for LoadScenario {
             seed: 0x10ad_5eed,
             deadline: SimDuration::from_secs(300),
             trace_flow: None,
+            trace_kinds: KindSet::all(),
+            trace_stream: None,
             first_flow: 0,
         }
     }
@@ -137,6 +157,23 @@ impl LoadScenario {
             flows: 256,
             records_per_flow: 32,
             record_len: 600,
+            loss: LossConfig::Bernoulli { probability: 0.02 },
+            receiver_utcp,
+            ..LoadScenario::default()
+        }
+    }
+
+    /// The flight-recorder scenario: 1024 flows × 64 records each under
+    /// 2% loss. Sized so record-delivery events **alone** fill
+    /// [`minion_obs::DEFAULT_TRACE_CAP`] (1024 × 64 = 65,536) and the
+    /// SYN/first-byte/FIN/recovery events push the full lifecycle stream
+    /// structurally past it — the run that proves a ring-only design
+    /// truncates while the streaming sink keeps every event.
+    pub fn flight_recorder(receiver_utcp: bool) -> Self {
+        LoadScenario {
+            flows: 1024,
+            records_per_flow: 64,
+            record_len: 200,
             loss: LossConfig::Bernoulli { probability: 0.02 },
             receiver_utcp,
             ..LoadScenario::default()
@@ -241,7 +278,24 @@ impl LoadScenario {
         };
         let mut pool = BufferPool::new(self.record_len * self.records_per_flow + 64, 8);
         let mut obs = LoadObs::default();
-        obs.trace_filter = crate::obs::TraceFilter::focused(self.trace_flow);
+
+        // The trace pipeline: every lifecycle event is offered to one
+        // FilteredSink (flow × kind predicate) fanning out to the bounded
+        // ring (in-memory consumers, merged via Absorb) and, when
+        // `trace_stream` is set, a zero-drop JSONL spill. The sink holds
+        // the stream's OS writer, so it lives here as a run-local; only
+        // its deterministic accounting enters `obs` at the end.
+        let stream_sink = self.trace_stream.as_deref().map(|path| {
+            StreamSink::create(Path::new(path))
+                .unwrap_or_else(|e| panic!("[{label}] trace stream {path}: {e}"))
+        });
+        let mut sink = FilteredSink::new(
+            TracePredicate {
+                flow: self.trace_flow,
+                kinds: self.trace_kinds,
+            },
+            Tee::new(TraceRing::default(), stream_sink),
+        );
 
         // Open every flow and offer its whole stream. A transport may accept
         // only a prefix (or nothing, while the connect is in flight): the
@@ -254,7 +308,7 @@ impl LoadScenario {
             let global_flow = self.first_flow + flow;
             let (id, pair_key) = transport.connect();
             let now_ns = ns_of(transport.now());
-            obs.trace_event(TraceEvent {
+            sink.offer(&TraceEvent {
                 t_ns: now_ns,
                 flow: global_flow as u32,
                 seq: 0,
@@ -327,7 +381,7 @@ impl LoadScenario {
                     ConnEvent::RtoFired { wait_us } => {
                         obs.rto_wait.record(wait_us.saturating_mul(1_000));
                         obs.counters.inc(C_RTO_EDGES);
-                        obs.trace_event(TraceEvent {
+                        sink.offer(&TraceEvent {
                             t_ns: now_ns,
                             flow: (self.first_flow + flow) as u32,
                             seq: state.rto_seq,
@@ -337,7 +391,7 @@ impl LoadScenario {
                     }
                     ConnEvent::Retransmit => {
                         obs.counters.inc(C_RETRANSMIT_EDGES);
-                        obs.trace_event(TraceEvent {
+                        sink.offer(&TraceEvent {
                             t_ns: now_ns,
                             flow: (self.first_flow + flow) as u32,
                             seq: state.rtx_seq,
@@ -387,7 +441,7 @@ impl LoadScenario {
                     }
                     if !state.first_chunk_seen {
                         state.first_chunk_seen = true;
-                        obs.trace_event(TraceEvent {
+                        sink.offer(&TraceEvent {
                             t_ns: now_ns,
                             flow: (self.first_flow + flow) as u32,
                             seq: 0,
@@ -414,10 +468,12 @@ impl LoadScenario {
                         }
                         let r = &mut state.records[rec];
                         r.delivered = true;
-                        obs.delivery_delay
-                            .record(now_ns.saturating_sub(r.enqueue_ns));
+                        let delay_ns = now_ns.saturating_sub(r.enqueue_ns);
+                        obs.delivery_delay.record(delay_ns);
+                        obs.flow_delay
+                            .record((self.first_flow + flow) as u32, delay_ns);
                         obs.counters.inc(C_RECORDS_DELIVERED);
-                        obs.trace_event(TraceEvent {
+                        sink.offer(&TraceEvent {
                             t_ns: now_ns,
                             flow: (self.first_flow + flow) as u32,
                             seq: rec as u32,
@@ -454,7 +510,7 @@ impl LoadScenario {
         // Orderly close both sides and drive the FIN exchanges.
         let fin_ns = ns_of(transport.now());
         for (flow, state) in states.iter().enumerate() {
-            obs.trace_event(TraceEvent {
+            sink.offer(&TraceEvent {
                 t_ns: fin_ns,
                 flow: (self.first_flow + flow) as u32,
                 seq: 0,
@@ -466,6 +522,27 @@ impl LoadScenario {
             }
         }
         transport.finish();
+
+        // Tear the trace pipeline down into mergeable state: the ring and
+        // the filter accounting enter `obs`; a streaming sink appends its
+        // self-describing shard trailer and leaves only its counters.
+        obs.trace_filter = crate::obs::TraceFilter::sliced(self.trace_flow, self.trace_kinds);
+        obs.trace_filter.admitted = sink.admitted();
+        obs.trace_filter.suppressed = sink.suppressed();
+        let (ring, stream) = sink.into_inner().into_parts();
+        obs.trace = ring;
+        if let Some(mut s) = stream {
+            let shard = (self.first_flow / SHARD_FLOWS) as u32;
+            let trailer = shard_trailer_json(
+                shard,
+                &s.stats(),
+                obs.trace_filter.admitted,
+                obs.trace_filter.suppressed,
+                self.trace_kinds,
+            );
+            s.write_line(&trailer);
+            obs.stream = s.finish();
+        }
 
         // Verify and assemble the report. Delivered bytes/records are
         // *measured* from the reassembled streams (coverage ranges + parsed
@@ -563,6 +640,10 @@ impl LoadScenario {
             flows: SHARD_FLOWS.min(self.flows - start),
             first_flow: self.first_flow + start,
             seed: shard_seed(self.seed, s as u64),
+            trace_stream: self
+                .trace_stream
+                .as_ref()
+                .map(|base| shard_stream_path(base, s)),
             ..self.clone()
         }
     }
@@ -581,7 +662,34 @@ impl LoadScenario {
     pub fn run_sharded(&self, threads: usize) -> LoadReport {
         let shards: Vec<LoadScenario> = (0..self.shard_count()).map(|s| self.shard(s)).collect();
         let reports = Executor::new(threads).run(shards, |_, shard| shard.run());
-        self.merge_shard_reports(&reports)
+        let merged = self.merge_shard_reports(&reports);
+        // Merge per-shard spill files (named by shard index, so identical
+        // whatever worker ran which shard) into one `(t_ns, shard)`-ordered
+        // JSONL at the base path, then drop the spills: the merged artifact
+        // is the deliverable and is byte-identical at any thread count.
+        if let Some(base) = &self.trace_stream {
+            let paths: Vec<PathBuf> = (0..self.shard_count())
+                .map(|s| PathBuf::from(shard_stream_path(base, s)))
+                .collect();
+            let m = merge_stream_files(&paths, Path::new(base))
+                .unwrap_or_else(|e| panic!("[{}] merging trace stream {base}: {e}", self.label()));
+            assert_eq!(
+                m.emitted,
+                merged.obs.stream.emitted,
+                "[{}] merged stream trailer disagrees with stream accounting",
+                self.label()
+            );
+            assert_eq!(
+                m.events,
+                m.emitted,
+                "[{}] merged stream lost events",
+                self.label()
+            );
+            for p in &paths {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+        merged
     }
 
     /// Merge per-shard reports (in shard order) into one scenario report:
@@ -630,6 +738,13 @@ impl LoadScenario {
             per_flow,
         }
     }
+}
+
+/// Per-shard spill path of a streamed trace: named by **shard index**
+/// (never worker thread), the invariant the thread-count byte-identity
+/// of the merged stream rests on.
+fn shard_stream_path(base: &str, s: usize) -> String {
+    format!("{base}.shard{s:05}")
 }
 
 /// Derive shard `s`'s seed from the scenario seed (splitmix64-style mixing:
@@ -1043,6 +1158,103 @@ mod tests {
         }
         // Pool dwell recorded one sample per flow's send buffer.
         assert_eq!(utcp.obs.pool_dwell.count(), utcp.flows);
+    }
+
+    #[test]
+    fn streamed_trace_merges_byte_identically_across_thread_counts() {
+        let dir = std::env::temp_dir().join(format!("minion_scn_stream_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sc = |path: &std::path::Path| LoadScenario {
+            flows: 256,
+            loss: LossConfig::Bernoulli { probability: 0.02 },
+            trace_stream: Some(path.display().to_string()),
+            ..LoadScenario::default()
+        };
+        let p1 = dir.join("t1.jsonl");
+        let p4 = dir.join("t4.jsonl");
+        let r1 = sc(&p1).run_sharded(1);
+        let r4 = sc(&p4).run_sharded(4);
+        assert_eq!(r1, r4, "reports identical across thread counts");
+        let b1 = std::fs::read(&p1).unwrap();
+        let b4 = std::fs::read(&p4).unwrap();
+        assert_eq!(
+            b1, b4,
+            "merged streamed JSONL identical across thread counts"
+        );
+        // Zero-drop: the stream saw exactly what the filter admitted, and
+        // the ring agrees on the recorded count.
+        assert_eq!(r1.obs.stream.emitted, r1.obs.trace_filter.admitted);
+        assert_eq!(r1.obs.stream.dropped, 0);
+        assert_eq!(r1.obs.trace.recorded(), r1.obs.trace_filter.admitted);
+        // Spill files were cleaned up; only the merged artifact remains.
+        assert!(!dir.join("t1.jsonl.shard00000").exists());
+        // The merged file is (t_ns, shard)-ordered with one trailer.
+        let text = String::from_utf8(b1).unwrap();
+        let mut last_t = 0u64;
+        let mut events = 0u64;
+        for line in text.lines() {
+            if line.contains("\"summary\":true") {
+                assert!(line.contains("\"shards\":2"), "{line}");
+                continue;
+            }
+            let t: u64 = line
+                .split("\"t_ns\":")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(t >= last_t, "t_ns must be non-decreasing");
+            last_t = t;
+            events += 1;
+        }
+        assert_eq!(events, r1.obs.stream.emitted);
+        // Per-flow attribution survived the sharded merge: every flow has
+        // a digest, sample counts add up, and the worst flow's p99 bounds
+        // the global histogram's interpolated p99 from above.
+        assert_eq!(r1.obs.flow_delay.len(), 256);
+        assert_eq!(
+            r1.obs.flow_delay.total_samples(),
+            r1.obs.delivery_delay.count()
+        );
+        let top = r1.obs.flow_delay.top_k(5);
+        assert_eq!(top.len(), 5);
+        assert!(top[0].1.p99() >= top[4].1.p99(), "sorted by p99 desc");
+        assert!(
+            top[0].1.max() >= r1.obs.delivery_delay.p99(),
+            "worst flow owns the global tail"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kind_sliced_trace_counts_suppression_and_keeps_only_the_slice() {
+        let sc = LoadScenario {
+            flows: 16,
+            loss: LossConfig::Bernoulli { probability: 0.02 },
+            trace_kinds: minion_obs::KindSet::of(&[TraceKind::Retransmit, TraceKind::RtoFired]),
+            ..LoadScenario::default()
+        };
+        let report = sc.run();
+        assert!(
+            report
+                .obs
+                .trace
+                .events()
+                .all(|e| matches!(e.kind, TraceKind::Retransmit | TraceKind::RtoFired)),
+            "only recovery events enter the sinks"
+        );
+        assert!(report.obs.trace.recorded() > 0, "2% loss forces recovery");
+        assert_eq!(
+            report.obs.trace_filter.admitted,
+            report.obs.trace.recorded()
+        );
+        assert!(
+            report.obs.trace_filter.suppressed >= (sc.flows * 3) as u64,
+            "syn/first_byte/fin of every flow are suppressed and counted"
+        );
     }
 
     #[test]

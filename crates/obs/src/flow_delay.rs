@@ -1,0 +1,491 @@
+//! Per-flow delivery-delay attribution: bounded map of compact
+//! histogram digests.
+//!
+//! The global delivery-delay [`Histogram`](crate::Histogram) answers
+//! *whether* the tail moved but not *who* moved it — one HoL-blocked flow
+//! under ordered TCP is averaged into a thousand healthy ones. A
+//! [`FlowDelayMap`] keeps a [`DelayDigest`] per flow — the same two-level
+//! (log2 major × linear minor) layout as the global histogram, shrunk to
+//! 4 sub-buckets and `u32` slot counts (~1 KiB per flow) so thousands of
+//! flows fit — and surfaces the K worst flows by p99, making a tail
+//! regression attributable to a flow instead of averaged away.
+//!
+//! Merge discipline matches the rest of the crate: digests add slot-wise
+//! (exact, associative), the map folds per-shard in shard-index order,
+//! and a pristine map adopts the other side wholesale so `Default` is a
+//! true merge identity. Sharding assigns each flow to exactly one shard,
+//! so cross-shard merges union disjoint key sets and the merged map is
+//! byte-identical to a serial run's. The map bound only matters when a
+//! scenario exceeds [`DEFAULT_FLOW_DELAY_CAP`] flows; samples for flows
+//! that don't fit are counted in `overflow_samples`, never silently
+//! lost.
+
+use crate::absorb::Absorb;
+use std::collections::BTreeMap;
+
+/// Most flows a [`FlowDelayMap`] tracks individually before overflow
+/// accounting kicks in (~4 MiB of digests at the cap).
+pub const DEFAULT_FLOW_DELAY_CAP: usize = 4096;
+
+/// Log2 major buckets (covers the full `u64` range, like the global
+/// histogram).
+const DIGEST_BUCKETS: usize = 64;
+
+/// Linear sub-buckets per major bucket — 4 here vs the global
+/// histogram's 16: per-flow quantiles tolerate a coarser in-octave
+/// resolution (~12% vs ~3%) in exchange for 4× smaller digests.
+pub const DIGEST_SUB_BUCKETS: usize = 4;
+
+/// log2 of [`DIGEST_SUB_BUCKETS`].
+const DIGEST_SUB_BITS: u32 = 2;
+
+/// Total fixed slots per digest.
+pub const DIGEST_SLOTS: usize = DIGEST_BUCKETS * DIGEST_SUB_BUCKETS;
+
+/// Major bucket index of a value: 0 for zero, else `min(63, 64 - clz)`.
+fn major_of(value: u64) -> usize {
+    if value == 0 {
+        return 0;
+    }
+    ((64 - value.leading_zeros()) as usize).min(DIGEST_BUCKETS - 1)
+}
+
+/// Flat slot index under the two-level layout (mirrors `hist::slot_of`
+/// with the narrower sub-axis).
+fn slot_of(value: u64) -> usize {
+    let major = major_of(value);
+    if major == 0 {
+        return 0;
+    }
+    let lo = 1u64 << (major - 1);
+    let sub = if (major - 1) as u32 <= DIGEST_SUB_BITS {
+        // Width ≤ 4: every value has its own exact sub-slot.
+        (value - lo) as usize
+    } else {
+        let shift = (major - 1) as u32 - DIGEST_SUB_BITS;
+        (((value - lo) >> shift) as usize).min(DIGEST_SUB_BUCKETS - 1)
+    };
+    major * DIGEST_SUB_BUCKETS + sub
+}
+
+/// Inclusive `[lo, hi]` value bounds of a flat slot.
+fn slot_bounds(slot: usize) -> (u64, u64) {
+    let major = slot / DIGEST_SUB_BUCKETS;
+    let sub = slot % DIGEST_SUB_BUCKETS;
+    if major == 0 {
+        return (0, 0);
+    }
+    let lo = 1u64 << (major - 1);
+    if (major - 1) as u32 <= DIGEST_SUB_BITS {
+        let v = lo + sub as u64;
+        (v, v)
+    } else if major == DIGEST_BUCKETS - 1 && sub == DIGEST_SUB_BUCKETS - 1 {
+        let shift = (major - 1) as u32 - DIGEST_SUB_BITS;
+        (lo + ((sub as u64) << shift), u64::MAX)
+    } else {
+        let shift = (major - 1) as u32 - DIGEST_SUB_BITS;
+        let slot_lo = lo + ((sub as u64) << shift);
+        (slot_lo, slot_lo + (1u64 << shift) - 1)
+    }
+}
+
+/// A compact per-flow delay histogram: 64 log2 majors × 4 linear
+/// sub-buckets of `u32` counts plus exact count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DelayDigest {
+    slots: Box<[u32; DIGEST_SLOTS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for DelayDigest {
+    fn default() -> Self {
+        DelayDigest {
+            slots: Box::new([0; DIGEST_SLOTS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl DelayDigest {
+    /// A fresh, empty digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample (nanoseconds, by convention).
+    pub fn record(&mut self, value: u64) {
+        self.slots[slot_of(value)] = self.slots[slot_of(value)].saturating_add(1);
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 on an empty digest).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean (0 on an empty digest).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Value at a quantile given in milli-percent (`99_000` = p99).
+    /// Same integer-rank + in-slot interpolation scheme as
+    /// [`Histogram::quantile_milli`](crate::Histogram::quantile_milli),
+    /// clamped to the observed `[min, max]`.
+    pub fn quantile_milli(&self, q_milli: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = self
+            .count
+            .saturating_mul(q_milli)
+            .div_ceil(100_000)
+            .clamp(1, self.count);
+        let mut seen = 0u64;
+        for (slot, &n) in self.slots.iter().enumerate() {
+            seen += n as u64;
+            if seen >= rank {
+                let (slot_lo, slot_hi) = slot_bounds(slot);
+                let k = rank - (seen - n as u64);
+                let span = (slot_hi - slot_lo) as u128;
+                let interp = slot_lo + ((span * k as u128) / n as u128) as u64;
+                return interp.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand: median.
+    pub fn p50(&self) -> u64 {
+        self.quantile_milli(50_000)
+    }
+
+    /// Shorthand: p99.
+    pub fn p99(&self) -> u64 {
+        self.quantile_milli(99_000)
+    }
+}
+
+impl Absorb for DelayDigest {
+    /// Slot-wise addition — exact and associative, like the global
+    /// histogram.
+    fn absorb(&mut self, other: &Self) {
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A bounded map of per-flow [`DelayDigest`]s keyed by global flow
+/// index.
+///
+/// Samples for flows beyond the bound are tallied in
+/// [`overflow_samples`](Self::overflow_samples) rather than silently
+/// dropped, so the artifact always discloses its own coverage. Ordered
+/// (`BTreeMap`) so iteration — and therefore serialization — is
+/// deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowDelayMap {
+    cap: usize,
+    flows: BTreeMap<u32, DelayDigest>,
+    overflow_samples: u64,
+}
+
+impl Default for FlowDelayMap {
+    fn default() -> Self {
+        FlowDelayMap::new(DEFAULT_FLOW_DELAY_CAP)
+    }
+}
+
+impl FlowDelayMap {
+    /// A map tracking at most `cap` distinct flows.
+    pub fn new(cap: usize) -> Self {
+        FlowDelayMap {
+            cap,
+            flows: BTreeMap::new(),
+            overflow_samples: 0,
+        }
+    }
+
+    /// Record one delay sample for `flow`. Existing flows always record;
+    /// a new flow is admitted only if the map has room, otherwise the
+    /// sample lands in the overflow tally.
+    pub fn record(&mut self, flow: u32, value: u64) {
+        if let Some(d) = self.flows.get_mut(&flow) {
+            d.record(value);
+        } else if self.flows.len() < self.cap {
+            let mut d = DelayDigest::new();
+            d.record(value);
+            self.flows.insert(flow, d);
+        } else {
+            self.overflow_samples += 1;
+        }
+    }
+
+    /// Distinct flows tracked.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flow has recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The flow bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Samples that arrived for flows beyond the bound.
+    pub fn overflow_samples(&self) -> u64 {
+        self.overflow_samples
+    }
+
+    /// Total samples across all tracked flows (excludes overflow).
+    pub fn total_samples(&self) -> u64 {
+        self.flows.values().map(|d| d.count()).sum()
+    }
+
+    /// One flow's digest, if tracked.
+    pub fn get(&self, flow: u32) -> Option<&DelayDigest> {
+        self.flows.get(&flow)
+    }
+
+    /// All tracked flows in ascending flow order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &DelayDigest)> + '_ {
+        self.flows.iter().map(|(&f, d)| (f, d))
+    }
+
+    /// The `k` worst flows by p99, ties broken by ascending flow index
+    /// (total order → deterministic at any thread count).
+    pub fn top_k(&self, k: usize) -> Vec<(u32, &DelayDigest)> {
+        let mut rows: Vec<(u32, &DelayDigest)> = self.iter().collect();
+        rows.sort_by(|a, b| b.1.p99().cmp(&a.1.p99()).then(a.0.cmp(&b.0)));
+        rows.truncate(k);
+        rows
+    }
+}
+
+impl Absorb for FlowDelayMap {
+    /// Union the flow sets, digest-adding where keys collide. A pristine
+    /// map (nothing recorded, no overflow) adopts `other` wholesale —
+    /// capacity included — so `FlowDelayMap::default()` is a true merge
+    /// identity. New flows past the bound fold their whole sample count
+    /// into the overflow tally. Shards own disjoint flow ranges and all
+    /// share one cap, so in practice the merge is an exact disjoint
+    /// union; overflow attribution is order-dependent only beyond the
+    /// cap, and shard-order folding keeps even that deterministic.
+    fn absorb(&mut self, other: &Self) {
+        if self.flows.is_empty() && self.overflow_samples == 0 {
+            *self = other.clone();
+            return;
+        }
+        for (&flow, digest) in &other.flows {
+            if let Some(mine) = self.flows.get_mut(&flow) {
+                mine.absorb(digest);
+            } else if self.flows.len() < self.cap {
+                self.flows.insert(flow, digest.clone());
+            } else {
+                self.overflow_samples += digest.count();
+            }
+        }
+        self.overflow_samples += other.overflow_samples;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn digest_slots_tile_the_u64_range() {
+        assert_eq!(major_of(0), 0);
+        assert_eq!(major_of(1), 1);
+        assert_eq!(major_of(u64::MAX), 63);
+        // Every reachable slot's bounds round-trip through slot_of.
+        for slot in 0..DIGEST_SLOTS {
+            let major = slot / DIGEST_SUB_BUCKETS;
+            let sub = slot % DIGEST_SUB_BUCKETS;
+            let reachable = match major {
+                0 => sub == 0,
+                1..=3 => (sub as u64) < (1u64 << (major - 1)),
+                _ => true,
+            };
+            if !reachable {
+                continue;
+            }
+            let (lo, hi) = slot_bounds(slot);
+            assert_eq!(slot_of(lo), slot, "slot {slot} lower bound");
+            assert_eq!(slot_of(hi), slot, "slot {slot} upper bound");
+        }
+        assert_eq!(slot_bounds(DIGEST_SLOTS - 1).1, u64::MAX, "saturation slot");
+    }
+
+    #[test]
+    fn digest_quantiles_track_the_global_histogram_within_resolution() {
+        // Same samples through digest and global histogram: quantiles
+        // agree within the digest's coarser in-octave resolution, and
+        // min/max/count/mean agree exactly.
+        let mut d = DelayDigest::new();
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for _ in 0..4096u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = x >> 38;
+            d.record(v);
+            h.record(v);
+        }
+        assert_eq!(d.count(), h.count());
+        assert_eq!(d.min(), h.min());
+        assert_eq!(d.max(), h.max());
+        assert_eq!(d.mean(), h.mean());
+        for q in [50_000u64, 99_000, 99_900] {
+            let dv = d.quantile_milli(q);
+            let hv = h.quantile_milli(q);
+            // Within one octave's coarser sub-slot (≤ 25% of the value's
+            // octave width), both clamped to observed bounds.
+            let tolerance = hv / 3 + 1;
+            assert!(
+                dv.abs_diff(hv) <= tolerance,
+                "q={q}: digest {dv} vs histogram {hv}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_tracks_flows_up_to_cap_and_tallies_overflow() {
+        let mut m = FlowDelayMap::new(2);
+        m.record(7, 100);
+        m.record(3, 200);
+        m.record(9, 300); // no room → overflow
+        m.record(7, 400); // existing flow always records
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.overflow_samples(), 1);
+        assert_eq!(m.total_samples(), 3);
+        assert_eq!(m.get(7).unwrap().count(), 2);
+        assert!(m.get(9).is_none());
+        // Iteration is flow-ordered.
+        let flows: Vec<u32> = m.iter().map(|(f, _)| f).collect();
+        assert_eq!(flows, vec![3, 7]);
+    }
+
+    #[test]
+    fn top_k_sorts_by_p99_desc_with_flow_tiebreak() {
+        let mut m = FlowDelayMap::default();
+        // Flow 5: slow tail. Flows 1 and 2: identical distributions
+        // (tie → ascending flow index). Flow 8: fast.
+        for _ in 0..100 {
+            m.record(5, 1_000_000);
+            m.record(1, 50_000);
+            m.record(2, 50_000);
+            m.record(8, 1_000);
+        }
+        let top = m.top_k(3);
+        let flows: Vec<u32> = top.iter().map(|&(f, _)| f).collect();
+        assert_eq!(flows, vec![5, 1, 2]);
+        assert_eq!(top[0].1.p99(), 1_000_000);
+        // Stability: recomputing gives the same order.
+        assert_eq!(
+            m.top_k(3).iter().map(|&(f, _)| f).collect::<Vec<_>>(),
+            flows
+        );
+        // k beyond the population returns everything.
+        assert_eq!(m.top_k(100).len(), 4);
+    }
+
+    #[test]
+    fn merge_is_exact_disjoint_union_and_pristine_is_identity() {
+        // Shard-style: disjoint flow ranges.
+        let mut a = FlowDelayMap::default();
+        let mut b = FlowDelayMap::default();
+        let mut serial = FlowDelayMap::default();
+        for i in 0..10u32 {
+            let v = (i as u64 + 1) * 1000;
+            a.record(i, v);
+            serial.record(i, v);
+        }
+        for i in 128..138u32 {
+            let v = (i as u64 + 1) * 500;
+            b.record(i, v);
+            serial.record(i, v);
+        }
+        let mut merged = a.clone();
+        merged.absorb(&b);
+        assert_eq!(merged, serial, "disjoint union is exact");
+        // Pristine identity, both sides, capacity included.
+        let mut pristine = FlowDelayMap::default();
+        pristine.absorb(&merged);
+        assert_eq!(pristine, merged);
+        let mut back = merged.clone();
+        back.absorb(&FlowDelayMap::default());
+        assert_eq!(back, merged);
+    }
+
+    #[test]
+    fn merge_on_shared_keys_adds_digests_exactly() {
+        let mut a = FlowDelayMap::default();
+        let mut b = FlowDelayMap::default();
+        let mut serial = FlowDelayMap::default();
+        for v in [100u64, 200, 300] {
+            a.record(7, v);
+            serial.record(7, v);
+        }
+        for v in [400u64, 500] {
+            b.record(7, v);
+            serial.record(7, v);
+        }
+        let mut merged = a.clone();
+        merged.absorb(&b);
+        assert_eq!(merged, serial);
+        assert_eq!(merged.get(7).unwrap().count(), 5);
+        assert_eq!(merged.get(7).unwrap().max(), 500);
+    }
+
+    #[test]
+    fn merge_past_cap_folds_new_flows_into_overflow() {
+        let mut a = FlowDelayMap::new(1);
+        a.record(1, 100);
+        let mut b = FlowDelayMap::new(1);
+        b.record(2, 200);
+        b.record(2, 300);
+        let mut merged = a.clone();
+        merged.absorb(&b);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(
+            merged.overflow_samples(),
+            2,
+            "flow 2's whole sample count lands in overflow"
+        );
+    }
+}

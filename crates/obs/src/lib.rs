@@ -15,6 +15,8 @@
 //! | [`Gauge`] / [`GaugeSet`] | high-water marks | slot-wise max |
 //! | [`Histogram`] | two-level (log2 major × 16 linear minor) `u64` samples (ns) | exact slot-wise add |
 //! | [`TraceRing`] | last-N lifecycle [`TraceEvent`]s | concatenate in shard order, trim |
+//! | [`StreamStats`] | zero-drop [`StreamSink`] accounting | counter addition |
+//! | [`FlowDelayMap`] | per-flow [`DelayDigest`] delay digests | key union, digests slot-wise |
 //! | [`CcObs`] | cwnd/ssthresh trajectory ring + recovery histograms | ring concat in shard order, histograms slot-wise |
 //! | [`PhaseProfile`] | wall-clock time per loop phase | slot-wise add, **excluded from equality** via [`NonDeterministic`] |
 //!
@@ -34,13 +36,22 @@
 mod absorb;
 mod cc;
 mod counter;
+mod flow_delay;
 mod hist;
+mod sink;
 mod span;
 mod trace;
 
 pub use absorb::{merge_ordered, Absorb};
 pub use cc::{CcObs, CwndSample, DEFAULT_CC_SAMPLE_CAP};
 pub use counter::{Counter, CounterSet, Gauge, GaugeSet};
+pub use flow_delay::{
+    DelayDigest, FlowDelayMap, DEFAULT_FLOW_DELAY_CAP, DIGEST_SLOTS, DIGEST_SUB_BUCKETS,
+};
 pub use hist::{Histogram, BUCKETS, SLOTS, SUB_BUCKETS};
+pub use sink::{
+    merge_stream_files, shard_trailer_json, FilteredSink, MergedStream, StreamSink, StreamStats,
+    Tee, TracePredicate, TraceSink, DEFAULT_STREAM_BATCH_BYTES,
+};
 pub use span::{NonDeterministic, PhaseProfile};
-pub use trace::{TraceEvent, TraceKind, TraceRing, DEFAULT_TRACE_CAP};
+pub use trace::{KindSet, TraceEvent, TraceKind, TraceRing, DEFAULT_TRACE_CAP};

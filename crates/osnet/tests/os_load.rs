@@ -103,6 +103,38 @@ fn load_scenario_completes_over_loopback() {
 }
 
 #[test]
+fn streamed_trace_rides_the_os_backend() {
+    // The streaming sink hangs off the shared driver loop, so the OS
+    // backend spills the same self-describing JSONL the sim does — with
+    // monotonic timestamps instead of virtual ones.
+    let dir = std::env::temp_dir().join(format!("minion_os_stream_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("os_trace.jsonl");
+    let scenario = LoadScenario {
+        trace_stream: Some(path.display().to_string()),
+        ..os_scenario(8)
+    };
+    let report = scenario.run_on(&mut OsTransport::new());
+    assert_eq!(report.obs.stream.dropped, 0, "streams never drop");
+    assert_eq!(report.obs.stream.emitted, report.obs.trace_filter.admitted);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let trailer = text.lines().last().unwrap();
+    assert!(
+        trailer.contains("\"summary\":true") && trailer.contains("\"stream\":true"),
+        "single-shard stream ends with its trailer: {trailer}"
+    );
+    let events = text.lines().filter(|l| !l.contains("\"summary\"")).count() as u64;
+    assert_eq!(events, report.obs.stream.emitted, "every event on disk");
+    // Per-flow delay attribution rides along on the monotonic clock.
+    assert_eq!(report.obs.flow_delay.len(), 8);
+    assert_eq!(
+        report.obs.flow_delay.total_samples(),
+        report.obs.delivery_delay.count()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn two_os_runs_deliver_identical_payload_fingerprints() {
     // No byte-identical *reports* on the OS backend (timings are real),
     // but the delivered payloads are still deterministic: same scenario,
